@@ -1,0 +1,125 @@
+// Abstraction-function ablation — paper §3.3 ("State Explosion").
+//
+// Spin's raw c_track of concrete buffers treats ANY byte change as a new
+// state, so noise (atime updates, allocation placement) explodes the
+// visited set: "Spin could not fully explore file systems with even
+// moderate parameter spaces." The paper's fix is Algorithm 1: hash only
+// paths, data, and important metadata.
+//
+// The bench runs a SMALL bounded workload to exhaustion with the proper
+// abstraction and with a noisy abstraction that also hashes timestamps
+// (a stand-in for raw-buffer tracking). The proper abstraction exhausts
+// the space at a finite state count; the noisy one keeps minting "new"
+// states until the operation cap — the explosion, made visible.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "mcfs/harness.h"
+
+namespace {
+
+using namespace mcfs;
+using namespace mcfs::core;
+
+struct Row {
+  std::uint64_t operations = 0;
+  std::uint64_t unique_states = 0;
+  std::uint64_t revisits = 0;
+  std::uint64_t table_bytes = 0;
+  bool exhausted = false;  // search ended before the op cap
+};
+
+constexpr std::uint64_t kOpCap = 20'000;
+
+std::map<std::string, Row> g_rows;
+
+void RunCase(benchmark::State& state, const std::string& name,
+             bool include_timestamps) {
+  for (auto _ : state) {
+    McfsConfig config;
+    config.fs_a.kind = FsKind::kVerifs1;
+    config.fs_a.strategy = StateStrategy::kIoctl;
+    config.fs_b.kind = FsKind::kVerifs2;
+    config.fs_b.strategy = StateStrategy::kIoctl;
+    config.engine.pool = ParameterPool::Tiny();
+    config.engine.abstraction.include_timestamps = include_timestamps;
+    config.explore.max_operations = kOpCap;
+    config.explore.max_depth = 6;
+    config.explore.seed = 6;
+    auto mcfs = Mcfs::Create(config);
+    if (!mcfs.ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    mc::ExplorerOptions opts = config.explore;
+    opts.clock = &mcfs.value()->clock();
+    mc::Explorer explorer(mcfs.value()->engine(), opts);
+    mc::ExploreStats stats = explorer.Run();
+    Row row;
+    row.operations = stats.operations;
+    row.unique_states = stats.unique_states;
+    row.revisits = stats.revisits;
+    row.table_bytes = explorer.visited().bytes_used();
+    row.exhausted = stats.operations < kOpCap;
+    g_rows[name] = row;
+    state.counters["unique_states"] =
+        static_cast<double>(row.unique_states);
+    state.counters["exhausted"] = row.exhausted ? 1 : 0;
+  }
+}
+
+void PrintSummary() {
+  std::printf("\n=== Abstraction ablation (paper §3.3) ===\n");
+  std::printf("%-34s %10s %14s %10s %12s %10s\n", "abstraction", "ops",
+              "unique states", "revisits", "table bytes", "exhausted");
+  for (const auto& [name, row] : g_rows) {
+    std::printf("%-34s %10llu %14llu %10llu %12llu %10s\n", name.c_str(),
+                static_cast<unsigned long long>(row.operations),
+                static_cast<unsigned long long>(row.unique_states),
+                static_cast<unsigned long long>(row.revisits),
+                static_cast<unsigned long long>(row.table_bytes),
+                row.exhausted ? "yes" : "NO");
+  }
+  const auto proper = g_rows.find("algorithm-1 (noise excluded)");
+  const auto noisy = g_rows.find("noisy (timestamps hashed)");
+  if (proper != g_rows.end() && noisy != g_rows.end() &&
+      proper->second.unique_states > 0) {
+    std::printf(
+        "\nshape check: the proper abstraction exhausts the bounded space "
+        "at %llu states;\nnoisy tracking mints %.0fx more \"unique\" "
+        "states from the identical workload%s — the §3.3 state "
+        "explosion.\n",
+        static_cast<unsigned long long>(proper->second.unique_states),
+        static_cast<double>(noisy->second.unique_states) /
+            static_cast<double>(proper->second.unique_states),
+        noisy->second.exhausted ? "" : " and never finishes");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("algorithm-1 (noise excluded)",
+                               [](benchmark::State& state) {
+                                 RunCase(state,
+                                         "algorithm-1 (noise excluded)",
+                                         false);
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark("noisy (timestamps hashed)",
+                               [](benchmark::State& state) {
+                                 RunCase(state,
+                                         "noisy (timestamps hashed)",
+                                         true);
+                               })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  PrintSummary();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Microbenchmarks for the building blocks (host wall-clock, via google
+// benchmark's normal timing): MD5 throughput, abstraction-function walk,
+// VeriFS checkpoint/restore, FUSE round trip, visited-table insertion,
+// bitstate insertion, and block-device copies. These are the knobs the
+// macro results (Figures 2-3) are built from.
+#include <benchmark/benchmark.h>
+
+#include "fs/ext2/ext2fs.h"
+#include "fuse/fuse_channel.h"
+#include "fuse/fuse_host.h"
+#include "fuse/fuse_kernel.h"
+#include "mc/bitstate.h"
+#include "mc/hash_table.h"
+#include "mcfs/abstraction.h"
+#include "storage/ram_disk.h"
+#include "util/md5.h"
+#include "verifs/verifs2.h"
+
+namespace {
+
+using namespace mcfs;
+
+void BM_Md5Throughput(benchmark::State& state) {
+  const Bytes payload(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Md5::Hash(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5Throughput)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_VisitedTableInsert(benchmark::State& state) {
+  mc::VisitedTable table(1024);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    Md5 md5;
+    md5.UpdateU64(i++);
+    benchmark::DoNotOptimize(table.Insert(md5.Final()));
+  }
+}
+BENCHMARK(BM_VisitedTableInsert);
+
+void BM_BitstateInsert(benchmark::State& state) {
+  mc::BitstateFilter filter(1 << 24);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    Md5 md5;
+    md5.UpdateU64(i++);
+    benchmark::DoNotOptimize(filter.Insert(md5.Final()));
+  }
+}
+BENCHMARK(BM_BitstateInsert);
+
+void BM_VerifsCheckpoint(benchmark::State& state) {
+  verifs::Verifs2 v;
+  (void)v.Mkfs();
+  (void)v.Mount();
+  // Populate with a representative tree.
+  for (int i = 0; i < 8; ++i) {
+    auto fd = v.Open("/f" + std::to_string(i), fs::kCreate | fs::kWrOnly,
+                     0644);
+    if (fd.ok()) {
+      (void)v.Write(fd.value(), 0,
+                    Bytes(static_cast<std::size_t>(state.range(0)), 'c'));
+      (void)v.Close(fd.value());
+    }
+  }
+  std::uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v.IoctlCheckpoint(++key));
+  }
+  state.counters["state_bytes"] = static_cast<double>(
+      v.SnapshotBytes() / std::max<std::uint64_t>(v.SnapshotCount(), 1));
+}
+BENCHMARK(BM_VerifsCheckpoint)->Arg(1024)->Arg(16384);
+
+void BM_VerifsCheckpointRestoreCycle(benchmark::State& state) {
+  verifs::Verifs2 v;
+  (void)v.Mkfs();
+  (void)v.Mount();
+  auto fd = v.Open("/f", fs::kCreate | fs::kWrOnly, 0644);
+  if (fd.ok()) {
+    (void)v.Write(fd.value(), 0, Bytes(4096, 'r'));
+    (void)v.Close(fd.value());
+  }
+  for (auto _ : state) {
+    (void)v.IoctlCheckpoint(1);
+    (void)v.IoctlRestore(1);
+  }
+}
+BENCHMARK(BM_VerifsCheckpointRestoreCycle);
+
+void BM_FuseRoundTrip(benchmark::State& state) {
+  fuse::FuseChannel channel(nullptr);
+  auto hosted = std::make_shared<verifs::Verifs2>();
+  fuse::FuseHost host(hosted, &channel);
+  fuse::FuseClientFs client(&channel);
+  (void)client.Mkfs();
+  (void)client.Mount();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.GetAttr("/"));
+  }
+}
+BENCHMARK(BM_FuseRoundTrip);
+
+void BM_AbstractionWalk(benchmark::State& state) {
+  auto disk = std::make_shared<storage::RamDisk>("d", 256 * 1024, nullptr);
+  auto ext2 = std::make_shared<fs::Ext2Fs>(disk);
+  vfs::Vfs v(ext2, nullptr);
+  (void)ext2->Mkfs();
+  (void)v.Mount();
+  for (int i = 0; i < state.range(0); ++i) {
+    auto fd = v.Open("/f" + std::to_string(i), fs::kCreate | fs::kWrOnly,
+                     0644);
+    if (fd.ok()) {
+      (void)v.Write(fd.value(), 0, Bytes(1024, 'w'));
+      (void)v.Close(fd.value());
+    }
+  }
+  const core::AbstractionOptions options;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ComputeAbstractState(v, options));
+  }
+  state.counters["files"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_AbstractionWalk)->Arg(4)->Arg(16);
+
+void BM_DeviceSnapshotRestore(benchmark::State& state) {
+  storage::RamDisk disk("d", static_cast<std::uint64_t>(state.range(0)),
+                        nullptr);
+  const Bytes snapshot = disk.SnapshotContents();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disk.SnapshotContents());
+    benchmark::DoNotOptimize(disk.RestoreContents(snapshot));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 2);
+}
+BENCHMARK(BM_DeviceSnapshotRestore)
+    ->Arg(256 * 1024)
+    ->Arg(16 * 1024 * 1024);
+
+void BM_Ext2MountCycle(benchmark::State& state) {
+  auto disk = std::make_shared<storage::RamDisk>("d", 256 * 1024, nullptr);
+  fs::Ext2Fs ext2(disk);
+  (void)ext2.Mkfs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ext2.Mount());
+    benchmark::DoNotOptimize(ext2.Unmount());
+  }
+}
+BENCHMARK(BM_Ext2MountCycle);
+
+}  // namespace
+
+BENCHMARK_MAIN();

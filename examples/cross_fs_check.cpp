@@ -1,0 +1,86 @@
+// Cross-file-system check: ext4f vs xfsf with the remount-per-operation
+// strategy, demonstrating the §3.4 false-positive workarounds (this pair
+// has genuinely different directory-size reporting and getdents order). Run once
+// with all workarounds on (clean), then once with each disabled to show
+// what it suppresses.
+//
+//   ./cross_fs_check [max_operations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "mcfs/harness.h"
+
+namespace {
+
+using namespace mcfs;
+using namespace mcfs::core;
+
+McfsConfig BaseConfig(std::uint64_t max_ops) {
+  McfsConfig config;
+  config.fs_a.kind = FsKind::kExt4;
+  config.fs_b.kind = FsKind::kXfs;
+  config.engine.pool = ParameterPool::Default();
+  config.explore.max_operations = max_ops;
+  config.explore.max_depth = 6;
+  config.explore.seed = 17;
+  return config;
+}
+
+void Report(const char* label, const McfsReport& report) {
+  std::printf("%-42s ops=%-6llu discrepancies=%llu%s\n", label,
+              static_cast<unsigned long long>(report.stats.operations),
+              static_cast<unsigned long long>(
+                  report.counters.discrepancies),
+              report.stats.violation_found ? "  [halted on violation]"
+                                           : "");
+  if (report.stats.violation_found) {
+    std::printf("    first: %s\n", report.stats.violation_report.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t max_ops =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+
+  std::printf("ext4f vs xfsf, remount-per-operation strategy\n\n");
+
+  {
+    auto mcfs = Mcfs::Create(BaseConfig(max_ops));
+    if (!mcfs.ok()) return 1;
+    Report("all workarounds on (expected clean):", mcfs.value()->Run());
+  }
+  {
+    McfsConfig config = BaseConfig(max_ops);
+    config.engine.checker.ignore_directory_sizes = false;
+    auto mcfs = Mcfs::Create(config);
+    if (!mcfs.ok()) return 1;
+    Report("directory sizes compared (false positive):",
+           mcfs.value()->Run());
+  }
+  {
+    McfsConfig config = BaseConfig(max_ops);
+    config.engine.checker.sort_dirents = false;
+    auto mcfs = Mcfs::Create(config);
+    if (!mcfs.ok()) return 1;
+    Report("getdents unsorted (false positive):", mcfs.value()->Run());
+  }
+  {
+    // Drop the special-folder exception list: ext4f's lost+found shows
+    // through. The engine adds /lost+found automatically, so override the
+    // abstraction+checker lists after construction isn't possible from
+    // here; instead compare ext4f against itself minus the filter via a
+    // custom config knob: simplest honest demonstration is getdents("/")
+    // on both sides, which the checker-only disable shows.
+    McfsConfig config = BaseConfig(max_ops);
+    config.engine.checker.special_names.clear();  // keep auto-added ones
+    auto mcfs = Mcfs::Create(config);
+    if (!mcfs.ok()) return 1;
+    Report("exception list active (control, clean):", mcfs.value()->Run());
+  }
+  std::printf(
+      "\nWorkarounds suppress unstandardized differences; disabling one\n"
+      "turns it straight into a spurious 'bug' report (paper §3.4).\n");
+  return 0;
+}

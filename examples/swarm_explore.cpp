@@ -1,0 +1,69 @@
+// Swarm verification over VeriFS1-vs-VeriFS2 (paper §2/§7): several
+// independent, seed-diversified explorers run in parallel; their visited
+// sets are merged afterwards. Prints per-worker coverage and the union,
+// showing the coverage gain from diversification.
+//
+//   ./swarm_explore [workers] [ops_per_worker]
+#include <cstdio>
+#include <cstdlib>
+
+#include "mcfs/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace mcfs;
+  using namespace mcfs::core;
+
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  const std::uint64_t ops_per_worker =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
+
+  mc::SwarmOptions options;
+  options.workers = workers;
+  options.base.mode = mc::SearchMode::kDfs;
+  options.base.max_operations = ops_per_worker;
+  options.base.max_depth = 10;
+  // Full visited tables so the merged union can be computed exactly
+  // (Spin swarm typically uses bitstate hashing instead, trading the
+  // exact union for memory; pass use_bitstate=true for that mode).
+  options.base_seed = 1000;
+
+  mc::Swarm swarm(options);
+  std::printf("launching %d workers x %llu ops over verifs1-vs-verifs2...\n",
+              workers, static_cast<unsigned long long>(ops_per_worker));
+
+  mc::SwarmResult result = swarm.Run([](int worker) {
+    McfsConfig config;
+    config.fs_a.kind = FsKind::kVerifs1;
+    config.fs_a.strategy = StateStrategy::kIoctl;
+    config.fs_b.kind = FsKind::kVerifs2;
+    config.fs_b.strategy = StateStrategy::kIoctl;
+    config.engine.pool = ParameterPool::Default();
+    auto mcfs = Mcfs::Create(config);
+    if (!mcfs.ok()) {
+      std::fprintf(stderr, "worker %d setup failed\n", worker);
+      std::abort();
+    }
+    return std::make_unique<McfsSwarmInstance>(std::move(mcfs).value());
+  });
+
+  std::printf("\n%-8s %12s %14s %12s\n", "worker", "ops", "unique states",
+              "backtracks");
+  for (std::size_t i = 0; i < result.per_worker.size(); ++i) {
+    const auto& stats = result.per_worker[i];
+    std::printf("%-8zu %12llu %14llu %12llu\n", i,
+                static_cast<unsigned long long>(stats.operations),
+                static_cast<unsigned long long>(stats.unique_states),
+                static_cast<unsigned long long>(stats.backtracks));
+  }
+  std::printf("\nsummed unique states (with overlap): %llu\n",
+              static_cast<unsigned long long>(result.summed_unique_states));
+  std::printf("merged unique states (union):        %llu\n",
+              static_cast<unsigned long long>(result.merged_unique_states));
+  if (result.any_violation) {
+    std::printf("\nVIOLATION found by a worker:\n%s\n",
+                result.first_violation_report.c_str());
+    return 2;
+  }
+  std::printf("\nno discrepancies found by any worker.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// The paper's proposed state checkpoint/restore API (§5).
+//
+// A file system that implements this interface can save its complete
+// state (in-memory and persistent) under a 64-bit key and later restore
+// it, letting the model checker backtrack without unmount/remount cycles
+// and without cache incoherency. VeriFS1/VeriFS2 implement it natively;
+// the FUSE client forwards the two calls as ioctls, exactly like the
+// paper's ioctl_CHECKPOINT / ioctl_RESTORE.
+#pragma once
+
+#include <cstdint>
+
+#include "util/result.h"
+
+namespace mcfs::fs {
+
+class CheckpointableFs {
+ public:
+  virtual ~CheckpointableFs() = default;
+
+  // Locks the file system, copies its full state into a snapshot pool
+  // under `key`, and unlocks. Overwrites any previous snapshot with the
+  // same key.
+  virtual Status IoctlCheckpoint(std::uint64_t key) = 0;
+
+  // Restores the state saved under `key`, notifies the kernel to
+  // invalidate its caches, and discards the snapshot. ENOENT if the key
+  // is unknown.
+  virtual Status IoctlRestore(std::uint64_t key) = 0;
+
+  // Discards the snapshot under `key` without restoring (the checker
+  // drops snapshots of fully-explored states). ENOENT if unknown.
+  virtual Status IoctlDiscard(std::uint64_t key) = 0;
+
+  // Number of snapshots currently held.
+  virtual std::uint64_t SnapshotCount() const = 0;
+
+  // Total bytes held by the snapshot pool (for memory accounting).
+  virtual std::uint64_t SnapshotBytes() const = 0;
+};
+
+}  // namespace mcfs::fs

@@ -1,0 +1,252 @@
+// ext2f: a from-scratch block-based file system in the ext2 tradition.
+//
+// Layout (all sizes in blocks of `block_size` bytes):
+//   block 0                superblock
+//   block 1                block bitmap
+//   block 2                inode bitmap
+//   blocks 3..3+T-1        inode table (T = inode_count / inodes-per-block)
+//   remaining blocks       data (file contents, directories, symlink
+//                          targets, xattr blocks, indirect blocks)
+//
+// Files use 12 direct block pointers plus one single-indirect block;
+// pointer value 0 means a hole that reads as zeros (sparse files).
+// Directories serialize their entry list into data blocks and are
+// rewritten on modification.
+//
+// Faithfulness notes (per DESIGN.md §2):
+//  * Directory sizes are reported as a multiple of the block size — the
+//    ext2/ext4 trait behind the paper's §3.4 false positive.
+//  * A write-back block cache holds dirty blocks in memory until
+//    Unmount/Fsync. Restoring the backing device while mounted therefore
+//    leaves the cache stale — reproducing the §3.2 cache-incoherency
+//    corruption the paper hit with in-kernel file systems.
+//  * The on-disk format is original, not Linux-compatible; behaviour
+//    through the FileSystem interface is what the paper's checker sees.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "fs/filesystem.h"
+#include "fs/mount_state.h"
+#include "fs/perms.h"
+#include "storage/block_device.h"
+
+namespace mcfs::fs {
+
+struct Ext2Options {
+  std::uint32_t block_size = 1024;
+  std::uint32_t inode_count = 64;
+  // Write-back cache capacity in blocks (0 = unbounded). A bounded cache
+  // evicts (flushing dirty victims), so after an unsynchronized device
+  // restore the view mixes cached old-world blocks with restored
+  // new-world blocks — the §3.2 corruption mechanism.
+  std::uint32_t cache_capacity_blocks = 64;
+  // ext4f sets this: create a lost+found directory at mkfs (paper §3.4,
+  // "special folders" false positive).
+  bool create_lost_and_found = false;
+  // Blocks reserved for a journal region immediately after the inode
+  // table; 0 disables journaling (plain ext2f).
+  std::uint32_t journal_blocks = 0;
+  Identity identity;
+  std::string type_name = "ext2f";
+};
+
+class Ext2Fs : public FileSystem, public MountStateCapture {
+ public:
+  Ext2Fs(storage::BlockDevicePtr device, Ext2Options options = {});
+  ~Ext2Fs() override;
+
+  // FileSystem interface.
+  Status Mkfs() override;
+  Status Mount() override;
+  Status Unmount() override;
+  bool IsMounted() const override { return mounted_; }
+
+  Result<InodeAttr> GetAttr(const std::string& path) override;
+  Status Mkdir(const std::string& path, Mode mode) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+
+  Result<FileHandle> Open(const std::string& path, std::uint32_t flags,
+                          Mode mode) override;
+  Status Close(FileHandle fh) override;
+  Result<Bytes> Read(FileHandle fh, std::uint64_t offset,
+                     std::uint64_t size) override;
+  Result<std::uint64_t> Write(FileHandle fh, std::uint64_t offset,
+                              ByteView data) override;
+  Status Truncate(const std::string& path, std::uint64_t size) override;
+  Status Fsync(FileHandle fh) override;
+
+  Status Chmod(const std::string& path, Mode mode) override;
+  Status Chown(const std::string& path, std::uint32_t uid,
+               std::uint32_t gid) override;
+  Result<StatVfs> StatFs() override;
+
+  bool Supports(FsFeature feature) const override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Link(const std::string& existing, const std::string& link) override;
+  Status Symlink(const std::string& target, const std::string& link) override;
+  Result<std::string> ReadLink(const std::string& path) override;
+  Status Access(const std::string& path, std::uint32_t mode) override;
+  Status SetXattr(const std::string& path, const std::string& name,
+                  ByteView value) override;
+  Result<Bytes> GetXattr(const std::string& path,
+                         const std::string& name) override;
+  Result<std::vector<std::string>> ListXattr(const std::string& path) override;
+  Status RemoveXattr(const std::string& path, const std::string& name) override;
+
+  std::string TypeName() const override { return options_.type_name; }
+
+  // MountStateCapture (paper §7 future work): the in-memory half of a
+  // kernel-FS state capture — superblock copy, bitmaps, the write-back
+  // block cache — so the checker can roll back without remounting.
+  Result<Bytes> ExportMountState() const override;
+  Status ImportMountState(ByteView image) override;
+
+  // Test/diagnostic access.
+  const Ext2Options& options() const { return options_; }
+  storage::BlockDevice& device() { return *device_; }
+  std::uint64_t dirty_block_count() const;
+
+ protected:
+  // On-disk inode image.
+  struct Inode {
+    FileType type = FileType::kRegular;
+    Mode mode = 0;
+    std::uint32_t nlink = 0;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::uint64_t size = 0;
+    std::uint64_t atime_ns = 0;
+    std::uint64_t mtime_ns = 0;
+    std::uint64_t ctime_ns = 0;
+    std::array<std::uint32_t, 12> direct{};
+    std::uint32_t indirect = 0;
+    std::uint32_t xattr_block = 0;
+  };
+
+  struct OpenFile {
+    InodeNum ino = kInvalidInode;
+    std::uint32_t flags = 0;
+  };
+
+  static constexpr std::uint32_t kMagic = 0x45583246;  // "EX2F"
+  static constexpr std::uint32_t kInodeDiskSize = 128;
+  static constexpr InodeNum kRootIno = 1;
+
+  // ---- block cache (write-back, LRU eviction) ----
+  Result<Bytes> ReadBlock(std::uint32_t block_no);
+  Status WriteBlock(std::uint32_t block_no, ByteView data);
+  Status FlushCache();
+  void TouchBlock(std::uint32_t block_no);
+  Status EvictIfNeeded();
+  // Hook for ext4f's journal: called with the dirty set before it is
+  // checkpointed in place. Default does nothing.
+  virtual Status PrepareFlush(const std::map<std::uint32_t, Bytes>& dirty);
+  // Hook called after the dirty set has been checkpointed in place
+  // (ext4f retires the journal transaction here). Default does nothing.
+  virtual Status FinishFlush();
+  // Hook for ext4f: replay/recover before reading structures at mount.
+  virtual Status RecoverOnMount();
+
+  // ---- allocation ----
+  Result<std::uint32_t> AllocBlock();
+  Status FreeBlock(std::uint32_t block_no);
+  Result<InodeNum> AllocInode();
+  Status FreeInode(InodeNum ino);
+  std::uint32_t data_region_start() const;
+
+  // ---- inode I/O ----
+  Result<Inode> LoadInode(InodeNum ino);
+  Status StoreInode(InodeNum ino, const Inode& inode);
+
+  // ---- file block mapping ----
+  // Returns the disk block backing file-block `index`, 0 for a hole.
+  Result<std::uint32_t> MapBlock(const Inode& inode, std::uint64_t index);
+  // Like MapBlock but allocates (and records) a block for holes.
+  Result<std::uint32_t> MapBlockAlloc(Inode& inode, std::uint64_t index);
+  Status FreeFileBlocks(Inode& inode, std::uint64_t from_block);
+  std::uint64_t CountAllocatedBlocks(const Inode& inode);
+
+  // ---- directories ----
+  struct RawDirEntry {
+    std::string name;
+    InodeNum ino;
+    FileType type;
+  };
+  Result<std::vector<RawDirEntry>> LoadDir(InodeNum ino);
+  Status StoreDir(InodeNum ino, Inode& inode,
+                  const std::vector<RawDirEntry>& entries);
+
+  // ---- path resolution ----
+  struct Resolved {
+    InodeNum ino;
+    Inode inode;
+  };
+  Result<Resolved> ResolvePath(const std::string& path);
+  // Resolves the parent directory of `path` and returns it plus basename.
+  struct ResolvedParent {
+    InodeNum parent_ino;
+    Inode parent;
+    std::string name;
+  };
+  Result<ResolvedParent> ResolveParent(const std::string& path);
+
+  // ---- data I/O on inodes ----
+  Result<Bytes> ReadInodeData(const Inode& inode, std::uint64_t offset,
+                              std::uint64_t size);
+  Result<std::uint64_t> WriteInodeData(Inode& inode, std::uint64_t offset,
+                                       ByteView data);
+  Status TruncateInode(Inode& inode, std::uint64_t new_size);
+
+  // ---- helpers ----
+  std::uint64_t NowNs();
+  InodeAttr ToAttr(InodeNum ino, const Inode& inode) const;
+  Result<InodeNum> CreateNode(const std::string& path, FileType type,
+                              Mode mode, const std::string& symlink_target);
+  Status RemoveNode(const std::string& path, bool want_dir);
+  Status CheckNotMounted() const {
+    return mounted_ ? Status(Errno::kEBUSY) : Status::Ok();
+  }
+  Status CheckMounted() const {
+    return mounted_ ? Status::Ok() : Status(Errno::kEINVAL);
+  }
+
+  // ---- xattr block ----
+  using XattrMap = std::map<std::string, Bytes>;
+  Result<XattrMap> LoadXattrs(const Inode& inode);
+  Status StoreXattrs(Inode& inode, const XattrMap& xattrs);
+
+  storage::BlockDevicePtr device_;
+  Ext2Options options_;
+  bool mounted_ = false;
+
+  // In-memory (mount-time) state — the part that goes stale if the device
+  // is restored underneath a live mount.
+  struct Superblock {
+    std::uint32_t magic = 0;
+    std::uint32_t block_size = 0;
+    std::uint32_t total_blocks = 0;
+    std::uint32_t inode_count = 0;
+    std::uint32_t free_blocks = 0;
+    std::uint32_t free_inodes = 0;
+    std::uint32_t journal_blocks = 0;
+  };
+  Superblock sb_;
+  Bytes block_bitmap_;
+  Bytes inode_bitmap_;
+  std::map<std::uint32_t, Bytes> cache_;        // block_no -> contents
+  std::map<std::uint32_t, bool> cache_dirty_;   // block_no -> dirty?
+  std::map<std::uint32_t, std::uint64_t> cache_age_;  // LRU recency
+  std::uint64_t cache_tick_ = 0;
+  std::unordered_map<FileHandle, OpenFile> open_files_;
+  FileHandle next_handle_ = 1;
+  std::uint64_t op_counter_ = 0;  // drives timestamps deterministically
+
+  Status WriteSuperblock();
+  Status WriteBitmaps();
+};
+
+}  // namespace mcfs::fs

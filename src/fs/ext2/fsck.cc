@@ -1,0 +1,339 @@
+#include "fs/ext2/fsck.h"
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "util/bytes.h"
+
+namespace mcfs::fs {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45583246;  // must match Ext2Fs
+constexpr std::uint32_t kInodeDiskSize = 128;
+constexpr std::uint64_t kRootIno = 1;
+
+struct RawInode {
+  std::uint8_t type = 0;
+  std::uint32_t nlink = 0;
+  std::uint64_t size = 0;
+  std::array<std::uint32_t, 12> direct{};
+  std::uint32_t indirect = 0;
+  std::uint32_t xattr_block = 0;
+};
+
+struct Geometry {
+  std::uint32_t block_size = 0;
+  std::uint32_t total_blocks = 0;
+  std::uint32_t inode_count = 0;
+  std::uint32_t free_blocks = 0;
+  std::uint32_t free_inodes = 0;
+  std::uint32_t data_start = 0;
+};
+
+bool BitmapGet(const Bytes& bm, std::uint64_t i) {
+  return i / 8 < bm.size() && ((bm[i / 8] >> (i % 8)) & 1);
+}
+
+class Fsck {
+ public:
+  Fsck(storage::BlockDevice& device, const FsckOptions& options)
+      : device_(device), options_(options) {}
+
+  FsckReport Run() {
+    if (!LoadSuperblock()) return report_;
+    LoadBitmaps();
+    WalkNamespace();
+    CheckUnreachableInodes();
+    CheckFreeCounts();
+    return report_;
+  }
+
+ private:
+  void AddError(FsckErrorKind kind, std::string detail) {
+    report_.errors.push_back({kind, std::move(detail)});
+  }
+
+  Bytes ReadBlock(std::uint32_t block) {
+    Bytes buf(geo_.block_size);
+    if (!device_
+             .Read(static_cast<std::uint64_t>(block) * geo_.block_size, buf)
+             .ok()) {
+      buf.assign(geo_.block_size, 0);
+    }
+    return buf;
+  }
+
+  bool LoadSuperblock() {
+    geo_.block_size = options_.block_size;
+    Bytes raw(options_.block_size);
+    if (!device_.Read(0, raw).ok()) {
+      AddError(FsckErrorKind::kBadSuperblock, "unreadable superblock");
+      return false;
+    }
+    try {
+      ByteReader r(raw);
+      const std::uint32_t magic = r.GetU32();
+      const std::uint32_t block_size = r.GetU32();
+      geo_.total_blocks = r.GetU32();
+      geo_.inode_count = r.GetU32();
+      geo_.free_blocks = r.GetU32();
+      geo_.free_inodes = r.GetU32();
+      const std::uint32_t journal_blocks = r.GetU32();
+      if (magic != kMagic || block_size != options_.block_size) {
+        AddError(FsckErrorKind::kBadSuperblock, "bad magic or block size");
+        return false;
+      }
+      const std::uint32_t ipb = options_.block_size / kInodeDiskSize;
+      geo_.data_start =
+          3 + (geo_.inode_count + ipb - 1) / ipb + journal_blocks;
+      return true;
+    } catch (const std::out_of_range&) {
+      AddError(FsckErrorKind::kBadSuperblock, "truncated superblock");
+      return false;
+    }
+  }
+
+  void LoadBitmaps() {
+    block_bitmap_ = ReadBlock(1);
+    inode_bitmap_ = ReadBlock(2);
+  }
+
+  RawInode LoadInode(std::uint64_t ino) {
+    const std::uint32_t ipb = geo_.block_size / kInodeDiskSize;
+    const auto index = static_cast<std::uint32_t>(ino - 1);
+    const Bytes block = ReadBlock(3 + index / ipb);
+    ByteReader r(ByteView(block).subspan((index % ipb) * kInodeDiskSize,
+                                         kInodeDiskSize));
+    RawInode inode;
+    inode.type = r.GetU8();
+    (void)r.GetU16();  // mode
+    inode.nlink = r.GetU32();
+    (void)r.GetU32();  // uid
+    (void)r.GetU32();  // gid
+    inode.size = r.GetU64();
+    (void)r.GetU64();  // atime
+    (void)r.GetU64();  // mtime
+    (void)r.GetU64();  // ctime
+    for (auto& d : inode.direct) d = r.GetU32();
+    inode.indirect = r.GetU32();
+    inode.xattr_block = r.GetU32();
+    return inode;
+  }
+
+  bool InodeAllocated(std::uint64_t ino) {
+    return ino >= 1 && ino <= geo_.inode_count &&
+           BitmapGet(inode_bitmap_, ino - 1);
+  }
+
+  void ClaimBlock(std::uint32_t block, std::uint64_t owner) {
+    if (block == 0) return;
+    if (block < geo_.data_start || block >= geo_.total_blocks) {
+      AddError(FsckErrorKind::kBlockNotInBitmap,
+               "inode " + std::to_string(owner) +
+                   " references out-of-range block " +
+                   std::to_string(block));
+      return;
+    }
+    if (!BitmapGet(block_bitmap_, block)) {
+      AddError(FsckErrorKind::kBlockNotInBitmap,
+               "block " + std::to_string(block) + " used by inode " +
+                   std::to_string(owner) + " but marked free");
+    }
+    auto [it, inserted] = block_owner_.emplace(block, owner);
+    if (!inserted && it->second != owner) {
+      AddError(FsckErrorKind::kBlockDoubleUsed,
+               "block " + std::to_string(block) + " owned by inodes " +
+                   std::to_string(it->second) + " and " +
+                   std::to_string(owner));
+    }
+  }
+
+  // Collects the inode's mapped blocks and returns its file content.
+  Bytes ReadInodeData(const RawInode& inode, std::uint64_t ino) {
+    ClaimBlock(inode.indirect, ino);
+    ClaimBlock(inode.xattr_block, ino);
+    Bytes indirect_block;
+    if (inode.indirect != 0) indirect_block = ReadBlock(inode.indirect);
+
+    const std::uint64_t max_bytes =
+        (12 + geo_.block_size / 4) * static_cast<std::uint64_t>(
+                                         geo_.block_size);
+    const std::uint64_t size = std::min(inode.size, max_bytes);
+    Bytes out(size, 0);
+    const std::uint64_t blocks = (size + geo_.block_size - 1) /
+                                 geo_.block_size;
+    for (std::uint64_t fb = 0; fb < blocks; ++fb) {
+      std::uint32_t db = 0;
+      if (fb < 12) {
+        db = inode.direct[fb];
+      } else if (!indirect_block.empty()) {
+        const std::uint64_t slot = (fb - 12) * 4;
+        if (slot + 4 <= indirect_block.size()) {
+          std::memcpy(&db, indirect_block.data() + slot, 4);
+        }
+      }
+      if (db == 0) continue;  // hole
+      ClaimBlock(db, ino);
+      const Bytes data = ReadBlock(db);
+      const std::uint64_t take = std::min<std::uint64_t>(
+          geo_.block_size, size - fb * geo_.block_size);
+      std::memcpy(out.data() + fb * geo_.block_size, data.data(), take);
+    }
+    return out;
+  }
+
+  void WalkNamespace() {
+    if (!InodeAllocated(kRootIno)) {
+      AddError(FsckErrorKind::kDanglingDirent, "root inode unallocated");
+      return;
+    }
+    std::vector<std::uint64_t> queue = {kRootIno};
+    reached_[kRootIno] = 0;
+    subdir_count_[kRootIno] = 0;
+
+    while (!queue.empty()) {
+      const std::uint64_t dir = queue.back();
+      queue.pop_back();
+      const RawInode inode = LoadInode(dir);
+      if (inode.type != 2 /*directory*/) continue;
+
+      const Bytes payload = ReadInodeData(inode, dir);
+      try {
+        ByteReader r(payload);
+        const std::uint32_t count = payload.empty() ? 0 : r.GetU32();
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint64_t child = r.GetU64();
+          const auto type = r.GetU8();
+          const std::string name = r.GetString();
+          if (!InodeAllocated(child)) {
+            // The paper's §3.2 symptom, verbatim: "directory entries with
+            // corrupted or zeroed inodes".
+            AddError(FsckErrorKind::kDanglingDirent,
+                     "'" + name + "' in dir inode " + std::to_string(dir) +
+                         " points to unallocated inode " +
+                         std::to_string(child));
+            continue;
+          }
+          ++reached_[child];
+          if (type == 2) {
+            ++subdir_count_[dir];
+            if (!subdir_count_.contains(child)) {
+              subdir_count_[child] = 0;
+              queue.push_back(child);
+            }
+          }
+        }
+      } catch (const std::out_of_range&) {
+        AddError(FsckErrorKind::kBadEntryName,
+                 "unparsable directory payload in inode " +
+                     std::to_string(dir));
+      }
+    }
+
+    // Link-count verification for every reached inode.
+    for (const auto& [ino, refs] : reached_) {
+      const RawInode inode = LoadInode(ino);
+      const std::uint32_t expected =
+          inode.type == 2 ? 2 + subdir_count_[ino] : refs;
+      if (inode.nlink != expected) {
+        AddError(FsckErrorKind::kWrongLinkCount,
+                 "inode " + std::to_string(ino) + " has nlink " +
+                     std::to_string(inode.nlink) + ", expected " +
+                     std::to_string(expected));
+      }
+      if (inode.type != 2) {
+        (void)ReadInodeData(inode, ino);  // claim file blocks
+      }
+    }
+  }
+
+  void CheckUnreachableInodes() {
+    for (std::uint64_t ino = 1; ino <= geo_.inode_count; ++ino) {
+      if (InodeAllocated(ino) && !reached_.contains(ino)) {
+        AddError(FsckErrorKind::kUnreachableInode,
+                 "inode " + std::to_string(ino) +
+                     " allocated but unreachable from the root");
+      }
+    }
+  }
+
+  void CheckFreeCounts() {
+    std::uint32_t used_blocks = 0;
+    for (std::uint32_t b = 0; b < geo_.total_blocks; ++b) {
+      if (BitmapGet(block_bitmap_, b)) ++used_blocks;
+    }
+    const std::uint32_t bitmap_free = geo_.total_blocks - used_blocks;
+    if (bitmap_free != geo_.free_blocks) {
+      AddError(FsckErrorKind::kFreeCountDrift,
+               "superblock says " + std::to_string(geo_.free_blocks) +
+                   " free blocks, bitmap says " +
+                   std::to_string(bitmap_free));
+    }
+    std::uint32_t used_inodes = 0;
+    for (std::uint32_t i = 0; i < geo_.inode_count; ++i) {
+      if (BitmapGet(inode_bitmap_, i)) ++used_inodes;
+    }
+    const std::uint32_t bitmap_free_inodes =
+        geo_.inode_count - used_inodes;
+    if (bitmap_free_inodes != geo_.free_inodes) {
+      AddError(FsckErrorKind::kFreeCountDrift,
+               "superblock says " + std::to_string(geo_.free_inodes) +
+                   " free inodes, bitmap says " +
+                   std::to_string(bitmap_free_inodes));
+    }
+  }
+
+  storage::BlockDevice& device_;
+  FsckOptions options_;
+  Geometry geo_;
+  Bytes block_bitmap_;
+  Bytes inode_bitmap_;
+  FsckReport report_;
+  std::map<std::uint64_t, std::uint32_t> reached_;       // ino -> dirent refs
+  std::map<std::uint64_t, std::uint32_t> subdir_count_;  // dir -> subdirs
+  std::map<std::uint32_t, std::uint64_t> block_owner_;
+};
+
+}  // namespace
+
+std::string_view FsckErrorKindName(FsckErrorKind kind) {
+  switch (kind) {
+    case FsckErrorKind::kBadSuperblock: return "bad-superblock";
+    case FsckErrorKind::kDanglingDirent: return "dangling-dirent";
+    case FsckErrorKind::kUnreachableInode: return "unreachable-inode";
+    case FsckErrorKind::kWrongLinkCount: return "wrong-link-count";
+    case FsckErrorKind::kBlockNotInBitmap: return "block-not-in-bitmap";
+    case FsckErrorKind::kBlockDoubleUsed: return "block-double-used";
+    case FsckErrorKind::kFreeCountDrift: return "free-count-drift";
+    case FsckErrorKind::kBadEntryName: return "bad-entry-name";
+  }
+  return "?";
+}
+
+std::size_t FsckReport::CountOf(FsckErrorKind kind) const {
+  std::size_t n = 0;
+  for (const auto& error : errors) {
+    if (error.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string FsckReport::Summary() const {
+  if (clean()) return "clean";
+  std::ostringstream out;
+  out << errors.size() << " inconsistencies:";
+  for (const auto& error : errors) {
+    out << "\n  [" << FsckErrorKindName(error.kind) << "] " << error.detail;
+  }
+  return out.str();
+}
+
+FsckReport FsckExt2(storage::BlockDevice& device,
+                    const FsckOptions& options) {
+  return Fsck(device, options).Run();
+}
+
+}  // namespace mcfs::fs

@@ -1,0 +1,69 @@
+// ext4f: ext2f plus a metadata journal and the ext4 traits the paper's
+// evaluation relies on:
+//   * a `lost+found` directory created at mkfs — the "special folders"
+//     false positive of paper §3.4;
+//   * a reserved journal region that reduces usable capacity — the
+//     "differing data capacity" false positive (§3.4) arises because two
+//     file systems on identically sized devices expose different free
+//     space;
+//   * block-multiple directory sizes (inherited from ext2f).
+//
+// The journal is a physical-block write-ahead log: before dirty cache
+// blocks are checkpointed in place, their images are committed to the
+// journal region with an MD5-protected commit record; mount replays any
+// committed-but-not-retired transaction. A crash hook lets tests kill the
+// file system between commit and checkpoint to exercise recovery.
+#pragma once
+
+#include "fs/ext2/ext2fs.h"
+
+namespace mcfs::fs {
+
+struct Ext4Options {
+  std::uint32_t block_size = 1024;
+  std::uint32_t inode_count = 64;
+  std::uint32_t journal_blocks = 8;
+  std::uint32_t cache_capacity_blocks = 64;
+  Identity identity;
+};
+
+class Ext4Fs : public Ext2Fs {
+ public:
+  Ext4Fs(storage::BlockDevicePtr device, Ext4Options options = {});
+
+  // Makes the next flush stop (with EIO) right after the journal commit,
+  // simulating a crash before checkpointing. Combine with CrashNow().
+  void SimulateCrashAfterNextJournalCommit() { crash_after_commit_ = true; }
+
+  // Abandons all in-memory state without flushing, as a real crash would.
+  // The backing device keeps whatever reached it (including the journal).
+  void CrashNow();
+
+  // MountStateCapture: ext2f's state plus the journal sequence counter.
+  Result<Bytes> ExportMountState() const override;
+  Status ImportMountState(ByteView image) override;
+
+  // Test/diagnostic: number of transactions committed since construction.
+  std::uint64_t journal_commits() const { return journal_commits_; }
+  // Test/diagnostic: whether mount replayed a journal transaction.
+  bool replayed_journal_on_last_mount() const { return replayed_; }
+
+ protected:
+  Status PrepareFlush(const std::map<std::uint32_t, Bytes>& dirty) override;
+  Status FinishFlush() override;
+  Status RecoverOnMount() override;
+
+ private:
+  static constexpr std::uint32_t kJournalMagic = 0x4a524e4c;  // "JRNL"
+
+  std::uint32_t journal_start() const;
+  Status WriteTransaction(const std::map<std::uint32_t, Bytes>& dirty);
+  Status ClearJournal();
+
+  std::uint64_t journal_seq_ = 0;
+  std::uint64_t journal_commits_ = 0;
+  bool crash_after_commit_ = false;
+  bool replayed_ = false;
+};
+
+}  // namespace mcfs::fs

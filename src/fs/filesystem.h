@@ -1,0 +1,132 @@
+// The FileSystem interface: the POSIX-ish operation set MCFS exercises.
+//
+// Every file system in this library — the four kernel-style ones (ext2f,
+// ext4f, xfsf, jffs2f) and the two FUSE-style ones (VeriFS1, VeriFS2) —
+// implements this interface. MCFS's syscall engine issues the same
+// operation with the same parameters to two implementations at once and
+// compares the outcomes.
+//
+// Paths are absolute within the file system ("/" is the mount point).
+// Handles returned by Open are only valid while mounted; unmounting
+// invalidates them (which is why the engine uses meta-operations such as
+// write_file = open+write+close when remounts happen between steps,
+// paper §4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/types.h"
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mcfs::fs {
+
+using FileHandle = std::uint64_t;
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  // ---- lifecycle -------------------------------------------------------
+
+  // Formats the backing store; any previous contents are lost.
+  virtual Status Mkfs() = 0;
+
+  // Loads on-disk state into memory. Fails with EBUSY if already mounted.
+  virtual Status Mount() = 0;
+
+  // Flushes all dirty state and drops in-memory structures. Open handles
+  // become invalid. Fails with EINVAL if not mounted.
+  virtual Status Unmount() = 0;
+
+  virtual bool IsMounted() const = 0;
+
+  // ---- namespace operations -------------------------------------------
+
+  virtual Result<InodeAttr> GetAttr(const std::string& path) = 0;
+  virtual Status Mkdir(const std::string& path, Mode mode) = 0;
+  virtual Status Rmdir(const std::string& path) = 0;
+  virtual Status Unlink(const std::string& path) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir(const std::string& path) = 0;
+
+  // ---- file I/O ---------------------------------------------------------
+
+  virtual Result<FileHandle> Open(const std::string& path,
+                                  std::uint32_t flags, Mode mode) = 0;
+  virtual Status Close(FileHandle fh) = 0;
+  virtual Result<Bytes> Read(FileHandle fh, std::uint64_t offset,
+                             std::uint64_t size) = 0;
+  virtual Result<std::uint64_t> Write(FileHandle fh, std::uint64_t offset,
+                                      ByteView data) = 0;
+  virtual Status Truncate(const std::string& path, std::uint64_t size) = 0;
+  virtual Status Fsync(FileHandle fh) = 0;
+
+  // ---- attributes -------------------------------------------------------
+
+  virtual Status Chmod(const std::string& path, Mode mode) = 0;
+  virtual Status Chown(const std::string& path, std::uint32_t uid,
+                       std::uint32_t gid) = 0;
+  virtual Result<StatVfs> StatFs() = 0;
+
+  // ---- optional operations (query Supports() first) ---------------------
+  // Default implementations return ENOTSUP, matching how VeriFS1 lacked
+  // rename/links/access/xattrs until VeriFS2 added them (paper §5).
+
+  virtual bool Supports(FsFeature feature) const = 0;
+
+  virtual Status Rename(const std::string& from, const std::string& to);
+  virtual Status Link(const std::string& existing, const std::string& link);
+  virtual Status Symlink(const std::string& target, const std::string& link);
+  virtual Result<std::string> ReadLink(const std::string& path);
+  virtual Status Access(const std::string& path, std::uint32_t mode);
+  virtual Status SetXattr(const std::string& path, const std::string& name,
+                          ByteView value);
+  virtual Result<Bytes> GetXattr(const std::string& path,
+                                 const std::string& name);
+  virtual Result<std::vector<std::string>> ListXattr(const std::string& path);
+  virtual Status RemoveXattr(const std::string& path,
+                             const std::string& name);
+
+  // ---- identification ---------------------------------------------------
+
+  virtual std::string TypeName() const = 0;
+};
+
+inline Status FileSystem::Rename(const std::string&, const std::string&) {
+  return Errno::kENOTSUP;
+}
+inline Status FileSystem::Link(const std::string&, const std::string&) {
+  return Errno::kENOTSUP;
+}
+inline Status FileSystem::Symlink(const std::string&, const std::string&) {
+  return Errno::kENOTSUP;
+}
+inline Result<std::string> FileSystem::ReadLink(const std::string&) {
+  return Errno::kENOTSUP;
+}
+inline Status FileSystem::Access(const std::string&, std::uint32_t) {
+  return Errno::kENOTSUP;
+}
+inline Status FileSystem::SetXattr(const std::string&, const std::string&,
+                                   ByteView) {
+  return Errno::kENOTSUP;
+}
+inline Result<Bytes> FileSystem::GetXattr(const std::string&,
+                                          const std::string&) {
+  return Errno::kENOTSUP;
+}
+inline Result<std::vector<std::string>> FileSystem::ListXattr(
+    const std::string&) {
+  return Errno::kENOTSUP;
+}
+inline Status FileSystem::RemoveXattr(const std::string&,
+                                      const std::string&) {
+  return Errno::kENOTSUP;
+}
+
+using FileSystemPtr = std::shared_ptr<FileSystem>;
+
+}  // namespace mcfs::fs

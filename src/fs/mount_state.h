@@ -1,0 +1,33 @@
+// Mount-state capture — the paper's future-work direction (§7):
+// "We are implementing the checkpoint/restore API at the Linux VFS
+// level, which we hope will apply to many Linux kernel file systems."
+//
+// A kernel-style file system that implements this interface can export
+// and re-import its mount-time in-memory state (superblock copies,
+// allocator caches, dirty block cache, log indexes). Combined with a
+// device snapshot this gives the checker a complete, coherent state
+// capture WITHOUT the unmount/remount cycle — the kernel-FS analogue of
+// VeriFS's ioctls. FsUnderTest exposes it as StateStrategy::kVfsApi.
+#pragma once
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mcfs::fs {
+
+class MountStateCapture {
+ public:
+  virtual ~MountStateCapture() = default;
+
+  // Serializes the complete in-memory mount state. Open file handles are
+  // deliberately excluded: like VeriFS restores, a rollback invalidates
+  // them (the checker's meta-operations never hold handles across steps).
+  virtual Result<Bytes> ExportMountState() const = 0;
+
+  // Replaces the in-memory mount state with a previously exported image.
+  // The caller must restore the backing device to the matching snapshot
+  // first (or after — the two halves are only consistent together).
+  virtual Status ImportMountState(ByteView image) = 0;
+};
+
+}  // namespace mcfs::fs

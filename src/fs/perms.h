@@ -1,0 +1,42 @@
+// Shared permission checking.
+//
+// All file systems under test must enforce identical permission rules —
+// MCFS's integrity checker treats any divergence in return codes as a
+// discrepancy, so the rule set lives in one place.
+#pragma once
+
+#include "fs/types.h"
+
+namespace mcfs::fs {
+
+// The identity performing operations (the "process" driving the FS).
+struct Identity {
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+
+  bool IsRoot() const { return uid == 0; }
+};
+
+// POSIX class selection: owner / group / other bits.
+inline bool PermissionGranted(const InodeAttr& attr, const Identity& who,
+                              std::uint32_t want) {
+  if (who.IsRoot()) {
+    // Root bypasses read/write checks; exec on regular files still needs
+    // at least one x bit, but we don't model exec of regular files.
+    return true;
+  }
+  Mode bits;
+  if (attr.uid == who.uid) {
+    bits = static_cast<Mode>((attr.mode >> 6) & 7);
+  } else if (attr.gid == who.gid) {
+    bits = static_cast<Mode>((attr.mode >> 3) & 7);
+  } else {
+    bits = static_cast<Mode>(attr.mode & 7);
+  }
+  if ((want & kROk) && !(bits & 4)) return false;
+  if ((want & kWOk) && !(bits & 2)) return false;
+  if ((want & kXOk) && !(bits & 1)) return false;
+  return true;
+}
+
+}  // namespace mcfs::fs

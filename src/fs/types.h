@@ -1,0 +1,101 @@
+// Common file-system types: inode attributes, directory entries, open
+// flags, and statfs data. These are the values MCFS's integrity checker
+// compares across file systems after every operation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mcfs::fs {
+
+using InodeNum = std::uint64_t;
+constexpr InodeNum kInvalidInode = 0;
+
+enum class FileType : std::uint8_t {
+  kRegular = 1,
+  kDirectory = 2,
+  kSymlink = 3,
+};
+
+constexpr std::string_view FileTypeName(FileType t) {
+  switch (t) {
+    case FileType::kRegular: return "file";
+    case FileType::kDirectory: return "dir";
+    case FileType::kSymlink: return "symlink";
+  }
+  return "?";
+}
+
+// Permission bits, a subset of POSIX mode_t (we don't model suid/sticky).
+using Mode = std::uint16_t;
+constexpr Mode kModeMask = 0777;
+
+// stat(2)-style attributes. `blocks` is in 512-byte units like st_blocks.
+struct InodeAttr {
+  InodeNum ino = kInvalidInode;
+  FileType type = FileType::kRegular;
+  Mode mode = 0644;
+  std::uint32_t nlink = 1;
+  std::uint32_t uid = 0;
+  std::uint32_t gid = 0;
+  std::uint64_t size = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t atime_ns = 0;
+  std::uint64_t mtime_ns = 0;
+  std::uint64_t ctime_ns = 0;
+
+  friend bool operator==(const InodeAttr&, const InodeAttr&) = default;
+};
+
+struct DirEntry {
+  std::string name;
+  InodeNum ino = kInvalidInode;
+  FileType type = FileType::kRegular;
+
+  friend bool operator==(const DirEntry&, const DirEntry&) = default;
+};
+
+// open(2) flags (bitmask).
+enum OpenFlags : std::uint32_t {
+  kRdOnly = 0x0,
+  kWrOnly = 0x1,
+  kRdWr = 0x2,
+  kAccessModeMask = 0x3,
+  kCreate = 0x40,
+  kExcl = 0x80,
+  kTrunc = 0x200,
+  kAppend = 0x400,
+};
+
+// statfs(2)-style counters; MCFS uses these for free-space equalization.
+struct StatVfs {
+  std::uint64_t block_size = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t free_bytes = 0;
+  std::uint64_t total_inodes = 0;
+  std::uint64_t free_inodes = 0;
+};
+
+// access(2) probe bits.
+enum AccessMode : std::uint32_t {
+  kFOk = 0,
+  kXOk = 1,
+  kWOk = 2,
+  kROk = 4,
+};
+
+// Optional capabilities; the checker only issues ops both file systems
+// support (VeriFS1 deliberately lacks most of these, see paper §5).
+enum class FsFeature {
+  kRename,
+  kHardLink,
+  kSymlink,
+  kAccess,
+  kXattr,
+  kCheckpointRestore,  // the paper's proposed ioctl pair
+};
+
+}  // namespace mcfs::fs

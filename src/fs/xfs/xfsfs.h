@@ -1,0 +1,224 @@
+// xfsf: an extent-based file system with XFS's behavioural traits.
+//
+// Where ext2f/ext4f use per-block pointer maps and bitmaps, xfsf uses:
+//   * inline extent maps — each inode holds up to kMaxExtents
+//     {file_block, disk_block, length} runs, with adjacent-run merging on
+//     allocation (sequential writes stay at one extent);
+//   * a free-extent list (first-fit with coalescing) instead of a bitmap.
+//
+// Traits the paper's evaluation relies on (DESIGN.md §2):
+//   * 16 MB minimum file-system size — the reason the paper used a 16 MB
+//     RAM disk for XFS while ext2/ext4 got 256 KB ones;
+//   * directory sizes reported from active entries, NOT block-rounded —
+//     one half of the §3.4 directory-size false positive;
+//   * no special directories (no lost+found) — the other half of the
+//     "special folders" false positive;
+//   * different metadata overhead, hence different usable capacity on an
+//     identically sized device — the free-space false positive.
+//
+// Layout (4 KB blocks): block 0 superblock; blocks 1-2 free-extent list;
+// blocks 3.. inode table (256-byte inodes); data after.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/filesystem.h"
+#include "fs/mount_state.h"
+#include "fs/perms.h"
+#include "storage/block_device.h"
+
+namespace mcfs::fs {
+
+struct XfsOptions {
+  std::uint32_t block_size = 4096;
+  std::uint32_t inode_count = 128;
+  // Mount performs a log-recovery / allocation-group scan over the
+  // device, read in chunks of this size (0 disables). XFS mounts are
+  // substantially heavier than ext2-family mounts — the reason the
+  // paper's remount ablation helps Ext4-vs-XFS (+70%) far more than
+  // Ext2-vs-Ext4 (+38%).
+  std::uint32_t mount_scan_chunk = 64 * 1024;
+  Identity identity;
+};
+
+class XfsFs final : public FileSystem, public MountStateCapture {
+ public:
+  // Paper §6: "16MB for XFS, which allows a larger minimum file-system
+  // size". Mkfs on anything smaller fails.
+  static constexpr std::uint64_t kMinFsBytes = 16ull * 1024 * 1024;
+
+  XfsFs(storage::BlockDevicePtr device, XfsOptions options = {});
+  ~XfsFs() override;
+
+  Status Mkfs() override;
+  Status Mount() override;
+  Status Unmount() override;
+  bool IsMounted() const override { return mounted_; }
+
+  Result<InodeAttr> GetAttr(const std::string& path) override;
+  Status Mkdir(const std::string& path, Mode mode) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+
+  Result<FileHandle> Open(const std::string& path, std::uint32_t flags,
+                          Mode mode) override;
+  Status Close(FileHandle fh) override;
+  Result<Bytes> Read(FileHandle fh, std::uint64_t offset,
+                     std::uint64_t size) override;
+  Result<std::uint64_t> Write(FileHandle fh, std::uint64_t offset,
+                              ByteView data) override;
+  Status Truncate(const std::string& path, std::uint64_t size) override;
+  Status Fsync(FileHandle fh) override;
+
+  Status Chmod(const std::string& path, Mode mode) override;
+  Status Chown(const std::string& path, std::uint32_t uid,
+               std::uint32_t gid) override;
+  Result<StatVfs> StatFs() override;
+
+  bool Supports(FsFeature feature) const override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Link(const std::string& existing, const std::string& link) override;
+  Status Symlink(const std::string& target, const std::string& link) override;
+  Result<std::string> ReadLink(const std::string& path) override;
+  Status Access(const std::string& path, std::uint32_t mode) override;
+  Status SetXattr(const std::string& path, const std::string& name,
+                  ByteView value) override;
+  Result<Bytes> GetXattr(const std::string& path,
+                         const std::string& name) override;
+  Result<std::vector<std::string>> ListXattr(const std::string& path) override;
+  Status RemoveXattr(const std::string& path, const std::string& name) override;
+
+  std::string TypeName() const override { return "xfsf"; }
+
+  // MountStateCapture: superblock copy, free-extent list, inode-usage map.
+  Result<Bytes> ExportMountState() const override;
+  Status ImportMountState(ByteView image) override;
+
+  // Test/diagnostic access.
+  std::size_t free_extent_count() const { return free_extents_.size(); }
+
+ private:
+  static constexpr std::uint32_t kMagic = 0x58465346;  // "XFSF"
+  static constexpr std::uint32_t kInodeDiskSize = 256;
+  static constexpr std::size_t kMaxExtents = 8;
+  static constexpr InodeNum kRootIno = 1;
+  static constexpr std::uint32_t kFreeListBlocks = 2;
+
+  struct Extent {
+    std::uint32_t file_block = 0;
+    std::uint32_t disk_block = 0;
+    std::uint32_t length = 0;
+  };
+
+  struct Inode {
+    FileType type = FileType::kRegular;
+    Mode mode = 0;
+    std::uint32_t nlink = 0;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::uint64_t size = 0;
+    std::uint64_t atime_ns = 0;
+    std::uint64_t mtime_ns = 0;
+    std::uint64_t ctime_ns = 0;
+    std::uint32_t xattr_block = 0;
+    std::vector<Extent> extents;  // at most kMaxExtents, file_block-sorted
+  };
+
+  struct OpenFile {
+    InodeNum ino = kInvalidInode;
+    std::uint32_t flags = 0;
+  };
+
+  struct RawDirEntry {
+    std::string name;
+    InodeNum ino;
+    FileType type;
+  };
+
+  // ---- raw block I/O (write-through; mount-time caches are the free
+  // list + open handles, which still go stale if the device is restored
+  // underneath — the §3.2 hazard applies here too) ----
+  Result<Bytes> ReadBlockRaw(std::uint32_t block_no);
+  Status WriteBlockRaw(std::uint32_t block_no, ByteView data);
+
+  // ---- allocation (free-extent list, first-fit, coalescing) ----
+  Result<std::uint32_t> AllocBlocks(std::uint32_t count);
+  void FreeBlocks(std::uint32_t start, std::uint32_t count);
+  void CoalesceFreeList();
+  std::uint64_t FreeBlockCount() const;
+  Status PersistFreeList();
+  Status LoadFreeList();
+  std::uint32_t data_region_start() const;
+  std::uint32_t total_blocks() const;
+
+  // ---- inode I/O ----
+  Result<Inode> LoadInode(InodeNum ino);
+  Status StoreInode(InodeNum ino, const Inode& inode);
+  Result<InodeNum> AllocInode();
+  void FreeInodeSlot(InodeNum ino);
+
+  // ---- extent mapping ----
+  // Disk block backing file block `fb`, or 0 for a hole.
+  std::uint32_t MapBlock(const Inode& inode, std::uint32_t fb) const;
+  // Allocates a block for `fb` if unmapped, merging into an adjacent
+  // extent when physically contiguous. EFBIG once kMaxExtents is hit.
+  Result<std::uint32_t> MapBlockAlloc(Inode& inode, std::uint32_t fb);
+  Status FreeFileBlocksFrom(Inode& inode, std::uint32_t from_fb);
+
+  // ---- data I/O ----
+  Result<Bytes> ReadInodeData(const Inode& inode, std::uint64_t offset,
+                              std::uint64_t size);
+  Result<std::uint64_t> WriteInodeData(Inode& inode, std::uint64_t offset,
+                                       ByteView data);
+  Status TruncateInode(Inode& inode, std::uint64_t new_size);
+
+  // ---- directories / paths ----
+  Result<std::vector<RawDirEntry>> LoadDir(InodeNum ino);
+  Status StoreDir(InodeNum ino, Inode& inode,
+                  const std::vector<RawDirEntry>& entries);
+  struct Resolved {
+    InodeNum ino;
+    Inode inode;
+  };
+  Result<Resolved> ResolvePath(const std::string& path);
+  struct ResolvedParent {
+    InodeNum parent_ino;
+    Inode parent;
+    std::string name;
+  };
+  Result<ResolvedParent> ResolveParent(const std::string& path);
+
+  // ---- helpers ----
+  std::uint64_t NowNs() { return ++op_counter_ * 1000; }
+  InodeAttr ToAttr(InodeNum ino, const Inode& inode) const;
+  Result<InodeNum> CreateNode(const std::string& path, FileType type,
+                              Mode mode, const std::string& symlink_target);
+  Status RemoveNode(const std::string& path, bool want_dir);
+  Status DropInodeStorage(Inode& inode, InodeNum ino);
+
+  using XattrMap = std::map<std::string, Bytes>;
+  Result<XattrMap> LoadXattrs(const Inode& inode);
+  Status StoreXattrs(Inode& inode, const XattrMap& xattrs);
+
+  storage::BlockDevicePtr device_;
+  XfsOptions options_;
+  bool mounted_ = false;
+
+  struct Superblock {
+    std::uint32_t magic = 0;
+    std::uint32_t block_size = 0;
+    std::uint32_t total_blocks = 0;
+    std::uint32_t inode_count = 0;
+  };
+  Superblock sb_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> free_extents_;
+  std::vector<bool> inode_used_;
+  std::unordered_map<FileHandle, OpenFile> open_files_;
+  FileHandle next_handle_ = 1;
+  std::uint64_t op_counter_ = 0;
+};
+
+}  // namespace mcfs::fs

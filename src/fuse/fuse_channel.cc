@@ -1,0 +1,49 @@
+#include "fuse/fuse_channel.h"
+
+#include <utility>
+
+namespace mcfs::fuse {
+
+FuseChannel::FuseChannel(SimClock* clock, SimClock::Nanos crossing_cost,
+                         SimClock::Nanos copy_cost_per_kb, bool char_device,
+                         std::string endpoint)
+    : clock_(clock),
+      crossing_cost_(crossing_cost),
+      copy_cost_per_kb_(copy_cost_per_kb),
+      char_device_(char_device),
+      endpoint_(std::move(endpoint)) {}
+
+void FuseChannel::SetRequestHandler(RequestHandler handler) {
+  request_handler_ = std::move(handler);
+}
+
+void FuseChannel::SetNotifyHandler(NotifyHandler handler) {
+  notify_handler_ = std::move(handler);
+}
+
+void FuseChannel::Charge(std::uint64_t bytes) {
+  if (clock_ == nullptr) return;
+  clock_->Advance(crossing_cost_ +
+                  (bytes + 1023) / 1024 * copy_cost_per_kb_);
+}
+
+Result<Bytes> FuseChannel::Transact(ByteView request) {
+  if (!request_handler_) return Errno::kENXIO;  // connection gone
+  ++stats_.requests;
+  stats_.bytes_up += request.size();
+  Charge(request.size());  // kernel -> user crossing
+  Bytes reply = request_handler_(request);
+  stats_.bytes_down += reply.size();
+  Charge(reply.size());  // user -> kernel crossing
+  return reply;
+}
+
+void FuseChannel::Notify(ByteView notification) {
+  if (!notify_handler_) return;
+  ++stats_.notifications;
+  stats_.bytes_down += notification.size();
+  Charge(notification.size());
+  notify_handler_(notification);
+}
+
+}  // namespace mcfs::fuse

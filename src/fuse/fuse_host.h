@@ -1,0 +1,52 @@
+// The user-space side of the FUSE pair: a "daemon process" hosting a
+// FileSystem implementation (VeriFS in the paper) behind the /dev/fuse
+// channel. It decodes requests, invokes the hosted file system, and
+// encodes replies; it also implements KernelNotifier by pushing reverse
+// notifications through the channel.
+//
+// For the CRIU experiment (paper §5) the host exposes the process
+// metadata a checkpointing tool would inspect: it holds an open handle to
+// a character device (the FUSE channel), which makes CRIU refuse it.
+#pragma once
+
+#include <memory>
+
+#include "fs/checkpointable.h"
+#include "fs/filesystem.h"
+#include "fs/kernel_notifier.h"
+#include "fuse/fuse_channel.h"
+
+namespace mcfs::fuse {
+
+class FuseHost final : public fs::KernelNotifier {
+ public:
+  // Attaches the host to `channel` as its request handler. The hosted
+  // file system may additionally implement fs::CheckpointableFs, in which
+  // case the ioctl opcodes are serviced.
+  FuseHost(fs::FileSystemPtr hosted, FuseChannel* channel);
+
+  // KernelNotifier (wired to hosted VeriFS instances so their restores
+  // can invalidate kernel caches).
+  void InvalEntry(const std::string& parent_path,
+                  const std::string& name) override;
+  void InvalInode(fs::InodeNum ino) override;
+
+  // What a process snapshotter sees.
+  bool holds_char_device_handle() const { return channel_ != nullptr; }
+  const char* held_device_path() const { return channel_->device_path(); }
+  // Approximate resident state of the daemon (for snapshot sizing).
+  std::uint64_t EstimateResidentBytes() const;
+
+  fs::FileSystem& hosted() { return *hosted_; }
+
+ private:
+  Bytes Handle(ByteView request);
+  static Bytes ErrorReply(Errno err);
+  static ByteWriter OkReply();
+
+  fs::FileSystemPtr hosted_;
+  fs::CheckpointableFs* checkpointable_;  // nullptr if not supported
+  FuseChannel* channel_;
+};
+
+}  // namespace mcfs::fuse

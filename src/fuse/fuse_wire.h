@@ -1,0 +1,58 @@
+// Shared marshaling helpers for the FUSE wire protocol (attr and statfs
+// records appear in several replies).
+#pragma once
+
+#include "fs/types.h"
+#include "util/bytes.h"
+
+namespace mcfs::fuse {
+
+inline void WriteAttr(ByteWriter& w, const fs::InodeAttr& attr) {
+  w.PutU64(attr.ino);
+  w.PutU8(static_cast<std::uint8_t>(attr.type));
+  w.PutU16(attr.mode);
+  w.PutU32(attr.nlink);
+  w.PutU32(attr.uid);
+  w.PutU32(attr.gid);
+  w.PutU64(attr.size);
+  w.PutU64(attr.blocks);
+  w.PutU64(attr.atime_ns);
+  w.PutU64(attr.mtime_ns);
+  w.PutU64(attr.ctime_ns);
+}
+
+inline fs::InodeAttr ReadAttr(ByteReader& r) {
+  fs::InodeAttr attr;
+  attr.ino = r.GetU64();
+  attr.type = static_cast<fs::FileType>(r.GetU8());
+  attr.mode = r.GetU16();
+  attr.nlink = r.GetU32();
+  attr.uid = r.GetU32();
+  attr.gid = r.GetU32();
+  attr.size = r.GetU64();
+  attr.blocks = r.GetU64();
+  attr.atime_ns = r.GetU64();
+  attr.mtime_ns = r.GetU64();
+  attr.ctime_ns = r.GetU64();
+  return attr;
+}
+
+inline void WriteStatVfs(ByteWriter& w, const fs::StatVfs& sv) {
+  w.PutU64(sv.block_size);
+  w.PutU64(sv.total_bytes);
+  w.PutU64(sv.free_bytes);
+  w.PutU64(sv.total_inodes);
+  w.PutU64(sv.free_inodes);
+}
+
+inline fs::StatVfs ReadStatVfs(ByteReader& r) {
+  fs::StatVfs sv;
+  sv.block_size = r.GetU64();
+  sv.total_bytes = r.GetU64();
+  sv.free_bytes = r.GetU64();
+  sv.total_inodes = r.GetU64();
+  sv.free_inodes = r.GetU64();
+  return sv;
+}
+
+}  // namespace mcfs::fuse

@@ -1,0 +1,44 @@
+// Bitstate (supertrace) hashing, Spin-style.
+//
+// When the full visited table cannot fit in memory, Spin's -DBITSTATE
+// mode stores k hash-derived bits per state instead of the state digest.
+// Membership answers can false-positive (a genuinely new state looks
+// visited), trading completeness for memory — the standard big-state-
+// space fallback the paper's swarm mode builds on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/md5.h"
+
+namespace mcfs::mc {
+
+class BitstateFilter {
+ public:
+  // `bits` must be a power of two. k is the number of probe bits per
+  // state (Spin's default is 2, hence "double-bit hashing").
+  explicit BitstateFilter(std::uint64_t bits = 1ull << 20, int k = 2);
+
+  // Marks the state visited. Returns true if it was (apparently) new —
+  // i.e., at least one of its probe bits was previously unset.
+  bool Insert(const Md5Digest& digest);
+
+  bool MaybeContains(const Md5Digest& digest) const;
+
+  std::uint64_t bits() const { return bit_count_; }
+  std::uint64_t bits_set() const { return bits_set_; }
+  std::uint64_t bytes_used() const { return words_.size() * 8; }
+  // Expected false-positive probability at the current fill level.
+  double EstimatedFalsePositiveRate() const;
+
+ private:
+  std::uint64_t Probe(const Md5Digest& digest, int which) const;
+
+  std::uint64_t bit_count_;
+  int k_;
+  std::vector<std::uint64_t> words_;
+  std::uint64_t bits_set_ = 0;
+};
+
+}  // namespace mcfs::mc

@@ -1,0 +1,298 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <numeric>
+#include <vector>
+
+namespace mcfs::mc {
+
+namespace {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+Explorer::Explorer(System& system, ExplorerOptions options)
+    : system_(system),
+      options_(options),
+      visited_(1024),
+      rng_(options.seed) {
+  if (options_.use_bitstate) {
+    bitstate_.emplace(options_.bitstate_bits);
+  }
+  if (options_.resume_visited != nullptr) {
+    auto resumed = VisitedTable::Deserialize(*options_.resume_visited);
+    if (resumed.ok()) visited_ = std::move(resumed).value();
+  }
+}
+
+void Explorer::AccountMemory() {
+  if (options_.memory == nullptr) return;
+  const std::uint64_t table_bytes =
+      options_.use_bitstate ? bitstate_->bytes_used() : visited_.bytes_used();
+  (void)options_.memory->SetUsage(table_bytes + stored_state_bytes_);
+}
+
+bool Explorer::RecordState(const Md5Digest& digest) {
+  bool is_new;
+  if (options_.use_bitstate) {
+    is_new = bitstate_->Insert(digest);
+  } else {
+    const VisitedTable::InsertResult r = visited_.Insert(digest);
+    if (r.resized && options_.clock != nullptr) {
+      // The resize stall of Figure 3: exploration pauses while every
+      // stored digest is rehashed into the doubled table.
+      options_.clock->Advance(r.rehashed * options_.rehash_cost_per_entry);
+    }
+    is_new = r.inserted;
+  }
+  if (is_new) {
+    ++stats_.unique_states;
+    // Spin retains per-state restore information; account for it even in
+    // modes that do not keep the bytes live (the memory pressure is what
+    // Figure 3 measures).
+    stored_state_bytes_ += system_.ConcreteStateBytes();
+  } else {
+    ++stats_.revisits;
+  }
+  AccountMemory();
+  return is_new;
+}
+
+void Explorer::MaybeSample() {
+  if (!options_.progress_callback || options_.progress_interval_ops == 0) {
+    return;
+  }
+  if (stats_.operations % options_.progress_interval_ops != 0) return;
+  ProgressSample sample;
+  sample.operations = stats_.operations;
+  sample.sim_seconds =
+      options_.clock != nullptr ? options_.clock->seconds() : 0;
+  sample.unique_states = stats_.unique_states;
+  sample.swap_used_bytes =
+      options_.memory != nullptr ? options_.memory->swap_used() : 0;
+  sample.table_resizes = visited_.resize_count();
+  options_.progress_callback(sample);
+}
+
+ExploreStats Explorer::Run() {
+  stats_ = ExploreStats{};
+  stored_state_bytes_ = 0;
+  const double sim_start =
+      options_.clock != nullptr ? options_.clock->seconds() : 0;
+  WallTimer timer;
+
+  switch (options_.mode) {
+    case SearchMode::kDfs:
+      stats_ = RunDfs();
+      break;
+    case SearchMode::kRandomWalk:
+      stats_ = RunRandomWalk();
+      break;
+  }
+
+  stats_.wall_seconds = timer.seconds();
+  stats_.sim_seconds =
+      (options_.clock != nullptr ? options_.clock->seconds() : 0) - sim_start;
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Depth-first search with backtracking
+
+ExploreStats Explorer::RunDfs() {
+  struct Frame {
+    SnapshotId snapshot;
+    std::vector<std::size_t> order;  // randomized action order
+    std::size_t next = 0;
+    // True while the system's live state equals this frame's state, so
+    // the first child needs no restore.
+    bool state_current = true;
+  };
+
+  RecordState(system_.AbstractHash());
+
+  auto make_order = [this]() {
+    std::vector<std::size_t> order(system_.ActionCount());
+    std::iota(order.begin(), order.end(), 0);
+    // Fisher-Yates with the seeded RNG: different seeds diversify the
+    // exploration order (the lever swarm verification pulls).
+    for (std::size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.Below(i)]);
+    }
+    return order;
+  };
+
+  std::vector<Frame> stack;
+  auto root_snap = system_.SaveConcrete();
+  if (!root_snap.ok()) {
+    stats_.violation_report = "SaveConcrete failed at root";
+    return stats_;
+  }
+  ++stats_.snapshots_taken;
+  stack.push_back(Frame{root_snap.value(), make_order(), 0, true});
+
+  auto collect_trail = [&stack, this]() {
+    std::vector<std::string> trail;
+    for (const Frame& f : stack) {
+      if (f.next > 0) trail.push_back(system_.ActionName(f.order[f.next - 1]));
+    }
+    return trail;
+  };
+
+  while (!stack.empty()) {
+    if (stats_.operations >= options_.max_operations) break;
+    Frame& frame = stack.back();
+
+    if (frame.next == frame.order.size()) {
+      // Subtree exhausted: drop this node's snapshot and return to the
+      // parent's state.
+      (void)system_.DiscardConcrete(frame.snapshot);
+      stack.pop_back();
+      if (!stack.empty()) {
+        (void)system_.RestoreConcrete(stack.back().snapshot);
+        if (options_.memory != nullptr) {
+          options_.memory->Touch(system_.ConcreteStateBytes());
+        }
+        ++stats_.backtracks;
+        stack.back().state_current = true;
+      }
+      continue;
+    }
+
+    if (!frame.state_current) {
+      if (Status s = system_.RestoreConcrete(frame.snapshot); !s.ok()) {
+        stats_.violation_report = "RestoreConcrete failed mid-search";
+        break;
+      }
+      if (options_.memory != nullptr) {
+        options_.memory->Touch(system_.ConcreteStateBytes());
+      }
+      ++stats_.backtracks;
+    }
+    frame.state_current = false;
+
+    const std::size_t action = frame.order[frame.next++];
+    if (Status s = system_.ApplyAction(action); !s.ok()) {
+      stats_.violation_found = true;
+      stats_.violation_report =
+          "checker infrastructure failure applying action: " +
+          system_.ActionName(action);
+      stats_.violation_trail = collect_trail();
+      break;
+    }
+    ++stats_.operations;
+    MaybeSample();
+
+    if (system_.violation_detected()) {
+      stats_.violation_found = true;
+      stats_.violation_report = system_.violation_report();
+      stats_.violation_trail = collect_trail();
+      break;
+    }
+
+    const bool is_new = RecordState(system_.AbstractHash());
+    if (is_new && stack.size() < options_.max_depth) {
+      auto snap = system_.SaveConcrete();
+      if (!snap.ok()) {
+        stats_.violation_report = "SaveConcrete failed mid-search";
+        break;
+      }
+      ++stats_.snapshots_taken;
+      stats_.max_depth_reached =
+          std::max<std::uint64_t>(stats_.max_depth_reached, stack.size());
+      stack.push_back(Frame{snap.value(), make_order(), 0, true});
+    }
+    // On a revisit (or at the depth bound) the loop simply continues;
+    // the next iteration restores this frame's snapshot.
+  }
+
+  // Unwind any remaining snapshots.
+  for (const auto& frame : stack) {
+    (void)system_.DiscardConcrete(frame.snapshot);
+  }
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Long random walk with revisit backtracking
+
+ExploreStats Explorer::RunRandomWalk() {
+  RecordState(system_.AbstractHash());
+
+  auto frontier = system_.SaveConcrete();
+  if (!frontier.ok()) {
+    stats_.violation_report = "SaveConcrete failed at root";
+    return stats_;
+  }
+  ++stats_.snapshots_taken;
+  SnapshotId frontier_snap = frontier.value();
+
+  std::deque<std::string> trail;
+  constexpr std::size_t kTrailCap = 128;
+
+  while (stats_.operations < options_.max_operations) {
+    const std::size_t count = system_.ActionCount();
+    if (count == 0) break;
+    const auto action = static_cast<std::size_t>(rng_.Below(count));
+
+    if (Status s = system_.ApplyAction(action); !s.ok()) {
+      stats_.violation_found = true;
+      stats_.violation_report =
+          "checker infrastructure failure applying action: " +
+          system_.ActionName(action);
+      break;
+    }
+    ++stats_.operations;
+    trail.push_back(system_.ActionName(action));
+    if (trail.size() > kTrailCap) trail.pop_front();
+    MaybeSample();
+
+    if (system_.violation_detected()) {
+      stats_.violation_found = true;
+      stats_.violation_report = system_.violation_report();
+      stats_.violation_trail.assign(trail.begin(), trail.end());
+      break;
+    }
+
+    if (RecordState(system_.AbstractHash())) {
+      // New frontier: advance the rolling snapshot.
+      (void)system_.DiscardConcrete(frontier_snap);
+      auto snap = system_.SaveConcrete();
+      if (!snap.ok()) {
+        stats_.violation_report = "SaveConcrete failed mid-walk";
+        break;
+      }
+      ++stats_.snapshots_taken;
+      frontier_snap = snap.value();
+    } else {
+      // Already-seen abstract state: backtrack to the frontier, as Spin
+      // does when a transition closes a cycle.
+      if (Status s = system_.RestoreConcrete(frontier_snap); !s.ok()) {
+        stats_.violation_report = "RestoreConcrete failed mid-walk";
+        break;
+      }
+      if (options_.memory != nullptr) {
+        options_.memory->Touch(system_.ConcreteStateBytes());
+      }
+      ++stats_.backtracks;
+    }
+  }
+  (void)system_.DiscardConcrete(frontier_snap);
+  return stats_;
+}
+
+}  // namespace mcfs::mc

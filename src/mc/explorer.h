@@ -1,0 +1,97 @@
+// The state-space explorer: the Spin-shaped heart of MCFS.
+//
+// Two search modes:
+//   * kDfs — bounded-depth depth-first search with backtracking, Spin's
+//     default. Every node's concrete state is saved; siblings are
+//     explored by restoring it; abstract-state matching prunes revisits.
+//     Within the depth/op bounds the search is exhaustive: every
+//     permutation of the bounded action set is covered (paper §2).
+//   * kRandomWalk — a long nondeterministic walk that backtracks to the
+//     last frontier state when it re-enters a visited abstract state.
+//     This is the mode the paper's multi-day runs use (Figure 3).
+//
+// The explorer is deterministic given a seed; a violation comes with the
+// action trail that reaches it, which is how the paper reproduces bugs
+// ("Spin logs the precise sequence of operations", §2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "mc/bitstate.h"
+#include "mc/hash_table.h"
+#include "mc/memory_model.h"
+#include "mc/state.h"
+#include "util/rng.h"
+#include "util/sim_clock.h"
+
+namespace mcfs::mc {
+
+enum class SearchMode { kDfs, kRandomWalk };
+
+// Periodic sample for long-run instrumentation (Figure 3's time series).
+struct ProgressSample {
+  std::uint64_t operations = 0;
+  double sim_seconds = 0;
+  std::uint64_t unique_states = 0;
+  std::uint64_t swap_used_bytes = 0;
+  std::uint64_t table_resizes = 0;
+};
+
+struct ExplorerOptions {
+  SearchMode mode = SearchMode::kDfs;
+  std::uint64_t max_operations = 100'000;
+  std::uint32_t max_depth = 6;
+  std::uint64_t seed = 1;
+  // Bitstate (supertrace) mode trades completeness for memory.
+  bool use_bitstate = false;
+  std::uint64_t bitstate_bits = 1ull << 22;
+  // Optional instrumentation.
+  SimClock* clock = nullptr;        // for sim-time stats and resize stalls
+  MemoryModel* memory = nullptr;    // RAM/swap accounting
+  // Cost of rehashing one entry during a visited-table resize.
+  SimClock::Nanos rehash_cost_per_entry = 150;
+  std::function<void(const ProgressSample&)> progress_callback;
+  std::uint64_t progress_interval_ops = 0;  // 0 = no sampling
+  // Resume support (paper §7: "checkpoint file system states to help us
+  // resume the model-checking process if an interruption occurs"): a
+  // visited-table image from a previous run's ExportCheckpoint(). States
+  // already explored then are not re-counted or re-expanded.
+  const Bytes* resume_visited = nullptr;
+};
+
+class Explorer {
+ public:
+  Explorer(System& system, ExplorerOptions options);
+
+  // Runs the search to completion (bounds reached, space exhausted, or
+  // violation found) and returns the statistics.
+  ExploreStats Run();
+
+  // Snapshot of the visited set, feedable to a later run's
+  // `resume_visited` (not available in bitstate mode).
+  Bytes ExportCheckpoint() const { return visited_.Serialize(); }
+
+  const VisitedTable& visited() const { return visited_; }
+
+ private:
+  ExploreStats RunDfs();
+  ExploreStats RunRandomWalk();
+
+  // Inserts into whichever visited structure is active; returns whether
+  // the state is new and charges resize/memory costs.
+  bool RecordState(const Md5Digest& digest);
+  void AccountMemory();
+  void MaybeSample();
+
+  System& system_;
+  ExplorerOptions options_;
+  VisitedTable visited_;
+  std::optional<BitstateFilter> bitstate_;
+  Rng rng_;
+  ExploreStats stats_;
+  std::uint64_t stored_state_bytes_ = 0;
+};
+
+}  // namespace mcfs::mc

@@ -1,0 +1,89 @@
+#include "mc/hash_table.h"
+
+#include <bit>
+
+namespace mcfs::mc {
+
+VisitedTable::VisitedTable(std::size_t initial_capacity) {
+  slots_.resize(std::bit_ceil(std::max<std::size_t>(initial_capacity, 16)));
+}
+
+std::size_t VisitedTable::ProbeStart(const Md5Digest& digest,
+                                     std::size_t modulus) const {
+  return static_cast<std::size_t>(digest.lo64()) & (modulus - 1);
+}
+
+std::uint64_t VisitedTable::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  std::uint64_t moved = 0;
+  for (const Slot& slot : old) {
+    if (!slot.occupied) continue;
+    std::size_t i = ProbeStart(slot.digest, slots_.size());
+    while (slots_[i].occupied) i = (i + 1) & (slots_.size() - 1);
+    slots_[i] = slot;
+    ++moved;
+  }
+  ++resize_count_;
+  return moved;
+}
+
+VisitedTable::InsertResult VisitedTable::Insert(const Md5Digest& digest) {
+  InsertResult result{false, false, 0};
+  // Resize at 70% load to keep probe chains short.
+  if ((size_ + 1) * 10 > slots_.size() * 7) {
+    result.resized = true;
+    result.rehashed = Grow();
+  }
+  std::size_t i = ProbeStart(digest, slots_.size());
+  while (slots_[i].occupied) {
+    if (slots_[i].digest == digest) return result;  // already present
+    i = (i + 1) & (slots_.size() - 1);
+  }
+  slots_[i].digest = digest;
+  slots_[i].occupied = true;
+  ++size_;
+  result.inserted = true;
+  return result;
+}
+
+bool VisitedTable::Contains(const Md5Digest& digest) const {
+  std::size_t i = ProbeStart(digest, slots_.size());
+  while (slots_[i].occupied) {
+    if (slots_[i].digest == digest) return true;
+    i = (i + 1) & (slots_.size() - 1);
+  }
+  return false;
+}
+
+std::uint64_t VisitedTable::bytes_used() const {
+  return slots_.size() * sizeof(Slot) + sizeof(*this);
+}
+
+Bytes VisitedTable::Serialize() const {
+  ByteWriter w;
+  w.PutU64(size_);
+  ForEach([&w](const Md5Digest& digest) {
+    w.PutBytes(ByteView(digest.bytes.data(), digest.bytes.size()));
+  });
+  return w.Take();
+}
+
+Result<VisitedTable> VisitedTable::Deserialize(ByteView image) {
+  try {
+    ByteReader r(image);
+    const std::uint64_t count = r.GetU64();
+    VisitedTable table(static_cast<std::size_t>(count * 2 + 16));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Md5Digest digest;
+      ByteView raw = r.GetBytes(16);
+      std::copy(raw.begin(), raw.end(), digest.bytes.begin());
+      table.Insert(digest);
+    }
+    return table;
+  } catch (const std::out_of_range&) {
+    return Errno::kEINVAL;
+  }
+}
+
+}  // namespace mcfs::mc

@@ -1,0 +1,47 @@
+#include "mc/memory_model.h"
+
+#include <algorithm>
+
+namespace mcfs::mc {
+
+MemoryModel::MemoryModel(SimClock* clock, MemoryModelOptions options)
+    : clock_(clock), options_(options) {}
+
+Status MemoryModel::SetUsage(std::uint64_t bytes) {
+  if (bytes > options_.ram_bytes + options_.swap_bytes) {
+    return Errno::kENOMEM;
+  }
+  if (bytes > usage_) {
+    const std::uint64_t old_swap = swap_used();
+    const std::uint64_t new_swap =
+        bytes > options_.ram_bytes ? bytes - options_.ram_bytes : 0;
+    if (new_swap > old_swap) {
+      // Newly spilled bytes must be written out.
+      const std::uint64_t spilled = new_swap - old_swap;
+      Charge((spilled + (1 << 20) - 1) / (1 << 20) *
+             options_.swap_out_cost_per_mb);
+      ++swap_faults_;
+    }
+  }
+  usage_ = bytes;
+  return Status::Ok();
+}
+
+void MemoryModel::SetLocality(double locality) {
+  locality_ = std::clamp(locality, 0.0, 1.0);
+}
+
+void MemoryModel::Touch(std::uint64_t bytes) {
+  if (usage_ == 0 || swap_used() == 0 || bytes == 0) return;
+  const double swap_fraction =
+      static_cast<double>(swap_used()) / static_cast<double>(usage_);
+  const double miss_fraction = (1.0 - locality_) * swap_fraction;
+  const auto swapped_in =
+      static_cast<std::uint64_t>(static_cast<double>(bytes) * miss_fraction);
+  if (swapped_in == 0) return;
+  Charge((swapped_in + (1 << 20) - 1) / (1 << 20) *
+         options_.swap_in_cost_per_mb);
+  ++swap_faults_;
+}
+
+}  // namespace mcfs::mc

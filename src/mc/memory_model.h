@@ -1,0 +1,69 @@
+// RAM/swap accounting for the model checker.
+//
+// The paper ran on 64 GB of RAM with 128 GB of swap; Figure 3's two-week
+// trace is dominated by memory-system behaviour: the visited-table resize
+// stall, the slow decay once checkpointed states spill into swap, and a
+// late rebound when the working set happens to be RAM-resident. This
+// model reproduces those effects at laptop scale: callers report their
+// allocation totals and access patterns; the model charges simulated
+// time for the fraction served from swap.
+#pragma once
+
+#include <cstdint>
+
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace mcfs::mc {
+
+struct MemoryModelOptions {
+  std::uint64_t ram_bytes = 64ull << 30;
+  std::uint64_t swap_bytes = 128ull << 30;
+  // Cost of faulting one MB in from swap (SSD-backed swap, as the paper's
+  // hypervisor used).
+  SimClock::Nanos swap_in_cost_per_mb = 2'000'000;  // 2 ms/MB
+  // Cost of writing one MB out to swap.
+  SimClock::Nanos swap_out_cost_per_mb = 2'000'000;
+};
+
+class MemoryModel {
+ public:
+  // `clock` may be null (pure accounting).
+  MemoryModel(SimClock* clock, MemoryModelOptions options = {});
+
+  // Registers the checker's current total allocation (visited table +
+  // stored snapshots). Growth beyond RAM charges swap-out time for the
+  // newly spilled bytes; ENOMEM once RAM+swap is exhausted.
+  Status SetUsage(std::uint64_t bytes);
+
+  // Models touching `bytes` of previously stored data (e.g., restoring a
+  // concrete snapshot). The expected swapped-in fraction is
+  // (1 - locality) * swap_used / total_used; locality expresses how
+  // RAM-resident the recent working set is (paper: the day-13..14 rebound
+  // happened "because the RAM hit rate was high").
+  void Touch(std::uint64_t bytes);
+
+  // Locality in [0, 1]; 0 = uniform access over all stored state,
+  // 1 = fully RAM-resident working set.
+  void SetLocality(double locality);
+
+  std::uint64_t usage() const { return usage_; }
+  std::uint64_t swap_used() const {
+    return usage_ > options_.ram_bytes ? usage_ - options_.ram_bytes : 0;
+  }
+  std::uint64_t ram_bytes() const { return options_.ram_bytes; }
+  std::uint64_t swap_faults() const { return swap_faults_; }
+
+ private:
+  void Charge(SimClock::Nanos ns) {
+    if (clock_ != nullptr) clock_->Advance(ns);
+  }
+
+  SimClock* clock_;
+  MemoryModelOptions options_;
+  std::uint64_t usage_ = 0;
+  std::uint64_t swap_faults_ = 0;
+  double locality_ = 0.0;
+};
+
+}  // namespace mcfs::mc

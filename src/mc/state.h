@@ -1,0 +1,81 @@
+// The model checker's view of a system under test.
+//
+// MCFS uses Spin; this library implements the subset of Spin's machinery
+// the paper relies on (DESIGN.md §2): nondeterministic choice over a
+// bounded action set, abstract-state matching (c_track with a hashed
+// abstract state, §3.3), and concrete-state save/restore for backtracking.
+//
+// A System is the bridge: the mcfs syscall engine implements it over a
+// pair of file systems, but the checker itself is domain-agnostic —
+// anything with bounded actions, an abstraction function, and
+// checkpoint/restore can be explored (the paper's §7 notes the approach
+// generalizes beyond file systems).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/md5.h"
+#include "util/result.h"
+
+namespace mcfs::mc {
+
+// Identifier of a saved concrete state (System-internal meaning).
+using SnapshotId = std::uint64_t;
+
+class System {
+ public:
+  virtual ~System() = default;
+
+  // Number of enabled actions in the current state. MCFS's bounded
+  // parameter pools make this a fixed, enumerable set.
+  virtual std::size_t ActionCount() const = 0;
+
+  // Human-readable action description (for trails and logs).
+  virtual std::string ActionName(std::size_t action) const = 0;
+
+  // Executes action `action` in the current state. Returns EIO-class
+  // errors only for checker-infrastructure failures; file-system errors
+  // (ENOENT, ENOSPC, ...) are part of the explored behaviour, not
+  // failures. After the call, check violation_detected().
+  virtual Status ApplyAction(std::size_t action) = 0;
+
+  // True if the last ApplyAction uncovered a discrepancy between the
+  // file systems under test.
+  virtual bool violation_detected() const = 0;
+  virtual std::string violation_report() const = 0;
+
+  // The abstraction function (paper Algorithm 1): a 128-bit digest of the
+  // current state, excluding noisy attributes.
+  virtual Md5Digest AbstractHash() = 0;
+
+  // Concrete-state checkpointing for backtracking. RestoreConcrete must
+  // be NON-consuming: the explorer restores the same snapshot once per
+  // remaining sibling during DFS. (VeriFS's ioctl_RESTORE discards its
+  // snapshot, paper §5 — the syscall engine re-arms it to satisfy this
+  // contract.) DiscardConcrete releases the snapshot.
+  virtual Result<SnapshotId> SaveConcrete() = 0;
+  virtual Status RestoreConcrete(SnapshotId id) = 0;
+  virtual Status DiscardConcrete(SnapshotId id) = 0;
+
+  // Bytes held by one saved concrete state (for the memory model).
+  virtual std::uint64_t ConcreteStateBytes() const = 0;
+};
+
+// Counters every exploration produces (benches print these).
+struct ExploreStats {
+  std::uint64_t operations = 0;       // actions applied (incl. revisits)
+  std::uint64_t unique_states = 0;    // abstract states inserted
+  std::uint64_t revisits = 0;         // matched an already-seen state
+  std::uint64_t backtracks = 0;       // concrete restores performed
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t max_depth_reached = 0;
+  bool violation_found = false;
+  std::string violation_report;
+  std::vector<std::string> violation_trail;  // action names from the root
+  double sim_seconds = 0;   // simulated time consumed
+  double wall_seconds = 0;  // host time consumed
+};
+
+}  // namespace mcfs::mc

@@ -1,0 +1,54 @@
+#include "mc/swarm.h"
+
+#include <thread>
+#include <unordered_set>
+
+namespace mcfs::mc {
+
+Swarm::Swarm(SwarmOptions options) : options_(std::move(options)) {}
+
+SwarmResult Swarm::Run(const SwarmFactory& factory) {
+  const int n = options_.workers;
+  std::vector<std::unique_ptr<SwarmInstance>> instances(n);
+  std::vector<std::unique_ptr<Explorer>> explorers(n);
+  std::vector<ExploreStats> stats(n);
+
+  for (int i = 0; i < n; ++i) {
+    instances[i] = factory(i);
+    ExplorerOptions opts = options_.base;
+    opts.seed = options_.base_seed + static_cast<std::uint64_t>(i);
+    opts.clock = instances[i]->clock();
+    explorers[i] =
+        std::make_unique<Explorer>(instances[i]->system(), opts);
+  }
+
+  if (options_.run_parallel) {
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      threads.emplace_back(
+          [&explorers, &stats, i]() { stats[i] = explorers[i]->Run(); });
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    for (int i = 0; i < n; ++i) stats[i] = explorers[i]->Run();
+  }
+
+  SwarmResult result;
+  result.per_worker = stats;
+  std::unordered_set<Md5Digest> merged;
+  for (int i = 0; i < n; ++i) {
+    result.total_operations += stats[i].operations;
+    result.summed_unique_states += stats[i].unique_states;
+    explorers[i]->visited().ForEach(
+        [&merged](const Md5Digest& digest) { merged.insert(digest); });
+    if (stats[i].violation_found && !result.any_violation) {
+      result.any_violation = true;
+      result.first_violation_report = stats[i].violation_report;
+    }
+  }
+  result.merged_unique_states = merged.size();
+  return result;
+}
+
+}  // namespace mcfs::mc

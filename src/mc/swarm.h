@@ -1,0 +1,62 @@
+// Swarm verification (Holzmann, Joshi, Groce): many independent
+// verifiers, each with a different seed (hence a different exploration
+// order) and typically bitstate hashing, run in parallel and jointly
+// cover far more of a large state space than one exhaustive search could.
+// The paper chose Spin partly for this capability (§2) and plans to lean
+// on it for larger spaces (§7).
+//
+// Workers are fully independent — separate System instances, separate
+// clocks, separate visited structures — matching Spin swarm's
+// share-nothing design; coverage is merged afterwards.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mc/explorer.h"
+
+namespace mcfs::mc {
+
+// A self-contained bundle: the System plus the clock it charges.
+// Factories build one per worker so workers never share mutable state.
+class SwarmInstance {
+ public:
+  virtual ~SwarmInstance() = default;
+  virtual System& system() = 0;
+  virtual SimClock* clock() = 0;
+};
+
+using SwarmFactory = std::function<std::unique_ptr<SwarmInstance>(int)>;
+
+struct SwarmOptions {
+  int workers = 4;
+  // Per-worker explorer settings; seed and clock are overridden per
+  // worker (seed = base_seed + worker index).
+  ExplorerOptions base;
+  std::uint64_t base_seed = 1;
+  bool run_parallel = true;  // false = sequential (deterministic tests)
+};
+
+struct SwarmResult {
+  std::vector<ExploreStats> per_worker;
+  // Union of abstract states across workers (overlap removed).
+  std::uint64_t merged_unique_states = 0;
+  // Sum of per-worker unique states (>= merged; the gap is overlap).
+  std::uint64_t summed_unique_states = 0;
+  std::uint64_t total_operations = 0;
+  bool any_violation = false;
+  std::string first_violation_report;
+};
+
+class Swarm {
+ public:
+  explicit Swarm(SwarmOptions options);
+
+  SwarmResult Run(const SwarmFactory& factory);
+
+ private:
+  SwarmOptions options_;
+};
+
+}  // namespace mcfs::mc

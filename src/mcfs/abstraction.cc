@@ -1,0 +1,120 @@
+#include "mcfs/abstraction.h"
+
+#include <algorithm>
+
+#include "fs/path.h"
+
+namespace mcfs::core {
+
+namespace {
+
+bool OnExceptionList(const std::string& path,
+                     const AbstractionOptions& options) {
+  for (const auto& exception : options.exception_list) {
+    if (path == exception || fs::IsPathPrefix(exception, path)) return true;
+  }
+  return false;
+}
+
+Status WalkTree(vfs::Vfs& v, const std::string& dir,
+                const AbstractionOptions& options,
+                std::vector<std::string>* out) {
+  auto entries = v.GetDents(dir);
+  if (!entries.ok()) return entries.error();
+  for (const auto& entry : entries.value()) {
+    const std::string path =
+        dir == "/" ? "/" + entry.name : dir + "/" + entry.name;
+    if (OnExceptionList(path, options)) continue;
+    out->push_back(path);
+    if (entry.type == fs::FileType::kDirectory) {
+      if (Status s = WalkTree(v, path, options, out); !s.ok()) return s;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ListTreePaths(
+    vfs::Vfs& v, const AbstractionOptions& options) {
+  std::vector<std::string> paths;
+  if (Status s = WalkTree(v, "/", options, &paths); !s.ok()) {
+    return s.error();
+  }
+  // Sort by pathname so every file system presents the same order
+  // (Algorithm 1, line 5).
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+Result<Md5Digest> ComputeAbstractState(vfs::Vfs& v,
+                                       const AbstractionOptions& options) {
+  auto paths = ListTreePaths(v, options);
+  if (!paths.ok()) return paths.error();
+
+  Md5 md5ctx;  // md5_init (Algorithm 1, line 2)
+  for (const auto& path : paths.value()) {
+    auto attr = v.Stat(path);
+    if (!attr.ok()) return attr.error();
+    const fs::InodeAttr& a = attr.value();
+
+    // File content first (Algorithm 1 reads before stat'ing).
+    if (a.type == fs::FileType::kRegular) {
+      auto fd = v.Open(path, fs::kRdOnly, 0);
+      if (!fd.ok()) return fd.error();
+      std::uint64_t offset = 0;
+      for (;;) {
+        auto chunk = v.Read(fd.value(), offset, 64 * 1024);
+        if (!chunk.ok()) {
+          (void)v.Close(fd.value());
+          return chunk.error();
+        }
+        if (chunk.value().empty()) break;
+        md5ctx.Update(chunk.value());
+        offset += chunk.value().size();
+      }
+      if (Status s = v.Close(fd.value()); !s.ok()) return s.error();
+    } else if (a.type == fs::FileType::kSymlink) {
+      auto target = v.ReadLink(path);
+      if (!target.ok()) return target.error();
+      md5ctx.Update(target.value());
+    }
+
+    // important_attributes (Algorithm 1, line 12): type, mode, nlink,
+    // uid, gid, and size — except directory sizes, which differ across
+    // file systems for identical contents (§3.4).
+    md5ctx.UpdateU64(static_cast<std::uint64_t>(a.type));
+    md5ctx.UpdateU64(a.mode);
+    md5ctx.UpdateU64(a.nlink);
+    md5ctx.UpdateU64(a.uid);
+    md5ctx.UpdateU64(a.gid);
+    const bool hash_size = a.type != fs::FileType::kDirectory ||
+                           !options.ignore_directory_sizes;
+    md5ctx.UpdateU64(hash_size ? a.size : 0);
+    if (options.include_timestamps) {
+      // Deliberately wrong (ablation): timestamps are noise.
+      md5ctx.UpdateU64(a.atime_ns);
+      md5ctx.UpdateU64(a.mtime_ns);
+      md5ctx.UpdateU64(a.ctime_ns);
+    }
+
+    if (options.include_xattrs) {
+      auto names = v.ListXattr(path);
+      if (names.ok()) {  // ENOTSUP on VeriFS1-class systems: skip quietly
+        std::vector<std::string> sorted = names.value();
+        std::sort(sorted.begin(), sorted.end());
+        for (const auto& name : sorted) {
+          auto value = v.GetXattr(path, name);
+          if (!value.ok()) return value.error();
+          md5ctx.Update(name);
+          md5ctx.Update(value.value());
+        }
+      }
+    }
+
+    md5ctx.Update(path);  // Algorithm 1, line 14
+  }
+  return md5ctx.Final();
+}
+
+}  // namespace mcfs::core

@@ -1,0 +1,51 @@
+// The abstraction function — paper Algorithm 1 and §3.3.
+//
+// Converts a file system's concrete state into a 128-bit MD5 digest used
+// for visited-state matching and for cross-file-system state comparison.
+// It walks the tree from the mount point, sorts paths for a canonical
+// order, and hashes each node's pathname, content, and *important*
+// attributes only: type, mode, nlink, uid, gid, and (for regular files
+// and symlinks) size. Noisy attributes — atime/mtime/ctime, inode
+// numbers, block counts, physical placement — are excluded: hashing them
+// "would fail" (paper §3.3) because every harmless difference would look
+// like a new state.
+//
+// The same function implements two of the §3.4 false-positive
+// workarounds: directory sizes are ignored, and paths on the exception
+// list (special folders like ext4's lost+found) are skipped entirely.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/md5.h"
+#include "util/result.h"
+#include "vfs/vfs.h"
+
+namespace mcfs::core {
+
+struct AbstractionOptions {
+  // Paths (and their subtrees) to ignore — the special-folder exception
+  // list of §3.4. The free-space fill file (equalize.h) is added here too.
+  std::vector<std::string> exception_list;
+  // §3.4 workaround: ignore directory sizes (on = paper behaviour).
+  bool ignore_directory_sizes = true;
+  // Include xattr names/values (both VeriFS2-class systems support them).
+  bool include_xattrs = true;
+  // Ablation knob (bench T-statespace): hash timestamps too, showing the
+  // state explosion the paper describes when noise enters the state.
+  bool include_timestamps = false;
+};
+
+// Computes the abstract state of the file system behind `v`, which must
+// be mounted. Infrastructure failures (I/O errors during the walk)
+// surface as errors; they are not part of normal exploration.
+Result<Md5Digest> ComputeAbstractState(vfs::Vfs& v,
+                                       const AbstractionOptions& options);
+
+// Lists every path under "/" (sorted, exception list applied) — shared
+// by the abstraction walk and VeriFS-restore invalidation tests.
+Result<std::vector<std::string>> ListTreePaths(
+    vfs::Vfs& v, const AbstractionOptions& options);
+
+}  // namespace mcfs::core

@@ -1,0 +1,124 @@
+#include "mcfs/checker.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcfs::core {
+
+namespace {
+
+std::string DescribeDirents(const std::vector<fs::DirEntry>& entries) {
+  std::string out = "[";
+  for (const auto& e : entries) {
+    if (out.size() > 1) out += ", ";
+    out += e.name;
+  }
+  return out + "]";
+}
+
+std::vector<fs::DirEntry> NormalizeDirents(
+    const std::vector<fs::DirEntry>& entries, const CheckerOptions& options) {
+  std::vector<fs::DirEntry> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) {
+    if (std::find(options.special_names.begin(), options.special_names.end(),
+                  e.name) != options.special_names.end()) {
+      continue;  // exception list: lost+found and friends (§3.4)
+    }
+    out.push_back(e);
+  }
+  if (options.sort_dirents) {
+    // "file systems return directory entries in different orders, so we
+    // sort the output of getdents before comparing" (§3.4).
+    std::sort(out.begin(), out.end(),
+              [](const fs::DirEntry& x, const fs::DirEntry& y) {
+                return x.name < y.name;
+              });
+  }
+  return out;
+}
+
+}  // namespace
+
+CheckVerdict CompareAttrs(const fs::InodeAttr& a, const fs::InodeAttr& b,
+                          const CheckerOptions& options) {
+  std::ostringstream detail;
+  if (a.type != b.type) {
+    detail << "type " << fs::FileTypeName(a.type) << " vs "
+           << fs::FileTypeName(b.type);
+  } else if (a.mode != b.mode) {
+    detail << "mode 0" << std::oct << a.mode << " vs 0" << b.mode;
+  } else if (a.nlink != b.nlink) {
+    detail << "nlink " << a.nlink << " vs " << b.nlink;
+  } else if (a.uid != b.uid || a.gid != b.gid) {
+    detail << "owner " << a.uid << ":" << a.gid << " vs " << b.uid << ":"
+           << b.gid;
+  } else {
+    const bool is_dir = a.type == fs::FileType::kDirectory;
+    if ((!is_dir || !options.ignore_directory_sizes) && a.size != b.size) {
+      detail << "size " << a.size << " vs " << b.size
+             << (is_dir ? " (directory)" : "");
+    }
+  }
+  // ino, blocks, and all timestamps are deliberately not compared.
+  if (detail.str().empty()) return {true, ""};
+  return {false, "attr mismatch: " + detail.str()};
+}
+
+CheckVerdict CompareOutcomes(const Operation& op, const OpOutcome& a,
+                             const OpOutcome& b,
+                             const CheckerOptions& options) {
+  if (options.compare_return_values && a.error != b.error) {
+    std::ostringstream detail;
+    detail << op.ToString() << ": return codes differ: "
+           << ErrnoName(a.error) << " vs " << ErrnoName(b.error);
+    return {false, detail.str()};
+  }
+  if (a.error != Errno::kOk) return {true, ""};  // both failed identically
+
+  if (options.compare_data && a.data != b.data) {
+    std::ostringstream detail;
+    detail << op.ToString() << ": file data differs (" << a.data.size()
+           << " vs " << b.data.size() << " bytes";
+    // Locate the first differing byte for the report.
+    const std::size_t n = std::min(a.data.size(), b.data.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a.data[i] != b.data[i]) {
+        detail << ", first diff at offset " << i << ": 0x" << std::hex
+               << static_cast<int>(a.data[i]) << " vs 0x"
+               << static_cast<int>(b.data[i]) << std::dec;
+        break;
+      }
+    }
+    detail << ")";
+    return {false, detail.str()};
+  }
+
+  if (op.kind == OpKind::kGetDents) {
+    const auto na = NormalizeDirents(a.dirents, options);
+    const auto nb = NormalizeDirents(b.dirents, options);
+    bool equal = na.size() == nb.size();
+    for (std::size_t i = 0; equal && i < na.size(); ++i) {
+      equal = na[i].name == nb[i].name && na[i].type == nb[i].type;
+    }
+    if (!equal) {
+      return {false, op.ToString() + ": directory listings differ: " +
+                         DescribeDirents(na) + " vs " + DescribeDirents(nb)};
+    }
+  }
+
+  if (options.compare_attrs && a.has_attr && b.has_attr) {
+    CheckVerdict verdict = CompareAttrs(a.attr, b.attr, options);
+    if (!verdict.ok) {
+      return {false, op.ToString() + ": " + verdict.detail};
+    }
+  }
+
+  if (a.link_target != b.link_target) {
+    return {false, op.ToString() + ": symlink targets differ: '" +
+                       a.link_target + "' vs '" + b.link_target + "'"};
+  }
+  return {true, ""};
+}
+
+}  // namespace mcfs::core

@@ -1,0 +1,51 @@
+// Integrity checks — paper §2 and §3.4.
+//
+// After each operation, MCFS asserts that the file systems under test are
+// in identical states: equal return values and error codes, equal file
+// data, and equal (important) metadata. Any discrepancy is a potential
+// bug; the checker halts exploration and reports it with the trail.
+//
+// The checker embeds the §3.4 false-positive workarounds:
+//   * directory sizes are ignored in attribute comparison (ext4f reports
+//     block-rounded sizes, xfsf reports entry-based ones);
+//   * getdents output is sorted before comparison (entry order is
+//     unstandardized);
+//   * names on the special-path exception list (lost+found, the
+//     free-space fill file) are filtered out of directory listings;
+//   * inode numbers, block counts, and timestamps are never compared —
+//     they are implementation detail.
+// Each workaround can be disabled to measure how many false positives it
+// suppresses (bench T-fp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcfs/ops.h"
+
+namespace mcfs::core {
+
+struct CheckerOptions {
+  bool compare_return_values = true;
+  bool ignore_directory_sizes = true;   // §3.4 workaround 1
+  bool sort_dirents = true;             // §3.4 workaround 2
+  std::vector<std::string> special_names;  // §3.4 workaround 3 (basenames)
+  bool compare_data = true;
+  bool compare_attrs = true;
+};
+
+struct CheckVerdict {
+  bool ok = true;
+  std::string detail;  // empty when ok
+};
+
+// Compares the outcomes of one operation on two file systems.
+CheckVerdict CompareOutcomes(const Operation& op, const OpOutcome& a,
+                             const OpOutcome& b,
+                             const CheckerOptions& options);
+
+// Attribute comparison honoring the workarounds (exposed for tests).
+CheckVerdict CompareAttrs(const fs::InodeAttr& a, const fs::InodeAttr& b,
+                          const CheckerOptions& options);
+
+}  // namespace mcfs::core

@@ -1,0 +1,81 @@
+// Syscall-outcome coverage tracking — paper §7: "We are exploring
+// methods to track code coverage while model-checking."
+//
+// Without compiler instrumentation, the observable proxy for coverage is
+// the set of (operation, result) pairs the exploration has exercised:
+// every distinct errno from every operation kind is a distinct code path
+// through the file system (the success path, the EEXIST path, the ENOSPC
+// path, ...). The engine records one entry per operation per file system.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "mcfs/ops.h"
+
+namespace mcfs::core {
+
+class SyscallCoverage {
+ public:
+  void Record(OpKind kind, Errno error) {
+    ++counts_[{kind, error}];
+  }
+
+  // Distinct (operation, errno) pairs observed.
+  std::size_t distinct_outcomes() const { return counts_.size(); }
+
+  // Distinct operation kinds that produced at least one result.
+  std::size_t distinct_ops() const {
+    std::size_t n = 0;
+    OpKind last{};
+    bool first = true;
+    for (const auto& [key, count] : counts_) {
+      if (first || key.first != last) {
+        ++n;
+        last = key.first;
+        first = false;
+      }
+    }
+    return n;
+  }
+
+  std::uint64_t count(OpKind kind, Errno error) const {
+    auto it = counts_.find({kind, error});
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  bool covered(OpKind kind, Errno error) const {
+    return count(kind, error) > 0;
+  }
+
+  // Human-readable matrix: one line per op kind, errnos with counts.
+  std::string Report() const {
+    std::ostringstream out;
+    OpKind current{};
+    bool first = true;
+    for (const auto& [key, count] : counts_) {
+      if (first || key.first != current) {
+        if (!first) out << "\n";
+        current = key.first;
+        first = false;
+        out << OpKindName(current) << ":";
+      }
+      out << " " << ErrnoName(key.second) << "=" << count;
+    }
+    if (!first) out << "\n";
+    return out.str();
+  }
+
+  void Merge(const SyscallCoverage& other) {
+    for (const auto& [key, count] : other.counts_) {
+      counts_[key] += count;
+    }
+  }
+
+ private:
+  std::map<std::pair<OpKind, Errno>, std::uint64_t> counts_;
+};
+
+}  // namespace mcfs::core

@@ -1,0 +1,52 @@
+#include "mcfs/equalize.h"
+
+#include <algorithm>
+
+namespace mcfs::core {
+
+Result<EqualizeResult> EqualizeFreeSpace(
+    const std::vector<vfs::Vfs*>& filesystems, EqualizeOptions options) {
+  EqualizeResult result;
+  if (filesystems.empty()) return result;
+
+  std::vector<std::uint64_t> free_bytes;
+  free_bytes.reserve(filesystems.size());
+  for (vfs::Vfs* v : filesystems) {
+    auto sv = v->StatFs();
+    if (!sv.ok()) return sv.error();
+    free_bytes.push_back(sv.value().free_bytes);
+  }
+  result.smallest_free =
+      *std::min_element(free_bytes.begin(), free_bytes.end());
+
+  for (std::size_t i = 0; i < filesystems.size(); ++i) {
+    const std::uint64_t fill = free_bytes[i] - result.smallest_free;
+    result.fill_bytes.push_back(fill);
+    result.skipped.push_back(fill > options.max_fill_bytes);
+    if (fill == 0 || result.skipped.back()) continue;
+
+    vfs::Vfs& v = *filesystems[i];
+    auto fd = v.Open(kFillFilePath, fs::kCreate | fs::kWrOnly, 0600);
+    if (!fd.ok()) return fd.error();
+    const Bytes zeros(64 * 1024, 0);
+    std::uint64_t written = 0;
+    while (written < fill) {
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(zeros.size(), fill - written);
+      auto n = v.Write(fd.value(), written,
+                       ByteView(zeros.data(), chunk));
+      if (!n.ok()) {
+        // Filling up to the line may hit ENOSPC a little early because
+        // the fill file itself consumes metadata; accept a short fill.
+        if (n.error() == Errno::kENOSPC) break;
+        (void)v.Close(fd.value());
+        return n.error();
+      }
+      written += n.value();
+    }
+    if (Status s = v.Close(fd.value()); !s.ok()) return s.error();
+  }
+  return result;
+}
+
+}  // namespace mcfs::core

@@ -1,0 +1,43 @@
+// Free-space equalization — the §3.4 "differing data capacity"
+// workaround.
+//
+// Two file systems on identically sized devices expose different usable
+// capacities (metadata overhead, journals, inode tables differ). Near
+// the full mark, a write can succeed on one and ENOSPC on the other — a
+// false positive. MCFS's fix: at startup, query every file system,
+// record the smallest free space S_L, and on each file system with free
+// space S_n create a dummy file holding S_n - S_L bytes of zeros.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "vfs/vfs.h"
+
+namespace mcfs::core {
+
+// The dummy file's well-known name; callers add it to the abstraction
+// exception list so it never participates in state comparison.
+inline constexpr const char* kFillFilePath = "/.mcfs_fill";
+
+struct EqualizeOptions {
+  // Gaps larger than this are not filled: writing gigabytes of zeros
+  // into an effectively unlimited file system (VeriFS1 "did not limit
+  // the amount of data", paper §5) is pointless — the workaround only
+  // matters near the full mark, which bounded workloads never approach
+  // on such a file system.
+  std::uint64_t max_fill_bytes = 64ull << 20;
+};
+
+struct EqualizeResult {
+  std::uint64_t smallest_free = 0;            // S_L
+  std::vector<std::uint64_t> fill_bytes;      // S_n - S_L per file system
+  std::vector<bool> skipped;                  // gap exceeded the fill cap
+};
+
+// Equalizes free space across the given (mounted) file systems.
+Result<EqualizeResult> EqualizeFreeSpace(
+    const std::vector<vfs::Vfs*>& filesystems, EqualizeOptions options = {});
+
+}  // namespace mcfs::core

@@ -1,0 +1,80 @@
+#include "mcfs/harness.h"
+
+#include <sstream>
+
+namespace mcfs::core {
+
+Result<std::unique_ptr<Mcfs>> Mcfs::Create(McfsConfig config) {
+  auto mcfs = std::unique_ptr<Mcfs>(new Mcfs());
+  mcfs->config_ = std::move(config);
+
+  auto fs_a = FsUnderTest::Create(mcfs->config_.fs_a, &mcfs->clock_);
+  if (!fs_a.ok()) return fs_a.error();
+  mcfs->fs_a_ = std::move(fs_a).value();
+
+  auto fs_b = FsUnderTest::Create(mcfs->config_.fs_b, &mcfs->clock_);
+  if (!fs_b.ok()) return fs_b.error();
+  mcfs->fs_b_ = std::move(fs_b).value();
+
+  if (mcfs->config_.equalize_free_space) {
+    if (Status s = mcfs->fs_a_->EnsureMounted(); !s.ok()) return s.error();
+    if (Status s = mcfs->fs_b_->EnsureMounted(); !s.ok()) return s.error();
+    auto eq = EqualizeFreeSpace(
+        {&mcfs->fs_a_->vfs(), &mcfs->fs_b_->vfs()});
+    if (!eq.ok()) return eq.error();
+  }
+
+  mcfs->engine_ = std::make_unique<SyscallEngine>(
+      *mcfs->fs_a_, *mcfs->fs_b_, mcfs->config_.engine);
+
+  if (mcfs->config_.enable_memory_model) {
+    mcfs->memory_ = std::make_unique<mc::MemoryModel>(&mcfs->clock_,
+                                                      mcfs->config_.memory);
+  }
+  return mcfs;
+}
+
+McfsReport Mcfs::Run() {
+  mc::ExplorerOptions opts = config_.explore;
+  opts.clock = &clock_;
+  if (memory_ != nullptr) opts.memory = memory_.get();
+
+  mc::Explorer explorer(*engine_, opts);
+  McfsReport report;
+  report.stats = explorer.Run();
+  report.counters = engine_->counters();
+  if (report.stats.sim_seconds > 0) {
+    report.sim_ops_per_sec = static_cast<double>(report.stats.operations) /
+                             report.stats.sim_seconds;
+  }
+  if (report.stats.wall_seconds > 0) {
+    report.wall_ops_per_sec = static_cast<double>(report.stats.operations) /
+                              report.stats.wall_seconds;
+  }
+  report.remounts_a = fs_a_->remounts();
+  report.remounts_b = fs_b_->remounts();
+  report.trace_text = engine_->trace().ToText();
+  return report;
+}
+
+std::string McfsReport::Summary() const {
+  std::ostringstream out;
+  out << "ops=" << stats.operations << " unique_states="
+      << stats.unique_states << " revisits=" << stats.revisits
+      << " backtracks=" << stats.backtracks << " sim_ops/s="
+      << sim_ops_per_sec << " remounts=" << remounts_a + remounts_b
+      << " discrepancies=" << counters.discrepancies << " corruption="
+      << counters.corruption_events;
+  if (stats.violation_found) {
+    out << "\nVIOLATION: " << stats.violation_report;
+    if (!stats.violation_trail.empty()) {
+      out << "\ntrail:";
+      for (const auto& step : stats.violation_trail) {
+        out << "\n  " << step;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mcfs::core

@@ -1,0 +1,83 @@
+// Mcfs: the assembled model checker — two file-system stacks, the
+// syscall engine, the explorer, and the optional memory model, behind one
+// Run() call. This is the library's primary entry point; the examples
+// and every benchmark drive it.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mc/explorer.h"
+#include "mc/memory_model.h"
+#include "mc/swarm.h"
+#include "mcfs/equalize.h"
+#include "mcfs/syscall_engine.h"
+
+namespace mcfs::core {
+
+struct McfsConfig {
+  FsUnderTestConfig fs_a;
+  FsUnderTestConfig fs_b;
+  EngineOptions engine;
+  mc::ExplorerOptions explore;
+  // §3.4 workaround 4: equalize free space across the pair at startup.
+  bool equalize_free_space = true;
+  // Attach a MemoryModel (Figure 3 runs).
+  bool enable_memory_model = false;
+  mc::MemoryModelOptions memory;
+};
+
+struct McfsReport {
+  mc::ExploreStats stats;
+  EngineCounters counters;
+  double sim_ops_per_sec = 0;   // operations / simulated second
+  double wall_ops_per_sec = 0;  // operations / host second
+  std::uint64_t remounts_a = 0;
+  std::uint64_t remounts_b = 0;
+  std::string trace_text;       // tail of the operation trace
+
+  // One-paragraph human summary.
+  std::string Summary() const;
+};
+
+class Mcfs {
+ public:
+  // Builds both stacks (mkfs + mount) and the engine; `Create` fails if
+  // a config is inconsistent (e.g. ioctl strategy on a kernel FS).
+  static Result<std::unique_ptr<Mcfs>> Create(McfsConfig config);
+
+  // Runs exploration per the config and reports.
+  McfsReport Run();
+
+  SimClock& clock() { return clock_; }
+  SyscallEngine& engine() { return *engine_; }
+  FsUnderTest& fs_a() { return *fs_a_; }
+  FsUnderTest& fs_b() { return *fs_b_; }
+  mc::MemoryModel* memory() { return memory_.get(); }
+
+ private:
+  Mcfs() = default;
+
+  McfsConfig config_;
+  SimClock clock_;
+  std::unique_ptr<mc::MemoryModel> memory_;
+  std::unique_ptr<FsUnderTest> fs_a_;
+  std::unique_ptr<FsUnderTest> fs_b_;
+  std::unique_ptr<SyscallEngine> engine_;
+};
+
+// Adapter so a whole Mcfs instance can serve as one swarm worker.
+class McfsSwarmInstance final : public mc::SwarmInstance {
+ public:
+  explicit McfsSwarmInstance(std::unique_ptr<Mcfs> mcfs)
+      : mcfs_(std::move(mcfs)) {}
+
+  mc::System& system() override { return mcfs_->engine(); }
+  SimClock* clock() override { return &mcfs_->clock(); }
+  Mcfs& mcfs() { return *mcfs_; }
+
+ private:
+  std::unique_ptr<Mcfs> mcfs_;
+};
+
+}  // namespace mcfs::core

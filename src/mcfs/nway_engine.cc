@@ -1,0 +1,236 @@
+#include "mcfs/nway_engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fs/path.h"
+#include "mcfs/equalize.h"
+
+namespace mcfs::core {
+
+namespace {
+
+// Features supported by EVERY file system in the set.
+std::vector<fs::FsFeature> CommonFeatures(
+    const std::vector<FsUnderTest*>& filesystems) {
+  std::vector<fs::FsFeature> common;
+  if (filesystems.empty()) return common;
+  common = filesystems.front()->SupportedFeatures();
+  for (std::size_t i = 1; i < filesystems.size(); ++i) {
+    const auto features = filesystems[i]->SupportedFeatures();
+    std::erase_if(common, [&features](fs::FsFeature f) {
+      return std::find(features.begin(), features.end(), f) ==
+             features.end();
+    });
+  }
+  return common;
+}
+
+}  // namespace
+
+NWaySyscallEngine::NWaySyscallEngine(std::vector<FsUnderTest*> filesystems,
+                                     NWayOptions options)
+    : filesystems_(std::move(filesystems)),
+      options_(std::move(options)),
+      suspicion_(filesystems_.size(), 0) {
+  auto add_special = [this](const std::string& path) {
+    options_.abstraction.exception_list.push_back(path);
+    options_.checker.special_names.push_back(fs::Basename(path));
+  };
+  for (FsUnderTest* fut : filesystems_) {
+    for (const auto& path : fut->SpecialPaths()) add_special(path);
+  }
+  add_special(kFillFilePath);
+  options_.abstraction.ignore_directory_sizes =
+      options_.checker.ignore_directory_sizes;
+  actions_ = options_.pool.EnumerateAll(CommonFeatures(filesystems_));
+}
+
+std::string NWaySyscallEngine::ActionName(std::size_t action) const {
+  return actions_.at(action).ToString();
+}
+
+VoteResult NWaySyscallEngine::Vote(const Operation& op,
+                                   const std::vector<OpOutcome>& outcomes,
+                                   const CheckerOptions& options) {
+  VoteResult result;
+  const std::size_t n = outcomes.size();
+  // Group outcomes by pairwise equivalence (CompareOutcomes is the
+  // checker's notion of "same behaviour").
+  std::vector<int> group(n, -1);
+  std::vector<std::size_t> group_size;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (group[i] != -1) continue;
+    const int id = static_cast<int>(group_size.size());
+    group[i] = id;
+    group_size.push_back(1);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (group[j] == -1 &&
+          CompareOutcomes(op, outcomes[i], outcomes[j], options).ok) {
+        group[j] = id;
+        ++group_size[id];
+      }
+    }
+  }
+
+  if (group_size.size() == 1) {
+    result.group_of = group;
+    return result;  // unanimous
+  }
+  result.unanimous = false;
+
+  // Elect the majority group; renumber it to 0.
+  const int majority = static_cast<int>(
+      std::max_element(group_size.begin(), group_size.end()) -
+      group_size.begin());
+  result.group_of.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.group_of[i] = group[i] == majority ? 0 : group[i] + 1;
+    if (group[i] != majority) result.minority.push_back(i);
+  }
+
+  std::ostringstream detail;
+  detail << op.ToString() << ": " << group_size[majority] << "/" << n
+         << " agree; outvoted:";
+  for (std::size_t i : result.minority) {
+    detail << " #" << i << "(" << ErrnoName(outcomes[i].error) << ")";
+  }
+  result.detail = detail.str();
+  return result;
+}
+
+Status NWaySyscallEngine::RefreshAbstractState(bool check_equality) {
+  std::vector<Md5Digest> hashes;
+  hashes.reserve(filesystems_.size());
+  for (FsUnderTest* fut : filesystems_) {
+    if (Status s = fut->EnsureMounted(); !s.ok()) return s;
+    auto hash = ComputeAbstractState(fut->vfs(), options_.abstraction);
+    if (!hash.ok()) {
+      violation_ = "file system corruption detected on " + fut->name();
+      return Status::Ok();
+    }
+    hashes.push_back(hash.value());
+  }
+
+  if (check_equality && options_.compare_states) {
+    // Vote on the abstract states: majority hash wins.
+    std::vector<std::size_t> counts(hashes.size(), 0);
+    for (std::size_t i = 0; i < hashes.size(); ++i) {
+      for (std::size_t j = 0; j < hashes.size(); ++j) {
+        if (hashes[i] == hashes[j]) ++counts[i];
+      }
+    }
+    const std::size_t best = static_cast<std::size_t>(
+        std::max_element(counts.begin(), counts.end()) - counts.begin());
+    if (counts[best] < hashes.size()) {
+      std::ostringstream detail;
+      detail << "state divergence (majority " << counts[best] << "/"
+             << hashes.size() << "); deviating:";
+      for (std::size_t i = 0; i < hashes.size(); ++i) {
+        if (hashes[i] != hashes[best]) {
+          detail << " " << filesystems_[i]->name();
+          ++suspicion_[i];
+        }
+      }
+      violation_ = detail.str();
+    }
+  }
+
+  Md5 combined;
+  for (const Md5Digest& hash : hashes) {
+    combined.Update(ByteView(hash.bytes.data(), 16));
+  }
+  cached_hash_ = combined.Final();
+  return Status::Ok();
+}
+
+Status NWaySyscallEngine::ApplyAction(std::size_t action) {
+  if (action >= actions_.size()) return Errno::kEINVAL;
+  const Operation& op = actions_[action];
+  violation_.reset();
+  cached_hash_.reset();
+
+  std::vector<OpOutcome> outcomes;
+  outcomes.reserve(filesystems_.size());
+  for (FsUnderTest* fut : filesystems_) {
+    if (Status s = fut->BeginOp(); !s.ok()) {
+      violation_ = "remount failed on " + fut->name();
+      return Status::Ok();
+    }
+    outcomes.push_back(ExecuteOp(fut->vfs(), op));
+  }
+  ++ops_executed_;
+
+  const VoteResult vote = Vote(op, outcomes, options_.checker);
+  if (!vote.unanimous) {
+    for (std::size_t i : vote.minority) ++suspicion_[i];
+    std::ostringstream detail;
+    detail << vote.detail << " — suspects:";
+    for (std::size_t i : vote.minority) {
+      detail << " " << filesystems_[i]->name();
+    }
+    violation_ = detail.str();
+  }
+
+  if (!violation_.has_value()) {
+    if (Status s = RefreshAbstractState(/*check_equality=*/true); !s.ok()) {
+      return s;
+    }
+  }
+
+  for (FsUnderTest* fut : filesystems_) {
+    if (Status s = fut->EndOp(); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Md5Digest NWaySyscallEngine::AbstractHash() {
+  if (!cached_hash_.has_value()) {
+    if (Status s = RefreshAbstractState(/*check_equality=*/false);
+        !s.ok() || !cached_hash_.has_value()) {
+      return Md5Digest{};
+    }
+    for (FsUnderTest* fut : filesystems_) {
+      (void)fut->EndOp();
+    }
+  }
+  return *cached_hash_;
+}
+
+Result<mc::SnapshotId> NWaySyscallEngine::SaveConcrete() {
+  const mc::SnapshotId id = next_snapshot_++;
+  for (std::size_t i = 0; i < filesystems_.size(); ++i) {
+    if (Status s = filesystems_[i]->SaveState(id); !s.ok()) {
+      for (std::size_t j = 0; j < i; ++j) {
+        (void)filesystems_[j]->DiscardState(id);
+      }
+      return s.error();
+    }
+  }
+  return id;
+}
+
+Status NWaySyscallEngine::RestoreConcrete(mc::SnapshotId id) {
+  cached_hash_.reset();
+  violation_.reset();
+  for (FsUnderTest* fut : filesystems_) {
+    if (Status s = fut->RestoreState(id); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status NWaySyscallEngine::DiscardConcrete(mc::SnapshotId id) {
+  Status last = Status::Ok();
+  for (FsUnderTest* fut : filesystems_) {
+    if (Status s = fut->DiscardState(id); !s.ok()) last = s;
+  }
+  return last;
+}
+
+std::uint64_t NWaySyscallEngine::ConcreteStateBytes() const {
+  std::uint64_t total = 0;
+  for (const FsUnderTest* fut : filesystems_) total += fut->StateBytes();
+  return total;
+}
+
+}  // namespace mcfs::core

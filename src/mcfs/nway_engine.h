@@ -1,0 +1,91 @@
+// N-way syscall engine with majority voting — the paper's §7 future work:
+// "We also plan to run more than two file systems concurrently with MCFS
+// and use a majority-voting approach to recognize incorrect file-system
+// behavior."
+//
+// With two file systems a discrepancy says only that they disagree; with
+// N >= 3, the engine groups identical outcomes (and identical abstract
+// states) and flags the minority side(s) as the suspected culprits.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mc/state.h"
+#include "mcfs/abstraction.h"
+#include "mcfs/checker.h"
+#include "mcfs/fs_under_test.h"
+#include "mcfs/ops.h"
+#include "mcfs/trace.h"
+
+namespace mcfs::core {
+
+struct NWayOptions {
+  ParameterPool pool = ParameterPool::Default();
+  CheckerOptions checker;
+  AbstractionOptions abstraction;
+  bool compare_states = true;
+};
+
+// Per-file-system verdict after a vote.
+struct VoteResult {
+  bool unanimous = true;
+  // Index of each file system's outcome group; the majority group is 0.
+  std::vector<int> group_of;
+  // File systems outside the majority (the suspects).
+  std::vector<std::size_t> minority;
+  std::string detail;
+};
+
+class NWaySyscallEngine final : public mc::System {
+ public:
+  // All FsUnderTest must outlive the engine; at least two are required,
+  // three or more enable meaningful votes.
+  NWaySyscallEngine(std::vector<FsUnderTest*> filesystems,
+                    NWayOptions options);
+
+  // mc::System.
+  std::size_t ActionCount() const override { return actions_.size(); }
+  std::string ActionName(std::size_t action) const override;
+  Status ApplyAction(std::size_t action) override;
+  bool violation_detected() const override { return violation_.has_value(); }
+  std::string violation_report() const override {
+    return violation_.value_or("");
+  }
+  Md5Digest AbstractHash() override;
+  Result<mc::SnapshotId> SaveConcrete() override;
+  Status RestoreConcrete(mc::SnapshotId id) override;
+  Status DiscardConcrete(mc::SnapshotId id) override;
+  std::uint64_t ConcreteStateBytes() const override;
+
+  // Cumulative suspicion counters: how often each file system landed in
+  // the minority. The buggy implementation accumulates suspicion.
+  const std::vector<std::uint64_t>& suspicion_counts() const {
+    return suspicion_;
+  }
+  std::size_t fs_count() const { return filesystems_.size(); }
+  const std::string& fs_name(std::size_t index) const {
+    return filesystems_[index]->name();
+  }
+  std::uint64_t ops_executed() const { return ops_executed_; }
+
+  // Exposed for tests: groups outcomes and elects a majority.
+  static VoteResult Vote(const Operation& op,
+                         const std::vector<OpOutcome>& outcomes,
+                         const CheckerOptions& options);
+
+ private:
+  Status RefreshAbstractState(bool check_equality);
+
+  std::vector<FsUnderTest*> filesystems_;
+  NWayOptions options_;
+  std::vector<Operation> actions_;
+  std::optional<std::string> violation_;
+  std::optional<Md5Digest> cached_hash_;
+  std::vector<std::uint64_t> suspicion_;
+  std::uint64_t ops_executed_ = 0;
+  mc::SnapshotId next_snapshot_ = 1;
+};
+
+}  // namespace mcfs::core

@@ -1,0 +1,239 @@
+#include "mcfs/ops.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mcfs::core {
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kCreateFile: return "create_file";
+    case OpKind::kWriteFile: return "write_file";
+    case OpKind::kReadFile: return "read_file";
+    case OpKind::kTruncate: return "truncate";
+    case OpKind::kMkdir: return "mkdir";
+    case OpKind::kRmdir: return "rmdir";
+    case OpKind::kUnlink: return "unlink";
+    case OpKind::kGetDents: return "getdents";
+    case OpKind::kStat: return "stat";
+    case OpKind::kRename: return "rename";
+    case OpKind::kLink: return "link";
+    case OpKind::kSymlink: return "symlink";
+    case OpKind::kReadLink: return "readlink";
+    case OpKind::kChmod: return "chmod";
+    case OpKind::kAccess: return "access";
+    case OpKind::kSetXattr: return "setxattr";
+    case OpKind::kRemoveXattr: return "removexattr";
+  }
+  return "?";
+}
+
+std::string Operation::ToString() const {
+  std::ostringstream out;
+  out << OpKindName(kind) << "(" << path;
+  switch (kind) {
+    case OpKind::kWriteFile:
+      out << ", off=" << offset << ", size=" << size << ", fill=0x"
+          << std::hex << static_cast<int>(fill) << std::dec;
+      break;
+    case OpKind::kReadFile:
+      out << ", off=" << offset << ", size=" << size;
+      break;
+    case OpKind::kTruncate:
+      out << ", size=" << size;
+      break;
+    case OpKind::kRename:
+    case OpKind::kLink:
+    case OpKind::kSymlink:
+      out << ", " << path2;
+      break;
+    case OpKind::kChmod:
+      out << ", mode=0" << std::oct << mode << std::dec;
+      break;
+    case OpKind::kCreateFile:
+    case OpKind::kMkdir:
+      out << ", mode=0" << std::oct << mode << std::dec;
+      break;
+    case OpKind::kSetXattr:
+    case OpKind::kRemoveXattr:
+      out << ", " << xattr_name;
+      break;
+    default:
+      break;
+  }
+  out << ")";
+  return out.str();
+}
+
+bool Operation::RequiresFeature(fs::FsFeature* feature) const {
+  switch (kind) {
+    case OpKind::kRename:
+      *feature = fs::FsFeature::kRename;
+      return true;
+    case OpKind::kLink:
+      *feature = fs::FsFeature::kHardLink;
+      return true;
+    case OpKind::kSymlink:
+    case OpKind::kReadLink:
+      *feature = fs::FsFeature::kSymlink;
+      return true;
+    case OpKind::kAccess:
+      *feature = fs::FsFeature::kAccess;
+      return true;
+    case OpKind::kSetXattr:
+    case OpKind::kRemoveXattr:
+      *feature = fs::FsFeature::kXattr;
+      return true;
+    default:
+      return false;
+  }
+}
+
+ParameterPool ParameterPool::Default() {
+  ParameterPool pool;
+  pool.file_paths = {"/f0", "/f1", "/d0/f2"};
+  pool.dir_paths = {"/d0", "/d1", "/d0/d2"};
+  pool.write_offsets = {0, 100};
+  pool.write_sizes = {1, 100, 3000};
+  pool.truncate_sizes = {0, 50, 2048};
+  pool.modes = {0644, 0600};
+  pool.fill_bytes = {0x41, 0x5a};
+  pool.xattr_names = {"user.tag"};
+  return pool;
+}
+
+ParameterPool ParameterPool::Tiny() {
+  ParameterPool pool;
+  pool.file_paths = {"/f0"};
+  pool.dir_paths = {"/d0"};
+  pool.write_offsets = {0};
+  pool.write_sizes = {10};
+  pool.truncate_sizes = {0, 5};
+  pool.modes = {0644};
+  pool.fill_bytes = {0x41};
+  pool.xattr_names = {};
+  pool.include_link_ops = false;
+  pool.include_metadata_ops = false;
+  return pool;
+}
+
+std::vector<Operation> ParameterPool::EnumerateAll(
+    const std::vector<fs::FsFeature>& features) const {
+  auto supported = [&features](fs::FsFeature f) {
+    return std::find(features.begin(), features.end(), f) != features.end();
+  };
+
+  std::vector<Operation> ops;
+  auto add = [&ops, &supported](Operation op) {
+    fs::FsFeature feature;
+    if (op.RequiresFeature(&feature) && !supported(feature)) return;
+    ops.push_back(std::move(op));
+  };
+
+  // All namable paths (files live in dirs too: invalid combinations like
+  // mkdir over a file path are intentionally generated).
+  std::vector<std::string> all_paths = file_paths;
+  all_paths.insert(all_paths.end(), dir_paths.begin(), dir_paths.end());
+
+  if (include_namespace_ops) {
+    for (const auto& path : file_paths) {
+      for (fs::Mode mode : modes) {
+        add({.kind = OpKind::kCreateFile, .path = path, .mode = mode});
+      }
+      add({.kind = OpKind::kUnlink, .path = path});
+    }
+    for (const auto& path : dir_paths) {
+      add({.kind = OpKind::kMkdir, .path = path, .mode = modes.empty()
+                                                            ? fs::Mode{0755}
+                                                            : modes.front()});
+      add({.kind = OpKind::kRmdir, .path = path});
+    }
+    // Cross-type invalid ops: rmdir a file path, unlink a dir path.
+    if (!file_paths.empty()) {
+      add({.kind = OpKind::kRmdir, .path = file_paths.front()});
+    }
+    if (!dir_paths.empty()) {
+      add({.kind = OpKind::kUnlink, .path = dir_paths.front()});
+    }
+    // Renames among the first few paths.
+    for (std::size_t i = 0; i + 1 < all_paths.size() && i < 3; ++i) {
+      add({.kind = OpKind::kRename,
+           .path = all_paths[i],
+           .path2 = all_paths[i + 1]});
+      add({.kind = OpKind::kRename,
+           .path = all_paths[i + 1],
+           .path2 = all_paths[i]});
+    }
+  }
+
+  if (include_data_ops) {
+    for (const auto& path : file_paths) {
+      for (std::uint64_t offset : write_offsets) {
+        for (std::uint64_t size : write_sizes) {
+          for (std::uint8_t fill : fill_bytes) {
+            add({.kind = OpKind::kWriteFile,
+                 .path = path,
+                 .offset = offset,
+                 .size = size,
+                 .fill = fill});
+          }
+        }
+      }
+      add({.kind = OpKind::kReadFile,
+           .path = path,
+           .offset = 0,
+           .size = 1 << 16});
+      for (std::uint64_t size : truncate_sizes) {
+        add({.kind = OpKind::kTruncate, .path = path, .size = size});
+      }
+    }
+    // Invalid: write to a directory path.
+    if (!dir_paths.empty() && !write_sizes.empty()) {
+      add({.kind = OpKind::kWriteFile,
+           .path = dir_paths.front(),
+           .offset = 0,
+           .size = write_sizes.front(),
+           .fill = fill_bytes.empty() ? std::uint8_t{0}
+                                      : fill_bytes.front()});
+    }
+  }
+
+  if (include_metadata_ops) {
+    for (const auto& path : all_paths) {
+      add({.kind = OpKind::kStat, .path = path});
+    }
+    for (const auto& path : dir_paths) {
+      add({.kind = OpKind::kGetDents, .path = path});
+    }
+    add({.kind = OpKind::kGetDents, .path = "/"});
+    for (const auto& path : file_paths) {
+      for (fs::Mode mode : modes) {
+        add({.kind = OpKind::kChmod, .path = path, .mode = mode});
+      }
+      add({.kind = OpKind::kAccess, .path = path, .mode = fs::kROk});
+      for (const auto& name : xattr_names) {
+        add({.kind = OpKind::kSetXattr, .path = path, .xattr_name = name});
+        add({.kind = OpKind::kRemoveXattr,
+             .path = path,
+             .xattr_name = name});
+      }
+    }
+  }
+
+  if (include_link_ops && !file_paths.empty()) {
+    const std::string& target = file_paths.front();
+    if (supported(fs::FsFeature::kHardLink)) {
+      add({.kind = OpKind::kLink, .path = target, .path2 = "/hardlink0"});
+      add({.kind = OpKind::kUnlink, .path = "/hardlink0"});
+    }
+    if (supported(fs::FsFeature::kSymlink)) {
+      add({.kind = OpKind::kSymlink, .path = target, .path2 = "/symlink0"});
+      add({.kind = OpKind::kReadLink, .path = "/symlink0"});
+      add({.kind = OpKind::kUnlink, .path = "/symlink0"});
+    }
+  }
+
+  return ops;
+}
+
+}  // namespace mcfs::core

@@ -1,0 +1,108 @@
+// Operation descriptors and bounded parameter pools.
+//
+// MCFS's syscall engine is a nondeterministic do..od loop over a bounded
+// set of operations (paper §4). Because kernel file systems are
+// remounted between steps, operations that depend on kernel state (open
+// file descriptors) are packaged as meta-operations: create_file is
+// open+close, write_file is open+write+close, read_file is
+// open+read+close. Parameters come from predefined pools, so the action
+// set — and with it the explored state space — is finite and enumerable.
+//
+// Valid AND invalid sequences are both generated on purpose: invalid
+// calls (unlink of a missing file, mkdir over a file, ...) exercise the
+// error paths "where bugs often lurk" (paper §2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/filesystem.h"
+
+namespace mcfs::core {
+
+enum class OpKind : std::uint8_t {
+  kCreateFile,   // meta-op: open(O_CREAT|O_EXCL)+close
+  kWriteFile,    // meta-op: open(O_WRONLY)+write+close
+  kReadFile,     // meta-op: open(O_RDONLY)+read+close
+  kTruncate,
+  kMkdir,
+  kRmdir,
+  kUnlink,
+  kGetDents,
+  kStat,
+  kRename,
+  kLink,
+  kSymlink,
+  kReadLink,
+  kChmod,
+  kAccess,
+  kSetXattr,
+  kRemoveXattr,
+};
+
+std::string_view OpKindName(OpKind kind);
+
+// One fully parameterized operation.
+struct Operation {
+  OpKind kind;
+  std::string path;        // primary target
+  std::string path2;       // rename/link/symlink secondary
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint8_t fill = 0;   // write payload byte (content derives from it)
+  fs::Mode mode = 0644;
+  std::string xattr_name;
+
+  // Human-readable form for trails and logs, e.g.
+  // "write_file(/f0, off=0, size=100, fill=0x41)".
+  std::string ToString() const;
+
+  // Which optional feature (if any) both file systems must support for
+  // this operation to be issued.
+  bool RequiresFeature(fs::FsFeature* feature) const;
+};
+
+// The outcome the checker compares across file systems: error code plus
+// whatever payload the operation returns.
+struct OpOutcome {
+  Errno error = Errno::kOk;
+  Bytes data;                          // read_file payload
+  std::vector<fs::DirEntry> dirents;   // getdents payload
+  bool has_attr = false;
+  fs::InodeAttr attr;                  // stat payload
+  std::string link_target;             // readlink payload
+};
+
+// The bounded parameter pools. EnumerateAll() produces the full action
+// set the explorer permutes; the pools are deliberately small — the
+// paper's point is exhaustiveness *within* bounds, not big bounds.
+struct ParameterPool {
+  std::vector<std::string> file_paths;
+  std::vector<std::string> dir_paths;
+  std::vector<std::uint64_t> write_offsets;
+  std::vector<std::uint64_t> write_sizes;
+  std::vector<std::uint64_t> truncate_sizes;
+  std::vector<fs::Mode> modes;
+  std::vector<std::uint8_t> fill_bytes;
+  std::vector<std::string> xattr_names;
+  // Op families to include.
+  bool include_namespace_ops = true;  // mkdir/rmdir/unlink/rename/...
+  bool include_data_ops = true;       // write/read/truncate
+  bool include_metadata_ops = true;   // stat/chmod/access/xattr/getdents
+  bool include_link_ops = true;       // link/symlink/readlink
+
+  // A small default pool (~100 actions): two files, two directories, a
+  // few sizes and offsets.
+  static ParameterPool Default();
+  // A tiny pool for exhaustive-DFS tests (~20 actions).
+  static ParameterPool Tiny();
+
+  // Expands the pools into the concrete bounded action set, dropping
+  // operations that need a feature outside `features` (the intersection
+  // of what both file systems support).
+  std::vector<Operation> EnumerateAll(
+      const std::vector<fs::FsFeature>& features) const;
+};
+
+}  // namespace mcfs::core

@@ -1,0 +1,172 @@
+#include "mcfs/syscall_engine.h"
+
+#include <algorithm>
+
+#include "fs/path.h"
+#include "mcfs/equalize.h"
+
+namespace mcfs::core {
+
+namespace {
+
+// Intersection of the two feature sets.
+std::vector<fs::FsFeature> CommonFeatures(FsUnderTest& a, FsUnderTest& b) {
+  const auto fa = a.SupportedFeatures();
+  const auto fb = b.SupportedFeatures();
+  std::vector<fs::FsFeature> common;
+  for (fs::FsFeature f : fa) {
+    if (std::find(fb.begin(), fb.end(), f) != fb.end()) common.push_back(f);
+  }
+  return common;
+}
+
+}  // namespace
+
+SyscallEngine::SyscallEngine(FsUnderTest& fs_a, FsUnderTest& fs_b,
+                             EngineOptions options)
+    : fs_a_(fs_a), fs_b_(fs_b), options_(std::move(options)) {
+  // Extend the exception lists with FS-created special paths (§3.4) and
+  // the free-space fill file.
+  auto add_special = [this](const std::string& path) {
+    options_.abstraction.exception_list.push_back(path);
+    options_.checker.special_names.push_back(fs::Basename(path));
+  };
+  for (const auto& path : fs_a_.SpecialPaths()) add_special(path);
+  for (const auto& path : fs_b_.SpecialPaths()) add_special(path);
+  add_special(kFillFilePath);
+  options_.abstraction.ignore_directory_sizes =
+      options_.checker.ignore_directory_sizes;
+
+  actions_ = options_.pool.EnumerateAll(CommonFeatures(fs_a_, fs_b_));
+}
+
+std::string SyscallEngine::ActionName(std::size_t action) const {
+  return actions_.at(action).ToString();
+}
+
+Status SyscallEngine::RefreshAbstractState(bool check_equality) {
+  // The walk needs mounted file systems; remount-per-op strategies may
+  // have them unmounted at this point.
+  if (Status s = fs_a_.EnsureMounted(); !s.ok()) return s;
+  if (Status s = fs_b_.EnsureMounted(); !s.ok()) return s;
+
+  auto hash_a = ComputeAbstractState(fs_a_.vfs(), options_.abstraction);
+  auto hash_b = ComputeAbstractState(fs_b_.vfs(), options_.abstraction);
+  if (!hash_a.ok() || !hash_b.ok()) {
+    // The walk itself failed: a §3.2-style corrupted file system (e.g.
+    // dangling dcache entries after an unsynchronized restore).
+    ++counters_.corruption_events;
+    violation_ = std::string("file system corruption detected: "
+                             "abstraction walk failed on ") +
+                 (!hash_a.ok() ? fs_a_.name() : fs_b_.name()) + " with " +
+                 std::string(ErrnoName(!hash_a.ok() ? hash_a.error()
+                                                    : hash_b.error()));
+    return Status::Ok();  // reported as violation, not infrastructure error
+  }
+
+  if (check_equality && options_.compare_states &&
+      hash_a.value() != hash_b.value()) {
+    ++counters_.discrepancies;
+    violation_ = "state divergence: abstract states differ (" +
+                 fs_a_.name() + "=" + hash_a.value().ToHex() + ", " +
+                 fs_b_.name() + "=" + hash_b.value().ToHex() + ")";
+  }
+
+  // Combined digest = hash(A || B): the visited-state identity of the
+  // *pair*, which is what exploration dedupes on.
+  Md5 combined;
+  combined.Update(ByteView(hash_a.value().bytes.data(), 16));
+  combined.Update(ByteView(hash_b.value().bytes.data(), 16));
+  cached_hash_ = combined.Final();
+  return Status::Ok();
+}
+
+Status SyscallEngine::ApplyAction(std::size_t action) {
+  if (action >= actions_.size()) return Errno::kEINVAL;
+  const Operation& op = actions_[action];
+  violation_.reset();
+  cached_hash_.reset();
+
+  if (Status s = fs_a_.BeginOp(); !s.ok()) {
+    ++counters_.corruption_events;
+    violation_ = "remount failed on " + fs_a_.name() + ": " +
+                 std::string(ErrnoName(s.error()));
+    return Status::Ok();
+  }
+  if (Status s = fs_b_.BeginOp(); !s.ok()) {
+    ++counters_.corruption_events;
+    violation_ = "remount failed on " + fs_b_.name() + ": " +
+                 std::string(ErrnoName(s.error()));
+    return Status::Ok();
+  }
+
+  const OpOutcome outcome_a = ExecuteOp(fs_a_.vfs(), op);
+  const OpOutcome outcome_b = ExecuteOp(fs_b_.vfs(), op);
+  ++counters_.ops_executed;
+  coverage_.Record(op.kind, outcome_a.error);
+  coverage_.Record(op.kind, outcome_b.error);
+
+  const CheckVerdict verdict =
+      CompareOutcomes(op, outcome_a, outcome_b, options_.checker);
+  if (!verdict.ok) {
+    ++counters_.discrepancies;
+    violation_ = verdict.detail + " (" + fs_a_.name() + " vs " +
+                 fs_b_.name() + ")";
+  }
+
+  // Full-state integrity check + abstract hash for visited matching.
+  if (!violation_.has_value()) {
+    if (Status s = RefreshAbstractState(/*check_equality=*/true); !s.ok()) {
+      return s;
+    }
+  }
+
+  trace_.Append(op, outcome_a, outcome_b, violation_.has_value());
+  trace_.TrimToLast(options_.trace_cap);
+
+  if (Status s = fs_a_.EndOp(); !s.ok()) return s;
+  if (Status s = fs_b_.EndOp(); !s.ok()) return s;
+  return Status::Ok();
+}
+
+Md5Digest SyscallEngine::AbstractHash() {
+  if (!cached_hash_.has_value()) {
+    if (Status s = RefreshAbstractState(/*check_equality=*/false); !s.ok() ||
+        !cached_hash_.has_value()) {
+      // Infrastructure failure: return a sentinel digest; the explorer
+      // will already have surfaced the violation.
+      return Md5Digest{};
+    }
+    (void)fs_a_.EndOp();
+    (void)fs_b_.EndOp();
+  }
+  return *cached_hash_;
+}
+
+Result<mc::SnapshotId> SyscallEngine::SaveConcrete() {
+  const mc::SnapshotId id = next_snapshot_++;
+  if (Status s = fs_a_.SaveState(id); !s.ok()) return s.error();
+  if (Status s = fs_b_.SaveState(id); !s.ok()) {
+    (void)fs_a_.DiscardState(id);
+    return s.error();
+  }
+  return id;
+}
+
+Status SyscallEngine::RestoreConcrete(mc::SnapshotId id) {
+  cached_hash_.reset();
+  violation_.reset();
+  if (Status s = fs_a_.RestoreState(id); !s.ok()) return s;
+  return fs_b_.RestoreState(id);
+}
+
+Status SyscallEngine::DiscardConcrete(mc::SnapshotId id) {
+  if (Status s = fs_a_.DiscardState(id); !s.ok()) return s;
+  return fs_b_.DiscardState(id);
+}
+
+std::uint64_t SyscallEngine::ConcreteStateBytes() const {
+  return fs_a_.StateBytes() + fs_b_.StateBytes();
+}
+
+}  // namespace mcfs::core

@@ -1,0 +1,96 @@
+// The file-system syscall engine: the Promela do..od loop of the paper's
+// prototype (§4), realized as a mc::System over a pair of file systems.
+//
+// Each action issues one (meta-)operation with pool-drawn parameters to
+// BOTH file systems, runs the integrity checks, and computes the combined
+// abstract state. Concrete save/restore delegates to each FsUnderTest's
+// strategy (remount / ioctl / VM).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "mc/state.h"
+#include "mcfs/abstraction.h"
+#include "mcfs/checker.h"
+#include "mcfs/coverage.h"
+#include "mcfs/fs_under_test.h"
+#include "mcfs/ops.h"
+#include "mcfs/trace.h"
+
+namespace mcfs::core {
+
+struct EngineOptions {
+  ParameterPool pool = ParameterPool::Default();
+  CheckerOptions checker;
+  AbstractionOptions abstraction;
+  // Compare the two file systems' abstract states after every operation
+  // (the "identical states" integrity check of §2). Return-value checks
+  // run regardless.
+  bool compare_states = true;
+  // Cap on trace memory for long runs.
+  std::size_t trace_cap = 1024;
+};
+
+struct EngineCounters {
+  std::uint64_t ops_executed = 0;
+  std::uint64_t discrepancies = 0;
+  // Infrastructure-level anomalies (abstraction walk failed, remount
+  // failed): the corrupted-file-system symptom of §3.2.
+  std::uint64_t corruption_events = 0;
+};
+
+class SyscallEngine final : public mc::System {
+ public:
+  // Both FsUnderTest must outlive the engine. The exception lists are
+  // automatically extended with each file system's SpecialPaths() and the
+  // free-space fill file.
+  SyscallEngine(FsUnderTest& fs_a, FsUnderTest& fs_b, EngineOptions options);
+
+  // mc::System.
+  std::size_t ActionCount() const override { return actions_.size(); }
+  std::string ActionName(std::size_t action) const override;
+  Status ApplyAction(std::size_t action) override;
+  bool violation_detected() const override { return violation_.has_value(); }
+  std::string violation_report() const override {
+    return violation_.value_or("");
+  }
+  Md5Digest AbstractHash() override;
+  Result<mc::SnapshotId> SaveConcrete() override;
+  Status RestoreConcrete(mc::SnapshotId id) override;
+  Status DiscardConcrete(mc::SnapshotId id) override;
+  std::uint64_t ConcreteStateBytes() const override;
+
+  // Clears a pending violation so exploration can continue past a known
+  // discrepancy (used when cataloguing multiple differences).
+  void ClearViolation() { violation_.reset(); }
+
+  const EngineCounters& counters() const { return counters_; }
+  const Trace& trace() const { return trace_; }
+  // Outcome coverage across both file systems (paper §7 future work).
+  const SyscallCoverage& coverage() const { return coverage_; }
+  const std::vector<Operation>& actions() const { return actions_; }
+  const EngineOptions& options() const { return options_; }
+  // Mutable access for ablation harnesses (e.g. stripping the §3.4
+  // workarounds after construction to measure the false positives they
+  // suppress).
+  EngineOptions& mutable_options() { return options_; }
+
+ private:
+  // Computes each side's abstract state (mount-state aware) and caches
+  // the combined digest; flags a violation if the states differ.
+  Status RefreshAbstractState(bool check_equality);
+
+  FsUnderTest& fs_a_;
+  FsUnderTest& fs_b_;
+  EngineOptions options_;
+  std::vector<Operation> actions_;
+  std::optional<std::string> violation_;
+  std::optional<Md5Digest> cached_hash_;
+  EngineCounters counters_;
+  Trace trace_;
+  SyscallCoverage coverage_;
+  mc::SnapshotId next_snapshot_ = 1;
+};
+
+}  // namespace mcfs::core

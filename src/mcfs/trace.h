@@ -1,0 +1,66 @@
+// Operation trace recording and replay.
+//
+// "Spin logs the precise sequence of operations, parameters, and starting
+// and ending states that led to a problem, simplifying reproducibility"
+// (paper §2). The Trace captures every executed operation with both file
+// systems' outcomes; after a violation it can be dumped for humans or
+// replayed mechanically against a fresh pair of file systems to confirm
+// the bug reproduces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mcfs/checker.h"
+#include "mcfs/ops.h"
+#include "vfs/vfs.h"
+
+namespace mcfs::core {
+
+// Executes one operation (meta-ops included) against a mounted VFS.
+// Exposed here because both the engine and trace replay need it.
+OpOutcome ExecuteOp(vfs::Vfs& v, const Operation& op);
+
+class Trace {
+ public:
+  struct Record {
+    Operation op;
+    Errno error_a;
+    Errno error_b;
+    bool violation = false;
+  };
+
+  void Append(const Operation& op, const OpOutcome& a, const OpOutcome& b,
+              bool violation);
+  void Clear() { records_.clear(); }
+
+  const std::vector<Record>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  // Human-readable dump ("<op> -> A:<errno> B:<errno> [VIOLATION]").
+  std::string ToText() const;
+
+  // Binary round trip, so a trace can be saved alongside a bug report
+  // and replayed later (paper §2's reproducibility story).
+  Bytes Serialize() const;
+  static Result<Trace> Deserialize(ByteView image);
+
+  // Keeps only the last `n` records (long runs cap their trace memory).
+  void TrimToLast(std::size_t n);
+
+  struct ReplayResult {
+    bool reproduced = false;     // a violation occurred during replay
+    std::size_t violation_index = 0;
+    std::string detail;
+  };
+
+  // Re-executes the recorded operations against a fresh pair of mounted
+  // file systems and reports whether a discrepancy reappears.
+  ReplayResult Replay(vfs::Vfs& a, vfs::Vfs& b,
+                      const CheckerOptions& options) const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace mcfs::core

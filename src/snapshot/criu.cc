@@ -1,0 +1,48 @@
+#include "snapshot/criu.h"
+
+namespace mcfs::snapshot {
+
+CriuSnapshotter::CriuSnapshotter(SimClock* clock, CriuOptions options)
+    : clock_(clock), options_(options) {}
+
+Status CriuSnapshotter::Checkpoint(std::uint64_t key,
+                                   const ProcessDescriptor& process) {
+  const std::vector<std::string> devices = process.open_device_paths();
+  if (!devices.empty()) {
+    // "CRIU refused to checkpoint processes that have opened or mapped
+    // any character or block device" (paper §5).
+    refusals_.push_back(process.name() + " holds " + devices.front());
+    return Errno::kEBUSY;
+  }
+  Bytes image = process.CaptureMemory();
+  Charge(options_.fixed_cost +
+         (image.size() + (1 << 20) - 1) / (1 << 20) *
+             options_.dump_cost_per_mb);
+  images_[key] = std::move(image);
+  return Status::Ok();
+}
+
+Status CriuSnapshotter::Restore(std::uint64_t key,
+                                ProcessDescriptor& process) {
+  auto it = images_.find(key);
+  if (it == images_.end()) return Errno::kENOENT;
+  Charge(options_.fixed_cost +
+         (it->second.size() + (1 << 20) - 1) / (1 << 20) *
+             options_.restore_cost_per_mb);
+  Status s = process.RestoreMemory(it->second);
+  if (!s.ok()) return s;
+  images_.erase(it);
+  return Status::Ok();
+}
+
+Status CriuSnapshotter::Discard(std::uint64_t key) {
+  return images_.erase(key) == 1 ? Status::Ok() : Status(Errno::kENOENT);
+}
+
+Result<std::uint64_t> CriuSnapshotter::ImageSize(std::uint64_t key) const {
+  auto it = images_.find(key);
+  if (it == images_.end()) return Errno::kENOENT;
+  return it->second.size();
+}
+
+}  // namespace mcfs::snapshot

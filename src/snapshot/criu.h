@@ -1,0 +1,76 @@
+// CRIU-style process snapshotting (paper §5, "Process snapshotting").
+//
+// The paper tried CRIU to capture a user-space file system's in-memory
+// state and hit its hard limitation: CRIU refuses to checkpoint processes
+// that have opened or mapped character or block devices — and FUSE file
+// systems by construction hold /dev/fuse open. It *could*, however,
+// snapshot the NFS-Ganesha user-space server, which talks over sockets.
+// This module reproduces both behaviours.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/result.h"
+#include "util/sim_clock.h"
+
+namespace mcfs::snapshot {
+
+// What the snapshotter can see of a process.
+class ProcessDescriptor {
+ public:
+  virtual ~ProcessDescriptor() = default;
+
+  virtual std::string name() const = 0;
+
+  // Paths of character/block devices the process holds open. Non-empty
+  // means CRIU refuses.
+  virtual std::vector<std::string> open_device_paths() const = 0;
+
+  // Full memory-image capture/restore.
+  virtual Bytes CaptureMemory() const = 0;
+  virtual Status RestoreMemory(ByteView image) = 0;
+};
+
+struct CriuOptions {
+  // Dump/restore costs: page-walking plus image I/O, per MB.
+  SimClock::Nanos dump_cost_per_mb = 5'000'000;     // 5 ms/MB
+  SimClock::Nanos restore_cost_per_mb = 3'000'000;  // 3 ms/MB
+  SimClock::Nanos fixed_cost = 10'000'000;          // 10 ms fork/ptrace
+};
+
+class CriuSnapshotter {
+ public:
+  explicit CriuSnapshotter(SimClock* clock, CriuOptions options = {});
+
+  // Dumps the process image under `key`. Fails with EBUSY if the process
+  // holds any character or block device open (the FUSE case).
+  Status Checkpoint(std::uint64_t key, const ProcessDescriptor& process);
+
+  // Restores the image under `key` into `process` and discards it.
+  Status Restore(std::uint64_t key, ProcessDescriptor& process);
+
+  Status Discard(std::uint64_t key);
+
+  // Size of the stored image under `key` (ENOENT if absent).
+  Result<std::uint64_t> ImageSize(std::uint64_t key) const;
+
+  std::uint64_t image_count() const { return images_.size(); }
+  // The refusal log: device paths that blocked checkpoints.
+  const std::vector<std::string>& refusals() const { return refusals_; }
+
+ private:
+  void Charge(SimClock::Nanos ns) {
+    if (clock_ != nullptr) clock_->Advance(ns);
+  }
+
+  SimClock* clock_;
+  CriuOptions options_;
+  std::map<std::uint64_t, Bytes> images_;
+  std::vector<std::string> refusals_;
+};
+
+}  // namespace mcfs::snapshot

@@ -1,0 +1,56 @@
+#include "snapshot/vm.h"
+
+#include <utility>
+
+namespace mcfs::snapshot {
+
+VmSnapshotter::VmSnapshotter(SimClock* clock, VmOptions options)
+    : clock_(clock), options_(options) {}
+
+void VmSnapshotter::RegisterComponent(std::string name, CaptureFn capture,
+                                      RestoreFn restore) {
+  components_.push_back(
+      Component{std::move(name), std::move(capture), std::move(restore)});
+}
+
+Status VmSnapshotter::Checkpoint(std::uint64_t key) {
+  std::vector<Bytes> images;
+  images.reserve(components_.size());
+  std::uint64_t total = 0;
+  for (const auto& component : components_) {
+    images.push_back(component.capture());
+    total += images.back().size();
+  }
+  Charge(options_.checkpoint_fixed +
+         (total + (1 << 20) - 1) / (1 << 20) * options_.cost_per_mb);
+  snapshots_[key] = std::move(images);
+  return Status::Ok();
+}
+
+Status VmSnapshotter::Restore(std::uint64_t key) {
+  auto it = snapshots_.find(key);
+  if (it == snapshots_.end()) return Errno::kENOENT;
+  if (it->second.size() != components_.size()) return Errno::kEINVAL;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i].restore(it->second[i]);
+    total += it->second[i].size();
+  }
+  Charge(options_.restore_fixed +
+         (total + (1 << 20) - 1) / (1 << 20) * options_.cost_per_mb);
+  return Status::Ok();
+}
+
+Status VmSnapshotter::Discard(std::uint64_t key) {
+  return snapshots_.erase(key) == 1 ? Status::Ok() : Status(Errno::kENOENT);
+}
+
+std::uint64_t VmSnapshotter::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, images] : snapshots_) {
+    for (const auto& image : images) total += image.size();
+  }
+  return total;
+}
+
+}  // namespace mcfs::snapshot

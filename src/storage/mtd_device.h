@@ -1,0 +1,103 @@
+// MTD (Memory Technology Device) simulation for JFFS2.
+//
+// JFFS2 cannot mount a regular block device; it needs an MTD character
+// device with erase-block semantics (erase before rewrite, whole erase
+// blocks at a time). The paper loads `mtdram` to create a virtual MTD in
+// RAM and `mtdblock` to expose a block interface that Spin can mmap. We
+// reproduce both: MtdDevice is the flash-semantics device; MtdBlockShim
+// adapts it to the BlockDevice interface (read-modify-erase-write).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/block_device.h"
+
+namespace mcfs::storage {
+
+struct MtdOptions {
+  std::uint32_t erase_block_size = 16 * 1024;
+  std::uint32_t write_granularity = 4;   // NOR-style word writes
+  SimClock::Nanos read_latency_per_kb = 2'000;
+  SimClock::Nanos write_latency_per_kb = 50'000;    // flash program
+  SimClock::Nanos erase_latency_per_block = 2'000'000;  // block erase
+};
+
+// Raw flash with erase-block discipline: bits can only be cleared by
+// writes (1 -> 0); setting them back requires erasing a whole block to 0xff.
+class MtdDevice {
+ public:
+  MtdDevice(std::string name, std::uint64_t size_bytes, SimClock* clock,
+            MtdOptions options = {});
+
+  std::uint64_t size_bytes() const { return data_.size(); }
+  std::uint32_t erase_block_size() const { return options_.erase_block_size; }
+  std::uint32_t erase_block_count() const {
+    return static_cast<std::uint32_t>(data_.size() /
+                                      options_.erase_block_size);
+  }
+
+  Status Read(std::uint64_t offset, std::span<std::uint8_t> out);
+
+  // Programs bytes; returns EIO if the write would need to flip any 0 -> 1
+  // (i.e., the region was not erased first).
+  Status Program(std::uint64_t offset, ByteView data);
+
+  // Erases the erase-block containing `offset` back to 0xff.
+  Status EraseBlock(std::uint32_t block_index);
+
+  // State capture passes read/rewrite the whole flash through the
+  // mtdblock view (the paper mmaps it, §4); charged at read rate.
+  Bytes SnapshotContents() const;
+  Status RestoreContents(ByteView contents);
+
+  std::uint64_t erase_count(std::uint32_t block_index) const {
+    return erase_counts_.at(block_index);
+  }
+
+  std::string name() const { return name_; }
+
+ private:
+  void Charge(SimClock::Nanos ns) const {
+    if (clock_ != nullptr) clock_->Advance(ns);
+  }
+
+  std::string name_;
+  MtdOptions options_;
+  SimClock* clock_;
+  Bytes data_;
+  std::vector<std::uint64_t> erase_counts_;
+};
+
+// mtdblock-style adapter: exposes the MTD as a BlockDevice so the model
+// checker can snapshot/restore it like any block device. Writes perform
+// erase-modify-program on the containing erase block.
+class MtdBlockShim final : public BlockDevice {
+ public:
+  explicit MtdBlockShim(std::shared_ptr<MtdDevice> mtd);
+
+  std::uint64_t size_bytes() const override { return mtd_->size_bytes(); }
+  std::uint32_t block_size() const override {
+    return mtd_->erase_block_size();
+  }
+
+  Status Read(std::uint64_t offset, std::span<std::uint8_t> out) override;
+  Status Write(std::uint64_t offset, ByteView data) override;
+  Status Flush() override { return Status::Ok(); }
+
+  Bytes SnapshotContents() const override { return mtd_->SnapshotContents(); }
+  Status RestoreContents(ByteView contents) override {
+    return mtd_->RestoreContents(contents);
+  }
+
+  const DeviceStats& stats() const override { return stats_; }
+  std::string name() const override { return mtd_->name() + "-block"; }
+
+  MtdDevice& mtd() { return *mtd_; }
+
+ private:
+  std::shared_ptr<MtdDevice> mtd_;
+  DeviceStats stats_;
+};
+
+}  // namespace mcfs::storage

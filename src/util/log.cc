@@ -1,0 +1,33 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace mcfs {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+constexpr const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel GetLogLevel() { return g_level.load(); }
+
+void LogMessage(LogLevel level, std::string_view msg) {
+  if (level < g_level.load() || msg.empty()) return;
+  std::fprintf(stderr, "[mcfs %s] %.*s\n", LevelTag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace mcfs

@@ -1,0 +1,133 @@
+// Errno-style error codes and a Result<T> carrier used across every
+// file-system facing interface in this library.
+//
+// The checker compares error codes across file systems, so the codes must be
+// a closed, portable enum rather than the host's <cerrno> values.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+namespace mcfs {
+
+// POSIX-flavoured error codes. Values are stable and independent of the
+// host platform so that traces serialize portably.
+enum class Errno : std::int32_t {
+  kOk = 0,
+  kEPERM = 1,
+  kENOENT = 2,
+  kEIO = 5,
+  kENXIO = 6,
+  kEBADF = 9,
+  kEAGAIN = 11,
+  kENOMEM = 12,
+  kEACCES = 13,
+  kEBUSY = 16,
+  kEEXIST = 17,
+  kEXDEV = 18,
+  kENODEV = 19,
+  kENOTDIR = 20,
+  kEISDIR = 21,
+  kEINVAL = 22,
+  kENFILE = 23,
+  kEMFILE = 24,
+  kEFBIG = 27,
+  kENOSPC = 28,
+  kEROFS = 30,
+  kEMLINK = 31,
+  kERANGE = 34,
+  kENAMETOOLONG = 36,
+  kENOTEMPTY = 39,
+  kELOOP = 40,
+  kENODATA = 61,
+  kEOVERFLOW = 75,
+  kENOTSUP = 95,
+  kEDQUOT = 122,
+};
+
+// Human-readable name for an error code (for logs and discrepancy reports).
+constexpr std::string_view ErrnoName(Errno e) {
+  switch (e) {
+    case Errno::kOk: return "OK";
+    case Errno::kEPERM: return "EPERM";
+    case Errno::kENOENT: return "ENOENT";
+    case Errno::kEIO: return "EIO";
+    case Errno::kENXIO: return "ENXIO";
+    case Errno::kEBADF: return "EBADF";
+    case Errno::kEAGAIN: return "EAGAIN";
+    case Errno::kENOMEM: return "ENOMEM";
+    case Errno::kEACCES: return "EACCES";
+    case Errno::kEBUSY: return "EBUSY";
+    case Errno::kEEXIST: return "EEXIST";
+    case Errno::kEXDEV: return "EXDEV";
+    case Errno::kENODEV: return "ENODEV";
+    case Errno::kENOTDIR: return "ENOTDIR";
+    case Errno::kEISDIR: return "EISDIR";
+    case Errno::kEINVAL: return "EINVAL";
+    case Errno::kENFILE: return "ENFILE";
+    case Errno::kEMFILE: return "EMFILE";
+    case Errno::kEFBIG: return "EFBIG";
+    case Errno::kENOSPC: return "ENOSPC";
+    case Errno::kEROFS: return "EROFS";
+    case Errno::kEMLINK: return "EMLINK";
+    case Errno::kERANGE: return "ERANGE";
+    case Errno::kENAMETOOLONG: return "ENAMETOOLONG";
+    case Errno::kENOTEMPTY: return "ENOTEMPTY";
+    case Errno::kELOOP: return "ELOOP";
+    case Errno::kENODATA: return "ENODATA";
+    case Errno::kEOVERFLOW: return "EOVERFLOW";
+    case Errno::kENOTSUP: return "ENOTSUP";
+    case Errno::kEDQUOT: return "EDQUOT";
+  }
+  return "E???";
+}
+
+// Result of an operation that yields a T on success or an Errno on failure.
+// Deliberately minimal: the file-system interfaces need exactly
+// success-with-value / failure-with-code, nothing more.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)), err_(Errno::kOk) {}  // NOLINT
+  Result(Errno err) : err_(err) {}                                 // NOLINT
+
+  bool ok() const { return err_ == Errno::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  Errno error() const { return err_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  // value() if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Errno err_;
+};
+
+// Result<void> analogue: just a status.
+class [[nodiscard]] Status {
+ public:
+  Status() : err_(Errno::kOk) {}
+  Status(Errno err) : err_(err) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return err_ == Errno::kOk; }
+  explicit operator bool() const { return ok(); }
+  Errno error() const { return err_; }
+
+  friend bool operator==(const Status&, const Status&) = default;
+
+ private:
+  Errno err_;
+};
+
+}  // namespace mcfs

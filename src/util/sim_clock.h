@@ -1,0 +1,42 @@
+// Simulated-time clock.
+//
+// The paper's Figure 2/3 results are dominated by device latency, remount
+// cost, snapshot cost, and swap behaviour — all hardware effects. To make
+// the reproduction deterministic and hardware-independent, every substrate
+// charges simulated nanoseconds to a SimClock, and benches report simulated
+// ops/s (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+namespace mcfs {
+
+class SimClock {
+ public:
+  using Nanos = std::uint64_t;
+
+  Nanos now() const { return now_ns_; }
+
+  void Advance(Nanos ns) { now_ns_ += ns; }
+
+  void Reset() { now_ns_ = 0; }
+
+  double seconds() const { return static_cast<double>(now_ns_) * 1e-9; }
+
+ private:
+  Nanos now_ns_ = 0;
+};
+
+// Convenience literals for latency constants.
+constexpr SimClock::Nanos operator""_ns(unsigned long long v) { return v; }
+constexpr SimClock::Nanos operator""_us(unsigned long long v) {
+  return v * 1000ULL;
+}
+constexpr SimClock::Nanos operator""_ms(unsigned long long v) {
+  return v * 1000'000ULL;
+}
+constexpr SimClock::Nanos operator""_s(unsigned long long v) {
+  return v * 1000'000'000ULL;
+}
+
+}  // namespace mcfs

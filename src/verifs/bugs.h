@@ -1,0 +1,33 @@
+// The four historical VeriFS bugs the paper reports MCFS finding (§6),
+// reproducible on demand. Each flag re-introduces one bug so the bench
+// suite can measure operations-to-detection and tests can verify both the
+// buggy and the fixed behaviour.
+#pragma once
+
+namespace mcfs::verifs {
+
+struct VerifsBugs {
+  // VeriFS1 bug #1 (caught after ~9K ops vs Ext4): truncate failed to
+  // clear newly allocated space when expanding a file — stale bytes from
+  // a previous, longer incarnation of the file become visible.
+  bool truncate_no_zero_on_expand = false;
+
+  // VeriFS1 bug #2 (caught after ~12K ops vs Ext4): after a rollback the
+  // kernel's dentry/inode caches were not invalidated, so mkdir could
+  // fail with EEXIST for a directory that did not exist. The fix was
+  // calling fuse_lowlevel_notify_inval_entry / _inval_inode.
+  bool skip_cache_invalidation_on_restore = false;
+
+  // VeriFS2 bug #3 (caught after ~900K ops vs VeriFS1): write failed to
+  // zero the buffer gap when a write beyond EOF created a hole.
+  bool write_hole_no_zero = false;
+
+  // VeriFS2 bug #4 (caught after ~1.2M ops vs VeriFS1): write updated the
+  // file size only when the file grew beyond its buffer capacity, not
+  // whenever it was appended to — files came out short.
+  bool size_update_only_on_capacity_growth = false;
+
+  static VerifsBugs None() { return {}; }
+};
+
+}  // namespace mcfs::verifs

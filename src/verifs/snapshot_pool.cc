@@ -1,0 +1,42 @@
+#include "verifs/snapshot_pool.h"
+
+#include <utility>
+
+namespace mcfs::verifs {
+
+void SnapshotPool::Put(std::uint64_t key, Bytes state) {
+  auto it = snapshots_.find(key);
+  if (it != snapshots_.end()) {
+    total_bytes_ -= it->second.size();
+    total_bytes_ += state.size();
+    it->second = std::move(state);
+    return;
+  }
+  total_bytes_ += state.size();
+  snapshots_.emplace(key, std::move(state));
+}
+
+std::optional<ByteView> SnapshotPool::Peek(std::uint64_t key) const {
+  auto it = snapshots_.find(key);
+  if (it == snapshots_.end()) return std::nullopt;
+  return ByteView(it->second);
+}
+
+Result<Bytes> SnapshotPool::Take(std::uint64_t key) {
+  auto it = snapshots_.find(key);
+  if (it == snapshots_.end()) return Errno::kENOENT;
+  Bytes out = std::move(it->second);
+  total_bytes_ -= out.size();
+  snapshots_.erase(it);
+  return out;
+}
+
+Status SnapshotPool::Discard(std::uint64_t key) {
+  auto it = snapshots_.find(key);
+  if (it == snapshots_.end()) return Errno::kENOENT;
+  total_bytes_ -= it->second.size();
+  snapshots_.erase(it);
+  return Status::Ok();
+}
+
+}  // namespace mcfs::verifs

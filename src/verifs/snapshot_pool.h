@@ -1,0 +1,38 @@
+// The snapshot pool behind VeriFS's ioctl_CHECKPOINT / ioctl_RESTORE
+// (paper §5): a keyed store of serialized file-system states. The model
+// checker owns the keys; VeriFS owns the bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mcfs::verifs {
+
+class SnapshotPool {
+ public:
+  // Stores (or replaces) the snapshot under `key`.
+  void Put(std::uint64_t key, Bytes state);
+
+  // Returns the snapshot under `key` without removing it.
+  std::optional<ByteView> Peek(std::uint64_t key) const;
+
+  // Removes and returns the snapshot under `key` (restore discards the
+  // snapshot, paper §5).
+  Result<Bytes> Take(std::uint64_t key);
+
+  // Drops the snapshot under `key`; ENOENT if absent.
+  Status Discard(std::uint64_t key);
+
+  std::uint64_t count() const { return snapshots_.size(); }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  std::map<std::uint64_t, Bytes> snapshots_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace mcfs::verifs

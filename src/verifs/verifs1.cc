@@ -1,0 +1,563 @@
+#include "verifs/verifs1.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "fs/path.h"
+
+namespace mcfs::verifs {
+
+Verifs1::Verifs1(Verifs1Options options) : options_(std::move(options)) {}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+Status Verifs1::Mkfs() {
+  if (mounted_) return Errno::kEBUSY;
+  inodes_.assign(options_.inode_count, Inode{});
+  Inode& root = inodes_[kRootIndex];
+  root.used = true;
+  root.type = fs::FileType::kDirectory;
+  root.mode = 0755;
+  root.uid = options_.identity.uid;
+  root.gid = options_.identity.gid;
+  root.atime_ns = root.mtime_ns = root.ctime_ns = NowNs();
+  root.parent = kRootIndex;
+  return Status::Ok();
+}
+
+Status Verifs1::Mount() {
+  if (mounted_) return Errno::kEBUSY;
+  if (inodes_.empty()) return Errno::kEINVAL;  // never formatted
+  mounted_ = true;
+  return Status::Ok();
+}
+
+Status Verifs1::Unmount() {
+  if (!mounted_) return Errno::kEINVAL;
+  // A RAM file system's state lives in the daemon, which outlives the
+  // kernel mount; only the open-handle table dies with the mount.
+  mounted_ = false;
+  open_files_.clear();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Resolution helpers
+
+Result<std::uint32_t> Verifs1::ResolveIndex(const std::string& path) const {
+  if (!mounted_) return Errno::kEINVAL;
+  auto split = fs::SplitPath(path);
+  if (!split.ok()) return split.error();
+  std::uint32_t index = kRootIndex;
+  for (const auto& comp : split.value()) {
+    const Inode& inode = inodes_[index];
+    if (inode.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
+    if (!fs::PermissionGranted(ToAttr(index, inode), options_.identity,
+                               fs::kXOk)) {
+      return Errno::kEACCES;
+    }
+    auto it = inode.children.find(comp);
+    if (it == inode.children.end()) return Errno::kENOENT;
+    index = it->second;
+  }
+  return index;
+}
+
+Result<Verifs1::ParentRef> Verifs1::ResolveParentRef(
+    const std::string& path) const {
+  auto split = fs::SplitPath(path);
+  if (!split.ok()) return split.error();
+  if (split.value().empty()) return Errno::kEINVAL;
+  auto parent = ResolveIndex(fs::ParentPath(path));
+  if (!parent.ok()) return parent.error();
+  if (inodes_[parent.value()].type != fs::FileType::kDirectory) {
+    return Errno::kENOTDIR;
+  }
+  return ParentRef{parent.value(), split.value().back()};
+}
+
+Result<std::uint32_t> Verifs1::AllocInode() {
+  for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    if (!inodes_[i].used) return i;
+  }
+  return Errno::kENOSPC;  // the fixed-length array is full
+}
+
+std::uint32_t Verifs1::ComputeNlink(const Inode& inode) const {
+  if (inode.type != fs::FileType::kDirectory) return 1;  // no hard links
+  std::uint32_t n = 2;
+  for (const auto& [name, child] : inode.children) {
+    if (inodes_[child].type == fs::FileType::kDirectory) ++n;
+  }
+  return n;
+}
+
+fs::InodeAttr Verifs1::ToAttr(std::uint32_t index, const Inode& inode) const {
+  fs::InodeAttr attr;
+  attr.ino = index + 1;  // inode numbers are 1-based externally
+  attr.type = inode.type;
+  attr.mode = inode.mode;
+  attr.nlink = ComputeNlink(inode);
+  attr.uid = inode.uid;
+  attr.gid = inode.gid;
+  attr.size = inode.type == fs::FileType::kDirectory
+                  ? inode.children.size() * 32
+                  : inode.size;
+  attr.atime_ns = inode.atime_ns;
+  attr.mtime_ns = inode.mtime_ns;
+  attr.ctime_ns = inode.ctime_ns;
+  attr.blocks = (inode.size + 511) / 512;
+  return attr;
+}
+
+// ---------------------------------------------------------------------------
+// File sizing — where historical bug #1 lives
+
+void Verifs1::SetFileSize(Inode& inode, std::uint64_t new_size,
+                          bool zero_growth) {
+  if (new_size > inode.buf.size()) {
+    inode.buf.resize(new_size, 0);  // fresh bytes are zero either way
+  }
+  if (new_size > inode.size && zero_growth) {
+    // Clear the reused region between the old logical end and the new
+    // one. Bug #1 omitted exactly this memset, exposing bytes from a
+    // previous, longer incarnation of the file (paper §6).
+    std::memset(inode.buf.data() + inode.size, 0, new_size - inode.size);
+  }
+  inode.size = new_size;
+  // Physical bytes are never reclaimed on shrink: the buffer is the
+  // "contiguous memory buffer attached to each inode" of the paper.
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+
+Result<fs::InodeAttr> Verifs1::GetAttr(const std::string& path) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  return ToAttr(index.value(), inodes_[index.value()]);
+}
+
+Status Verifs1::Mkdir(const std::string& path, fs::Mode mode) {
+  auto parent = ResolveParentRef(path);
+  if (!parent.ok()) return parent.error();
+  Inode& pnode = inodes_[parent.value().parent_index];
+  if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
+                             options_.identity, fs::kWOk)) {
+    return Errno::kEACCES;
+  }
+  if (pnode.children.contains(parent.value().name)) return Errno::kEEXIST;
+  auto slot = AllocInode();
+  if (!slot.ok()) return slot.error();
+  Inode& child = inodes_[slot.value()];
+  child = Inode{};
+  child.used = true;
+  child.type = fs::FileType::kDirectory;
+  child.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
+  child.uid = options_.identity.uid;
+  child.gid = options_.identity.gid;
+  child.atime_ns = child.mtime_ns = child.ctime_ns = NowNs();
+  child.parent = parent.value().parent_index;
+  pnode.children[parent.value().name] = slot.value();
+  pnode.mtime_ns = NowNs();
+  return Status::Ok();
+}
+
+Status Verifs1::Rmdir(const std::string& path) {
+  if (path == "/") return Errno::kEBUSY;
+  auto parent = ResolveParentRef(path);
+  if (!parent.ok()) return parent.error();
+  Inode& pnode = inodes_[parent.value().parent_index];
+  if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
+                             options_.identity, fs::kWOk)) {
+    return Errno::kEACCES;
+  }
+  auto it = pnode.children.find(parent.value().name);
+  if (it == pnode.children.end()) return Errno::kENOENT;
+  Inode& victim = inodes_[it->second];
+  if (victim.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
+  if (!victim.children.empty()) return Errno::kENOTEMPTY;
+  victim = Inode{};  // marks the slot unused
+  pnode.children.erase(it);
+  pnode.mtime_ns = NowNs();
+  return Status::Ok();
+}
+
+Status Verifs1::Unlink(const std::string& path) {
+  auto parent = ResolveParentRef(path);
+  if (!parent.ok()) return parent.error();
+  Inode& pnode = inodes_[parent.value().parent_index];
+  if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
+                             options_.identity, fs::kWOk)) {
+    return Errno::kEACCES;
+  }
+  auto it = pnode.children.find(parent.value().name);
+  if (it == pnode.children.end()) return Errno::kENOENT;
+  Inode& victim = inodes_[it->second];
+  if (victim.type == fs::FileType::kDirectory) return Errno::kEISDIR;
+  victim = Inode{};
+  pnode.children.erase(it);
+  pnode.mtime_ns = NowNs();
+  return Status::Ok();
+}
+
+Result<std::vector<fs::DirEntry>> Verifs1::ReadDir(const std::string& path) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  Inode& inode = inodes_[index.value()];
+  if (inode.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
+  if (!fs::PermissionGranted(ToAttr(index.value(), inode),
+                             options_.identity, fs::kROk)) {
+    return Errno::kEACCES;
+  }
+  inode.atime_ns = NowNs();
+  std::vector<fs::DirEntry> out;
+  out.reserve(inode.children.size());
+  for (const auto& [name, child] : inode.children) {
+    out.push_back({name, static_cast<fs::InodeNum>(child + 1),
+                   inodes_[child].type});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+
+Result<fs::FileHandle> Verifs1::Open(const std::string& path,
+                                     std::uint32_t flags, fs::Mode mode) {
+  if (!mounted_) return Errno::kEINVAL;
+  auto index = ResolveIndex(path);
+  std::uint32_t ino_index;
+  if (!index.ok()) {
+    if (index.error() != Errno::kENOENT || !(flags & fs::kCreate)) {
+      return index.error();
+    }
+    auto parent = ResolveParentRef(path);
+    if (!parent.ok()) return parent.error();
+    Inode& pnode = inodes_[parent.value().parent_index];
+    if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
+                               options_.identity, fs::kWOk)) {
+      return Errno::kEACCES;
+    }
+    auto slot = AllocInode();
+    if (!slot.ok()) return slot.error();
+    Inode& child = inodes_[slot.value()];
+    child = Inode{};
+    child.used = true;
+    child.type = fs::FileType::kRegular;
+    child.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
+    child.uid = options_.identity.uid;
+    child.gid = options_.identity.gid;
+    child.atime_ns = child.mtime_ns = child.ctime_ns = NowNs();
+    child.parent = parent.value().parent_index;
+    pnode.children[parent.value().name] = slot.value();
+    pnode.mtime_ns = NowNs();
+    ino_index = slot.value();
+  } else {
+    if (flags & fs::kCreate && flags & fs::kExcl) return Errno::kEEXIST;
+    ino_index = index.value();
+    Inode& inode = inodes_[ino_index];
+    const bool want_write =
+        (flags & fs::kAccessModeMask) != fs::kRdOnly;
+    if (inode.type == fs::FileType::kDirectory && want_write) {
+      return Errno::kEISDIR;
+    }
+    const std::uint32_t want =
+        want_write ? ((flags & fs::kAccessModeMask) == fs::kRdWr
+                          ? (fs::kROk | fs::kWOk)
+                          : fs::kWOk)
+                   : fs::kROk;
+    if (!fs::PermissionGranted(ToAttr(ino_index, inode), options_.identity,
+                               want)) {
+      return Errno::kEACCES;
+    }
+    if ((flags & fs::kTrunc) && want_write &&
+        inode.type == fs::FileType::kRegular) {
+      SetFileSize(inode, 0, /*zero_growth=*/true);
+      inode.mtime_ns = NowNs();
+    }
+  }
+  const fs::FileHandle fh = next_handle_++;
+  open_files_[fh] = OpenFile{ino_index, flags};
+  return fh;
+}
+
+Status Verifs1::Close(fs::FileHandle fh) {
+  if (!mounted_) return Errno::kEINVAL;
+  return open_files_.erase(fh) == 1 ? Status::Ok() : Status(Errno::kEBADF);
+}
+
+Result<Bytes> Verifs1::Read(fs::FileHandle fh, std::uint64_t offset,
+                            std::uint64_t size) {
+  if (!mounted_) return Errno::kEINVAL;
+  auto it = open_files_.find(fh);
+  if (it == open_files_.end()) return Errno::kEBADF;
+  if ((it->second.flags & fs::kAccessModeMask) == fs::kWrOnly) {
+    return Errno::kEBADF;
+  }
+  Inode& inode = inodes_[it->second.ino_index];
+  if (inode.type == fs::FileType::kDirectory) return Errno::kEISDIR;
+  inode.atime_ns = NowNs();
+  if (offset >= inode.size) return Bytes{};
+  const std::uint64_t n = std::min(size, inode.size - offset);
+  return Bytes(inode.buf.begin() + static_cast<std::ptrdiff_t>(offset),
+               inode.buf.begin() + static_cast<std::ptrdiff_t>(offset + n));
+}
+
+Result<std::uint64_t> Verifs1::Write(fs::FileHandle fh, std::uint64_t offset,
+                                     ByteView data) {
+  if (!mounted_) return Errno::kEINVAL;
+  auto it = open_files_.find(fh);
+  if (it == open_files_.end()) return Errno::kEBADF;
+  if ((it->second.flags & fs::kAccessModeMask) == fs::kRdOnly) {
+    return Errno::kEBADF;
+  }
+  Inode& inode = inodes_[it->second.ino_index];
+  if (it->second.flags & fs::kAppend) offset = inode.size;
+
+  if (offset > inode.size) {
+    // Writing past EOF creates a hole; VeriFS1 (correctly) zeroes it.
+    SetFileSize(inode, offset, /*zero_growth=*/true);
+  }
+  if (offset + data.size() > inode.buf.size()) {
+    inode.buf.resize(offset + data.size(), 0);
+  }
+  std::memcpy(inode.buf.data() + offset, data.data(), data.size());
+  if (offset + data.size() > inode.size) inode.size = offset + data.size();
+  inode.mtime_ns = NowNs();
+  inode.ctime_ns = inode.mtime_ns;
+  return data.size();
+}
+
+Status Verifs1::Truncate(const std::string& path, std::uint64_t size) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  Inode& inode = inodes_[index.value()];
+  if (inode.type == fs::FileType::kDirectory) return Errno::kEISDIR;
+  if (!fs::PermissionGranted(ToAttr(index.value(), inode),
+                             options_.identity, fs::kWOk)) {
+    return Errno::kEACCES;
+  }
+  // Historical bug #1: expansion without zeroing the reclaimed region.
+  SetFileSize(inode, size,
+              /*zero_growth=*/!options_.bugs.truncate_no_zero_on_expand);
+  inode.mtime_ns = NowNs();
+  inode.ctime_ns = inode.mtime_ns;
+  return Status::Ok();
+}
+
+Status Verifs1::Fsync(fs::FileHandle fh) {
+  if (!mounted_) return Errno::kEINVAL;
+  return open_files_.contains(fh) ? Status::Ok() : Status(Errno::kEBADF);
+}
+
+// ---------------------------------------------------------------------------
+// Attributes
+
+Status Verifs1::Chmod(const std::string& path, fs::Mode mode) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  Inode& inode = inodes_[index.value()];
+  if (!options_.identity.IsRoot() && options_.identity.uid != inode.uid) {
+    return Errno::kEPERM;
+  }
+  inode.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
+  inode.ctime_ns = NowNs();
+  return Status::Ok();
+}
+
+Status Verifs1::Chown(const std::string& path, std::uint32_t uid,
+                      std::uint32_t gid) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  if (!options_.identity.IsRoot()) return Errno::kEPERM;
+  Inode& inode = inodes_[index.value()];
+  inode.uid = uid;
+  inode.gid = gid;
+  inode.ctime_ns = NowNs();
+  return Status::Ok();
+}
+
+Result<fs::StatVfs> Verifs1::StatFs() {
+  if (!mounted_) return Errno::kEINVAL;
+  fs::StatVfs out;
+  out.block_size = 4096;
+  // "It also did not limit the amount of data that could be stored"
+  // (paper §5): report a large fixed capacity.
+  out.total_bytes = 1ull << 40;
+  std::uint64_t used = 0;
+  std::uint64_t used_inodes = 0;
+  for (const auto& inode : inodes_) {
+    if (inode.used) {
+      ++used_inodes;
+      used += inode.size;
+    }
+  }
+  out.free_bytes = out.total_bytes - used;
+  out.total_inodes = inodes_.size();
+  out.free_inodes = inodes_.size() - used_inodes;
+  return out;
+}
+
+bool Verifs1::Supports(fs::FsFeature feature) const {
+  switch (feature) {
+    case fs::FsFeature::kCheckpointRestore:
+      return true;
+    case fs::FsFeature::kRename:
+    case fs::FsFeature::kHardLink:
+    case fs::FsFeature::kSymlink:
+    case fs::FsFeature::kAccess:
+    case fs::FsFeature::kXattr:
+      return false;  // VeriFS1's limited op set (paper §5)
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore (the paper's proposal)
+
+Bytes Verifs1::SerializeState() const {
+  ByteWriter w;
+  w.PutU32(static_cast<std::uint32_t>(inodes_.size()));
+  for (const auto& inode : inodes_) {
+    w.PutU8(inode.used ? 1 : 0);
+    if (!inode.used) continue;
+    w.PutU8(static_cast<std::uint8_t>(inode.type));
+    w.PutU16(inode.mode);
+    w.PutU32(inode.uid);
+    w.PutU32(inode.gid);
+    w.PutU64(inode.atime_ns);
+    w.PutU64(inode.mtime_ns);
+    w.PutU64(inode.ctime_ns);
+    w.PutU64(inode.size);
+    // The FULL physical buffer is captured, not just the logical bytes:
+    // ioctl_CHECKPOINT "copies inode and file data into a snapshot pool"
+    // (paper §5). Capturing less would mask stale-tail bugs (like
+    // historical bug #1) whenever a restore intervened.
+    w.PutBlob(inode.buf);
+    w.PutU32(inode.parent);
+    w.PutU32(static_cast<std::uint32_t>(inode.children.size()));
+    for (const auto& [name, child] : inode.children) {
+      w.PutString(name);
+      w.PutU32(child);
+    }
+  }
+  w.PutU64(op_counter_);
+  return w.Take();
+}
+
+void Verifs1::DeserializeState(ByteView state) {
+  ByteReader r(state);
+  const std::uint32_t count = r.GetU32();
+  inodes_.assign(count, Inode{});
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (r.GetU8() == 0) continue;
+    Inode& inode = inodes_[i];
+    inode.used = true;
+    inode.type = static_cast<fs::FileType>(r.GetU8());
+    inode.mode = r.GetU16();
+    inode.uid = r.GetU32();
+    inode.gid = r.GetU32();
+    inode.atime_ns = r.GetU64();
+    inode.mtime_ns = r.GetU64();
+    inode.ctime_ns = r.GetU64();
+    inode.size = r.GetU64();
+    inode.buf = r.GetBlob();  // full physical buffer, stale tail included
+    inode.parent = r.GetU32();
+    const std::uint32_t nchildren = r.GetU32();
+    for (std::uint32_t c = 0; c < nchildren; ++c) {
+      std::string name = r.GetString();
+      inode.children[std::move(name)] = r.GetU32();
+    }
+  }
+  op_counter_ = r.GetU64();
+}
+
+void Verifs1::CollectPathsRec(std::uint32_t index, const std::string& prefix,
+                              std::vector<std::string>* out) const {
+  const Inode& inode = inodes_[index];
+  for (const auto& [name, child] : inode.children) {
+    const std::string path = prefix == "/" ? "/" + name : prefix + "/" + name;
+    out->push_back(path);
+    if (inodes_[child].type == fs::FileType::kDirectory) {
+      CollectPathsRec(child, path, out);
+    }
+  }
+}
+
+std::vector<std::string> Verifs1::CollectAllPaths() const {
+  std::vector<std::string> out;
+  if (!inodes_.empty()) CollectPathsRec(kRootIndex, "/", &out);
+  return out;
+}
+
+std::vector<fs::InodeNum> Verifs1::CollectUsedInos() const {
+  std::vector<fs::InodeNum> inos;
+  for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    if (inodes_[i].used) inos.push_back(static_cast<fs::InodeNum>(i + 1));
+  }
+  return inos;
+}
+
+void Verifs1::InvalidateKernelCaches(
+    const std::vector<std::string>& extra_paths,
+    const std::vector<fs::InodeNum>& extra_inos) {
+  if (notifier_ == nullptr) return;
+  std::vector<std::string> paths = CollectAllPaths();
+  paths.insert(paths.end(), extra_paths.begin(), extra_paths.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  for (const auto& path : paths) {
+    notifier_->InvalEntry(fs::ParentPath(path), fs::Basename(path));
+  }
+  std::vector<fs::InodeNum> inos = CollectUsedInos();
+  inos.insert(inos.end(), extra_inos.begin(), extra_inos.end());
+  std::sort(inos.begin(), inos.end());
+  inos.erase(std::unique(inos.begin(), inos.end()), inos.end());
+  for (fs::InodeNum ino : inos) {
+    notifier_->InvalInode(ino);
+  }
+}
+
+Status Verifs1::IoctlCheckpoint(std::uint64_t key) {
+  if (!mounted_) return Errno::kEINVAL;
+  // Lock, copy inode and file data into the snapshot pool, unlock
+  // (paper §5). Single-threaded here, so "lock" is implicit.
+  pool_.Put(key, SerializeState());
+  return Status::Ok();
+}
+
+Status Verifs1::IoctlRestore(std::uint64_t key) {
+  if (!mounted_) return Errno::kEINVAL;
+  auto snapshot = pool_.Take(key);
+  if (!snapshot.ok()) return snapshot.error();
+  // Remember the namespace that is about to disappear: its entries and
+  // inodes must be invalidated in the kernel too.
+  std::vector<std::string> pre_restore_paths = CollectAllPaths();
+  std::vector<fs::InodeNum> pre_restore_inos = CollectUsedInos();
+  DeserializeState(snapshot.value());
+  open_files_.clear();  // handles do not survive a state rollback
+  if (!options_.bugs.skip_cache_invalidation_on_restore) {
+    // The fix for historical bug #2: notify the kernel so its dentry and
+    // inode caches drop entries from the abandoned timeline.
+    InvalidateKernelCaches(pre_restore_paths, pre_restore_inos);
+  }
+  return Status::Ok();
+}
+
+Status Verifs1::IoctlDiscard(std::uint64_t key) {
+  return pool_.Discard(key);
+}
+
+void Verifs1::ImportState(ByteView state) {
+  std::vector<std::string> pre_restore_paths = CollectAllPaths();
+  std::vector<fs::InodeNum> pre_restore_inos = CollectUsedInos();
+  DeserializeState(state);
+  open_files_.clear();
+  if (!options_.bugs.skip_cache_invalidation_on_restore) {
+    InvalidateKernelCaches(pre_restore_paths, pre_restore_inos);
+  }
+}
+
+}  // namespace mcfs::verifs

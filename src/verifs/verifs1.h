@@ -1,0 +1,155 @@
+// VeriFS1: the paper's initial MCFS-enabled RAM file system (§5).
+//
+// Deliberately minimal, matching the paper's description:
+//   * a fixed-length inode array;
+//   * a contiguous memory buffer attached to each inode as file data
+//     (physical bytes never shrink — which is why forgetting to zero on
+//     expansion exposes stale data, the first historical bug);
+//   * a limited operation set: NO access(), rename(), symbolic or hard
+//     links, or extended attributes;
+//   * no limit on the total amount of data stored;
+//   * native ioctl_CHECKPOINT / ioctl_RESTORE via a snapshot pool.
+//
+// Because it is a user-space (FUSE-style) file system, a restore must
+// tell the kernel to invalidate its caches through the KernelNotifier;
+// the injectable bug flags can suppress that (historical bug #2).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/checkpointable.h"
+#include "fs/filesystem.h"
+#include "fs/kernel_notifier.h"
+#include "fs/perms.h"
+#include "verifs/bugs.h"
+#include "verifs/snapshot_pool.h"
+
+namespace mcfs::verifs {
+
+struct Verifs1Options {
+  std::uint32_t inode_count = 64;  // the fixed-length inode array
+  fs::Identity identity;
+  VerifsBugs bugs;
+};
+
+class Verifs1 : public fs::FileSystem, public fs::CheckpointableFs {
+ public:
+  explicit Verifs1(Verifs1Options options = {});
+
+  // Wires the kernel-cache invalidation callbacks used on restore.
+  void SetNotifier(fs::KernelNotifier* notifier) { notifier_ = notifier; }
+
+  // FileSystem.
+  Status Mkfs() override;
+  Status Mount() override;
+  Status Unmount() override;
+  bool IsMounted() const override { return mounted_; }
+
+  Result<fs::InodeAttr> GetAttr(const std::string& path) override;
+  Status Mkdir(const std::string& path, fs::Mode mode) override;
+  Status Rmdir(const std::string& path) override;
+  Status Unlink(const std::string& path) override;
+  Result<std::vector<fs::DirEntry>> ReadDir(const std::string& path) override;
+
+  Result<fs::FileHandle> Open(const std::string& path, std::uint32_t flags,
+                              fs::Mode mode) override;
+  Status Close(fs::FileHandle fh) override;
+  Result<Bytes> Read(fs::FileHandle fh, std::uint64_t offset,
+                     std::uint64_t size) override;
+  Result<std::uint64_t> Write(fs::FileHandle fh, std::uint64_t offset,
+                              ByteView data) override;
+  Status Truncate(const std::string& path, std::uint64_t size) override;
+  Status Fsync(fs::FileHandle fh) override;
+
+  Status Chmod(const std::string& path, fs::Mode mode) override;
+  Status Chown(const std::string& path, std::uint32_t uid,
+               std::uint32_t gid) override;
+  Result<fs::StatVfs> StatFs() override;
+
+  bool Supports(fs::FsFeature feature) const override;
+  // Rename/Link/Symlink/Access/xattrs inherit the ENOTSUP defaults:
+  // VeriFS1 genuinely lacks them (paper §5).
+
+  std::string TypeName() const override { return "verifs1"; }
+
+  // CheckpointableFs (the paper's proposed APIs).
+  Status IoctlCheckpoint(std::uint64_t key) override;
+  Status IoctlRestore(std::uint64_t key) override;
+  Status IoctlDiscard(std::uint64_t key) override;
+  std::uint64_t SnapshotCount() const override { return pool_.count(); }
+  std::uint64_t SnapshotBytes() const override { return pool_.total_bytes(); }
+
+  // Raw state export/import — what a process- or VM-level snapshotter
+  // captures (the daemon's memory image). Import behaves like a restore,
+  // including kernel-cache invalidation.
+  Bytes ExportState() const { return SerializeState(); }
+  void ImportState(ByteView state);
+
+ protected:
+  struct Inode {
+    bool used = false;
+    fs::FileType type = fs::FileType::kRegular;
+    fs::Mode mode = 0;
+    std::uint32_t uid = 0;
+    std::uint32_t gid = 0;
+    std::uint64_t atime_ns = 0;
+    std::uint64_t mtime_ns = 0;
+    std::uint64_t ctime_ns = 0;
+    // File payload: `buf` is the contiguous buffer (never shrunk),
+    // `size` the logical file length.
+    Bytes buf;
+    std::uint64_t size = 0;
+    // Directory payload: name -> inode index.
+    std::map<std::string, std::uint32_t> children;
+    std::uint32_t parent = 0;  // inode index of the containing directory
+  };
+
+  struct OpenFile {
+    std::uint32_t ino_index;
+    std::uint32_t flags;
+  };
+
+  static constexpr std::uint32_t kRootIndex = 0;
+
+  // Grows (or shrinks) the logical file size. The correct implementation
+  // zeroes [old_size, new_size) on growth; bug #1 skips it.
+  void SetFileSize(Inode& inode, std::uint64_t new_size, bool zero_growth);
+
+  Result<std::uint32_t> ResolveIndex(const std::string& path) const;
+  struct ParentRef {
+    std::uint32_t parent_index;
+    std::string name;
+  };
+  Result<ParentRef> ResolveParentRef(const std::string& path) const;
+  Result<std::uint32_t> AllocInode();
+  std::uint64_t NowNs() { return ++op_counter_ * 1000; }
+  fs::InodeAttr ToAttr(std::uint32_t index, const Inode& inode) const;
+  std::uint32_t ComputeNlink(const Inode& inode) const;
+
+  // Full-state serialization for the snapshot pool.
+  Bytes SerializeState() const;
+  void DeserializeState(ByteView state);
+  // Emits InvalEntry/InvalInode for everything in the current namespace
+  // plus the pre-restore paths/inodes handed in (entries from the
+  // abandoned timeline must be dropped too, or slot reuse resurrects
+  // them as stale cache hits).
+  void InvalidateKernelCaches(const std::vector<std::string>& extra_paths,
+                              const std::vector<fs::InodeNum>& extra_inos);
+  std::vector<fs::InodeNum> CollectUsedInos() const;
+  std::vector<std::string> CollectAllPaths() const;
+  void CollectPathsRec(std::uint32_t index, const std::string& prefix,
+                       std::vector<std::string>* out) const;
+
+  Verifs1Options options_;
+  bool mounted_ = false;
+  std::vector<Inode> inodes_;  // the fixed-length array
+  std::unordered_map<fs::FileHandle, OpenFile> open_files_;
+  fs::FileHandle next_handle_ = 1;
+  std::uint64_t op_counter_ = 0;
+  SnapshotPool pool_;
+  fs::KernelNotifier* notifier_ = nullptr;
+};
+
+}  // namespace mcfs::verifs

@@ -1,0 +1,747 @@
+#include "verifs/verifs2.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "fs/path.h"
+
+namespace mcfs::verifs {
+
+Verifs2::Verifs2(Verifs2Options options) : options_(std::move(options)) {}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+Status Verifs2::Mkfs() {
+  if (mounted_) return Errno::kEBUSY;
+  inodes_.assign(1, Inode{});
+  Inode& root = inodes_[kRootIndex];
+  root.used = true;
+  root.type = fs::FileType::kDirectory;
+  root.mode = 0755;
+  root.uid = options_.identity.uid;
+  root.gid = options_.identity.gid;
+  root.atime_ns = root.mtime_ns = root.ctime_ns = NowNs();
+  return Status::Ok();
+}
+
+Status Verifs2::Mount() {
+  if (mounted_) return Errno::kEBUSY;
+  if (inodes_.empty()) return Errno::kEINVAL;
+  mounted_ = true;
+  return Status::Ok();
+}
+
+Status Verifs2::Unmount() {
+  if (!mounted_) return Errno::kEINVAL;
+  mounted_ = false;
+  open_files_.clear();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+Result<std::uint32_t> Verifs2::ResolveIndex(const std::string& path) const {
+  if (!mounted_) return Errno::kEINVAL;
+  auto split = fs::SplitPath(path);
+  if (!split.ok()) return split.error();
+  std::uint32_t index = kRootIndex;
+  for (const auto& comp : split.value()) {
+    const Inode& inode = inodes_[index];
+    if (inode.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
+    if (!fs::PermissionGranted(ToAttr(index, inode), options_.identity,
+                               fs::kXOk)) {
+      return Errno::kEACCES;
+    }
+    auto it = inode.children.find(comp);
+    if (it == inode.children.end()) return Errno::kENOENT;
+    index = it->second;
+  }
+  return index;
+}
+
+Result<Verifs2::ParentRef> Verifs2::ResolveParentRef(
+    const std::string& path) const {
+  auto split = fs::SplitPath(path);
+  if (!split.ok()) return split.error();
+  if (split.value().empty()) return Errno::kEINVAL;
+  auto parent = ResolveIndex(fs::ParentPath(path));
+  if (!parent.ok()) return parent.error();
+  if (inodes_[parent.value()].type != fs::FileType::kDirectory) {
+    return Errno::kENOTDIR;
+  }
+  return ParentRef{parent.value(), split.value().back()};
+}
+
+std::uint32_t Verifs2::AllocInode() {
+  for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    if (!inodes_[i].used) return i;
+  }
+  inodes_.emplace_back();  // no fixed array: the table grows on demand
+  return static_cast<std::uint32_t>(inodes_.size() - 1);
+}
+
+std::uint32_t Verifs2::CountLinks(std::uint32_t index) const {
+  std::uint32_t n = 0;
+  for (const auto& inode : inodes_) {
+    if (!inode.used || inode.type != fs::FileType::kDirectory) continue;
+    for (const auto& [name, child] : inode.children) {
+      if (child == index) ++n;
+    }
+  }
+  return n;
+}
+
+void Verifs2::ReleaseInodeIfUnlinked(std::uint32_t index) {
+  if (index == kRootIndex) return;
+  if (CountLinks(index) == 0) inodes_[index] = Inode{};
+}
+
+fs::InodeAttr Verifs2::ToAttr(std::uint32_t index, const Inode& inode) const {
+  fs::InodeAttr attr;
+  attr.ino = index + 1;
+  attr.type = inode.type;
+  attr.mode = inode.mode;
+  if (inode.type == fs::FileType::kDirectory) {
+    std::uint32_t n = 2;
+    for (const auto& [name, child] : inode.children) {
+      if (inodes_[child].type == fs::FileType::kDirectory) ++n;
+    }
+    attr.nlink = n;
+    attr.size = inode.children.size() * 32;
+  } else {
+    const std::uint32_t links = CountLinks(index);
+    attr.nlink = links == 0 ? 1 : links;
+    attr.size = inode.size;
+  }
+  attr.uid = inode.uid;
+  attr.gid = inode.gid;
+  attr.atime_ns = inode.atime_ns;
+  attr.mtime_ns = inode.mtime_ns;
+  attr.ctime_ns = inode.ctime_ns;
+  attr.blocks = (inode.size + 511) / 512;
+  return attr;
+}
+
+std::uint64_t Verifs2::TotalDataBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& inode : inodes_) {
+    if (inode.used) total += inode.size;
+  }
+  return total;
+}
+
+Status Verifs2::CheckQuota(std::uint64_t additional) const {
+  // Unlike VeriFS1, VeriFS2 bounds the total data it stores.
+  if (TotalDataBytes() + additional > options_.max_total_bytes) {
+    return Errno::kENOSPC;
+  }
+  return Status::Ok();
+}
+
+Result<std::uint32_t> Verifs2::CreateChild(const ParentRef& ref,
+                                           fs::FileType type, fs::Mode mode,
+                                           const std::string& symlink_target) {
+  Inode& pnode = inodes_[ref.parent_index];
+  if (!fs::PermissionGranted(ToAttr(ref.parent_index, pnode),
+                             options_.identity, fs::kWOk)) {
+    return Errno::kEACCES;
+  }
+  if (pnode.children.contains(ref.name)) return Errno::kEEXIST;
+  const std::uint32_t slot = AllocInode();
+  // AllocInode may reallocate inodes_; re-take the parent reference.
+  Inode& parent = inodes_[ref.parent_index];
+  Inode& child = inodes_[slot];
+  child = Inode{};
+  child.used = true;
+  child.type = type;
+  child.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
+  child.uid = options_.identity.uid;
+  child.gid = options_.identity.gid;
+  child.atime_ns = child.mtime_ns = child.ctime_ns = NowNs();
+  if (type == fs::FileType::kSymlink) {
+    child.buf.assign(symlink_target.begin(), symlink_target.end());
+    child.size = child.buf.size();
+  }
+  parent.children[ref.name] = slot;
+  parent.mtime_ns = NowNs();
+  return slot;
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+
+Result<fs::InodeAttr> Verifs2::GetAttr(const std::string& path) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  return ToAttr(index.value(), inodes_[index.value()]);
+}
+
+Status Verifs2::Mkdir(const std::string& path, fs::Mode mode) {
+  auto parent = ResolveParentRef(path);
+  if (!parent.ok()) return parent.error();
+  auto child =
+      CreateChild(parent.value(), fs::FileType::kDirectory, mode, "");
+  return child.ok() ? Status::Ok() : Status(child.error());
+}
+
+Status Verifs2::Rmdir(const std::string& path) {
+  if (path == "/") return Errno::kEBUSY;
+  auto parent = ResolveParentRef(path);
+  if (!parent.ok()) return parent.error();
+  Inode& pnode = inodes_[parent.value().parent_index];
+  if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
+                             options_.identity, fs::kWOk)) {
+    return Errno::kEACCES;
+  }
+  auto it = pnode.children.find(parent.value().name);
+  if (it == pnode.children.end()) return Errno::kENOENT;
+  const std::uint32_t victim = it->second;
+  if (inodes_[victim].type != fs::FileType::kDirectory) {
+    return Errno::kENOTDIR;
+  }
+  if (!inodes_[victim].children.empty()) return Errno::kENOTEMPTY;
+  pnode.children.erase(it);
+  pnode.mtime_ns = NowNs();
+  inodes_[victim] = Inode{};
+  return Status::Ok();
+}
+
+Status Verifs2::Unlink(const std::string& path) {
+  auto parent = ResolveParentRef(path);
+  if (!parent.ok()) return parent.error();
+  Inode& pnode = inodes_[parent.value().parent_index];
+  if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
+                             options_.identity, fs::kWOk)) {
+    return Errno::kEACCES;
+  }
+  auto it = pnode.children.find(parent.value().name);
+  if (it == pnode.children.end()) return Errno::kENOENT;
+  const std::uint32_t victim = it->second;
+  if (inodes_[victim].type == fs::FileType::kDirectory) {
+    return Errno::kEISDIR;
+  }
+  pnode.children.erase(it);
+  pnode.mtime_ns = NowNs();
+  ReleaseInodeIfUnlinked(victim);  // hard links keep the inode alive
+  return Status::Ok();
+}
+
+Result<std::vector<fs::DirEntry>> Verifs2::ReadDir(const std::string& path) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  Inode& inode = inodes_[index.value()];
+  if (inode.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
+  if (!fs::PermissionGranted(ToAttr(index.value(), inode),
+                             options_.identity, fs::kROk)) {
+    return Errno::kEACCES;
+  }
+  inode.atime_ns = NowNs();
+  std::vector<fs::DirEntry> out;
+  out.reserve(inode.children.size());
+  for (const auto& [name, child] : inode.children) {
+    out.push_back({name, static_cast<fs::InodeNum>(child + 1),
+                   inodes_[child].type});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// File I/O — where historical bugs #3 and #4 live
+
+Result<fs::FileHandle> Verifs2::Open(const std::string& path,
+                                     std::uint32_t flags, fs::Mode mode) {
+  if (!mounted_) return Errno::kEINVAL;
+  auto index = ResolveIndex(path);
+  std::uint32_t ino_index;
+  if (!index.ok()) {
+    if (index.error() != Errno::kENOENT || !(flags & fs::kCreate)) {
+      return index.error();
+    }
+    auto parent = ResolveParentRef(path);
+    if (!parent.ok()) return parent.error();
+    auto child =
+        CreateChild(parent.value(), fs::FileType::kRegular, mode, "");
+    if (!child.ok()) return child.error();
+    ino_index = child.value();
+  } else {
+    if (flags & fs::kCreate && flags & fs::kExcl) return Errno::kEEXIST;
+    ino_index = index.value();
+    Inode& inode = inodes_[ino_index];
+    const bool want_write = (flags & fs::kAccessModeMask) != fs::kRdOnly;
+    if (inode.type == fs::FileType::kDirectory && want_write) {
+      return Errno::kEISDIR;
+    }
+    if (inode.type == fs::FileType::kSymlink) return Errno::kELOOP;
+    const std::uint32_t want =
+        want_write ? ((flags & fs::kAccessModeMask) == fs::kRdWr
+                          ? (fs::kROk | fs::kWOk)
+                          : fs::kWOk)
+                   : fs::kROk;
+    if (!fs::PermissionGranted(ToAttr(ino_index, inode), options_.identity,
+                               want)) {
+      return Errno::kEACCES;
+    }
+    if ((flags & fs::kTrunc) && want_write &&
+        inode.type == fs::FileType::kRegular) {
+      inode.size = 0;  // capacity (buf) is retained
+      inode.mtime_ns = NowNs();
+    }
+  }
+  const fs::FileHandle fh = next_handle_++;
+  open_files_[fh] = OpenFile{ino_index, flags};
+  return fh;
+}
+
+Status Verifs2::Close(fs::FileHandle fh) {
+  if (!mounted_) return Errno::kEINVAL;
+  return open_files_.erase(fh) == 1 ? Status::Ok() : Status(Errno::kEBADF);
+}
+
+Result<Bytes> Verifs2::Read(fs::FileHandle fh, std::uint64_t offset,
+                            std::uint64_t size) {
+  if (!mounted_) return Errno::kEINVAL;
+  auto it = open_files_.find(fh);
+  if (it == open_files_.end()) return Errno::kEBADF;
+  if ((it->second.flags & fs::kAccessModeMask) == fs::kWrOnly) {
+    return Errno::kEBADF;
+  }
+  Inode& inode = inodes_[it->second.ino_index];
+  if (inode.type == fs::FileType::kDirectory) return Errno::kEISDIR;
+  inode.atime_ns = NowNs();
+  if (offset >= inode.size) return Bytes{};
+  const std::uint64_t n = std::min(size, inode.size - offset);
+  return Bytes(inode.buf.begin() + static_cast<std::ptrdiff_t>(offset),
+               inode.buf.begin() + static_cast<std::ptrdiff_t>(offset + n));
+}
+
+Result<std::uint64_t> Verifs2::Write(fs::FileHandle fh, std::uint64_t offset,
+                                     ByteView data) {
+  if (!mounted_) return Errno::kEINVAL;
+  auto it = open_files_.find(fh);
+  if (it == open_files_.end()) return Errno::kEBADF;
+  if ((it->second.flags & fs::kAccessModeMask) == fs::kRdOnly) {
+    return Errno::kEBADF;
+  }
+  Inode& inode = inodes_[it->second.ino_index];
+  if (it->second.flags & fs::kAppend) offset = inode.size;
+
+  const std::uint64_t required = offset + data.size();
+  if (required > inode.size) {
+    if (Status s = CheckQuota(required - inode.size); !s.ok()) return s.error();
+  }
+
+  if (offset > inode.size) {
+    // The write creates a hole. The fixed implementation zeroes the gap
+    // (including any stale capacity bytes from a previous, longer
+    // incarnation); historical bug #3 left them in place (paper §6).
+    if (!options_.bugs.write_hole_no_zero) {
+      const std::uint64_t zero_end =
+          std::min<std::uint64_t>(offset, inode.buf.size());
+      if (zero_end > inode.size) {
+        std::memset(inode.buf.data() + inode.size, 0,
+                    zero_end - inode.size);
+      }
+    }
+    if (offset > inode.buf.size()) {
+      inode.buf.resize(offset, 0);
+    }
+  }
+
+  if (required > inode.buf.size()) {
+    // Grow capacity by doubling, as VeriFS2 did.
+    const std::uint64_t new_capacity =
+        std::max<std::uint64_t>(std::bit_ceil(required), 64);
+    inode.buf.resize(new_capacity, 0);
+    // On the growth path even the buggy VeriFS2 updated the size...
+    inode.size = required;
+  } else if (!options_.bugs.size_update_only_on_capacity_growth) {
+    // ...but historical bug #4 forgot to update it on the in-capacity
+    // path, leaving appended files short (paper §6).
+    inode.size = std::max(inode.size, required);
+  }
+
+  std::memcpy(inode.buf.data() + offset, data.data(), data.size());
+  inode.mtime_ns = NowNs();
+  inode.ctime_ns = inode.mtime_ns;
+  return data.size();
+}
+
+Status Verifs2::Truncate(const std::string& path, std::uint64_t size) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  Inode& inode = inodes_[index.value()];
+  if (inode.type == fs::FileType::kDirectory) return Errno::kEISDIR;
+  if (!fs::PermissionGranted(ToAttr(index.value(), inode),
+                             options_.identity, fs::kWOk)) {
+    return Errno::kEACCES;
+  }
+  if (size > inode.size) {
+    if (Status s = CheckQuota(size - inode.size); !s.ok()) return s;
+    // VeriFS2 learned this zeroing from VeriFS1's bug #1: the whole
+    // reclaimed region must be cleared, including stale capacity bytes
+    // below the old buffer end when the buffer also grows.
+    const std::uint64_t zero_end =
+        std::min<std::uint64_t>(size, inode.buf.size());
+    if (zero_end > inode.size) {
+      std::memset(inode.buf.data() + inode.size, 0, zero_end - inode.size);
+    }
+    if (size > inode.buf.size()) {
+      inode.buf.resize(size, 0);
+    }
+  }
+  inode.size = size;
+  inode.mtime_ns = NowNs();
+  inode.ctime_ns = inode.mtime_ns;
+  return Status::Ok();
+}
+
+Status Verifs2::Fsync(fs::FileHandle fh) {
+  if (!mounted_) return Errno::kEINVAL;
+  return open_files_.contains(fh) ? Status::Ok() : Status(Errno::kEBADF);
+}
+
+// ---------------------------------------------------------------------------
+// Attributes
+
+Status Verifs2::Chmod(const std::string& path, fs::Mode mode) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  Inode& inode = inodes_[index.value()];
+  if (!options_.identity.IsRoot() && options_.identity.uid != inode.uid) {
+    return Errno::kEPERM;
+  }
+  inode.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
+  inode.ctime_ns = NowNs();
+  return Status::Ok();
+}
+
+Status Verifs2::Chown(const std::string& path, std::uint32_t uid,
+                      std::uint32_t gid) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  if (!options_.identity.IsRoot()) return Errno::kEPERM;
+  Inode& inode = inodes_[index.value()];
+  inode.uid = uid;
+  inode.gid = gid;
+  inode.ctime_ns = NowNs();
+  return Status::Ok();
+}
+
+Result<fs::StatVfs> Verifs2::StatFs() {
+  if (!mounted_) return Errno::kEINVAL;
+  fs::StatVfs out;
+  out.block_size = 4096;
+  out.total_bytes = options_.max_total_bytes;
+  const std::uint64_t used = TotalDataBytes();
+  out.free_bytes = used >= out.total_bytes ? 0 : out.total_bytes - used;
+  out.total_inodes = 0xffffffff;
+  std::uint64_t used_inodes = 0;
+  for (const auto& inode : inodes_) {
+    if (inode.used) ++used_inodes;
+  }
+  out.free_inodes = 0xffffffff - used_inodes;
+  return out;
+}
+
+bool Verifs2::Supports(fs::FsFeature feature) const {
+  switch (feature) {
+    case fs::FsFeature::kCheckpointRestore:
+    case fs::FsFeature::kRename:
+    case fs::FsFeature::kHardLink:
+    case fs::FsFeature::kSymlink:
+    case fs::FsFeature::kAccess:
+    case fs::FsFeature::kXattr:
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// The VeriFS2 feature additions
+
+Status Verifs2::Rename(const std::string& from, const std::string& to) {
+  if (from == "/" || to == "/") return Errno::kEBUSY;
+  if (fs::IsPathPrefix(from, to) && from != to) return Errno::kEINVAL;
+
+  auto src = ResolveParentRef(from);
+  if (!src.ok()) return src.error();
+  auto dst = ResolveParentRef(to);
+  if (!dst.ok()) return dst.error();
+
+  Inode& src_parent = inodes_[src.value().parent_index];
+  Inode& dst_parent = inodes_[dst.value().parent_index];
+  if (!fs::PermissionGranted(ToAttr(src.value().parent_index, src_parent),
+                             options_.identity, fs::kWOk) ||
+      !fs::PermissionGranted(ToAttr(dst.value().parent_index, dst_parent),
+                             options_.identity, fs::kWOk)) {
+    return Errno::kEACCES;
+  }
+
+  auto src_it = src_parent.children.find(src.value().name);
+  if (src_it == src_parent.children.end()) return Errno::kENOENT;
+  const std::uint32_t moving = src_it->second;
+  if (from == to) return Status::Ok();
+
+  auto dst_it = dst_parent.children.find(dst.value().name);
+  if (dst_it != dst_parent.children.end()) {
+    const std::uint32_t victim = dst_it->second;
+    if (inodes_[moving].type == fs::FileType::kDirectory) {
+      if (inodes_[victim].type != fs::FileType::kDirectory) {
+        return Errno::kENOTDIR;
+      }
+      if (!inodes_[victim].children.empty()) return Errno::kENOTEMPTY;
+    } else if (inodes_[victim].type == fs::FileType::kDirectory) {
+      return Errno::kEISDIR;
+    }
+    dst_parent.children.erase(dst_it);
+    ReleaseInodeIfUnlinked(victim);
+  }
+
+  src_parent.children.erase(src.value().name);
+  dst_parent.children[dst.value().name] = moving;
+  const std::uint64_t t = NowNs();
+  src_parent.mtime_ns = t;
+  dst_parent.mtime_ns = t;
+  return Status::Ok();
+}
+
+Status Verifs2::Link(const std::string& existing, const std::string& link) {
+  auto src = ResolveIndex(existing);
+  if (!src.ok()) return src.error();
+  if (inodes_[src.value()].type == fs::FileType::kDirectory) {
+    return Errno::kEPERM;
+  }
+  auto dst = ResolveParentRef(link);
+  if (!dst.ok()) return dst.error();
+  Inode& parent = inodes_[dst.value().parent_index];
+  if (!fs::PermissionGranted(ToAttr(dst.value().parent_index, parent),
+                             options_.identity, fs::kWOk)) {
+    return Errno::kEACCES;
+  }
+  if (parent.children.contains(dst.value().name)) return Errno::kEEXIST;
+  parent.children[dst.value().name] = src.value();
+  parent.mtime_ns = NowNs();
+  inodes_[src.value()].ctime_ns = NowNs();
+  return Status::Ok();
+}
+
+Status Verifs2::Symlink(const std::string& target, const std::string& link) {
+  if (target.empty() || target.size() > fs::kPathMax) return Errno::kEINVAL;
+  auto parent = ResolveParentRef(link);
+  if (!parent.ok()) return parent.error();
+  auto child =
+      CreateChild(parent.value(), fs::FileType::kSymlink, 0777, target);
+  return child.ok() ? Status::Ok() : Status(child.error());
+}
+
+Result<std::string> Verifs2::ReadLink(const std::string& path) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  const Inode& inode = inodes_[index.value()];
+  if (inode.type != fs::FileType::kSymlink) return Errno::kEINVAL;
+  return std::string(inode.buf.begin(),
+                     inode.buf.begin() +
+                         static_cast<std::ptrdiff_t>(inode.size));
+}
+
+Status Verifs2::Access(const std::string& path, std::uint32_t mode) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  if (mode == fs::kFOk) return Status::Ok();
+  return fs::PermissionGranted(ToAttr(index.value(), inodes_[index.value()]),
+                               options_.identity, mode)
+             ? Status::Ok()
+             : Status(Errno::kEACCES);
+}
+
+Status Verifs2::SetXattr(const std::string& path, const std::string& name,
+                         ByteView value) {
+  if (name.empty() || name.size() > fs::kNameMax) return Errno::kEINVAL;
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  Inode& inode = inodes_[index.value()];
+  inode.xattrs[name] = Bytes(value.begin(), value.end());
+  inode.ctime_ns = NowNs();
+  return Status::Ok();
+}
+
+Result<Bytes> Verifs2::GetXattr(const std::string& path,
+                                const std::string& name) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  const Inode& inode = inodes_[index.value()];
+  auto it = inode.xattrs.find(name);
+  if (it == inode.xattrs.end()) return Errno::kENODATA;
+  return it->second;
+}
+
+Result<std::vector<std::string>> Verifs2::ListXattr(const std::string& path) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  const Inode& inode = inodes_[index.value()];
+  std::vector<std::string> names;
+  names.reserve(inode.xattrs.size());
+  for (const auto& [name, value] : inode.xattrs) names.push_back(name);
+  return names;
+}
+
+Status Verifs2::RemoveXattr(const std::string& path,
+                            const std::string& name) {
+  auto index = ResolveIndex(path);
+  if (!index.ok()) return index.error();
+  Inode& inode = inodes_[index.value()];
+  if (inode.xattrs.erase(name) == 0) return Errno::kENODATA;
+  inode.ctime_ns = NowNs();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+
+Bytes Verifs2::SerializeState() const {
+  ByteWriter w;
+  w.PutU32(static_cast<std::uint32_t>(inodes_.size()));
+  for (const auto& inode : inodes_) {
+    w.PutU8(inode.used ? 1 : 0);
+    if (!inode.used) continue;
+    w.PutU8(static_cast<std::uint8_t>(inode.type));
+    w.PutU16(inode.mode);
+    w.PutU32(inode.uid);
+    w.PutU32(inode.gid);
+    w.PutU64(inode.atime_ns);
+    w.PutU64(inode.mtime_ns);
+    w.PutU64(inode.ctime_ns);
+    w.PutU64(inode.size);
+    // Full physical buffer, as VeriFS1 does (see verifs1.cc): capacity
+    // contents are part of the daemon's state.
+    w.PutBlob(inode.buf);
+    w.PutU32(static_cast<std::uint32_t>(inode.children.size()));
+    for (const auto& [name, child] : inode.children) {
+      w.PutString(name);
+      w.PutU32(child);
+    }
+    w.PutU32(static_cast<std::uint32_t>(inode.xattrs.size()));
+    for (const auto& [name, value] : inode.xattrs) {
+      w.PutString(name);
+      w.PutBlob(value);
+    }
+  }
+  w.PutU64(op_counter_);
+  return w.Take();
+}
+
+void Verifs2::DeserializeState(ByteView state) {
+  ByteReader r(state);
+  const std::uint32_t count = r.GetU32();
+  inodes_.assign(count, Inode{});
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (r.GetU8() == 0) continue;
+    Inode& inode = inodes_[i];
+    inode.used = true;
+    inode.type = static_cast<fs::FileType>(r.GetU8());
+    inode.mode = r.GetU16();
+    inode.uid = r.GetU32();
+    inode.gid = r.GetU32();
+    inode.atime_ns = r.GetU64();
+    inode.mtime_ns = r.GetU64();
+    inode.ctime_ns = r.GetU64();
+    inode.size = r.GetU64();
+    inode.buf = r.GetBlob();
+    const std::uint32_t nchildren = r.GetU32();
+    for (std::uint32_t c = 0; c < nchildren; ++c) {
+      std::string name = r.GetString();
+      inode.children[std::move(name)] = r.GetU32();
+    }
+    const std::uint32_t nxattrs = r.GetU32();
+    for (std::uint32_t x = 0; x < nxattrs; ++x) {
+      std::string name = r.GetString();
+      inode.xattrs[std::move(name)] = r.GetBlob();
+    }
+  }
+  op_counter_ = r.GetU64();
+}
+
+void Verifs2::CollectPathsRec(std::uint32_t index, const std::string& prefix,
+                              std::vector<std::string>* out) const {
+  const Inode& inode = inodes_[index];
+  for (const auto& [name, child] : inode.children) {
+    const std::string path = prefix == "/" ? "/" + name : prefix + "/" + name;
+    out->push_back(path);
+    if (inodes_[child].type == fs::FileType::kDirectory) {
+      CollectPathsRec(child, path, out);
+    }
+  }
+}
+
+std::vector<std::string> Verifs2::CollectAllPaths() const {
+  std::vector<std::string> out;
+  if (!inodes_.empty()) CollectPathsRec(kRootIndex, "/", &out);
+  return out;
+}
+
+std::vector<fs::InodeNum> Verifs2::CollectUsedInos() const {
+  std::vector<fs::InodeNum> inos;
+  for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    if (inodes_[i].used) inos.push_back(static_cast<fs::InodeNum>(i + 1));
+  }
+  return inos;
+}
+
+void Verifs2::InvalidateKernelCaches(
+    const std::vector<std::string>& extra_paths,
+    const std::vector<fs::InodeNum>& extra_inos) {
+  if (notifier_ == nullptr) return;
+  std::vector<std::string> paths = CollectAllPaths();
+  paths.insert(paths.end(), extra_paths.begin(), extra_paths.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  for (const auto& path : paths) {
+    notifier_->InvalEntry(fs::ParentPath(path), fs::Basename(path));
+  }
+  std::vector<fs::InodeNum> inos = CollectUsedInos();
+  inos.insert(inos.end(), extra_inos.begin(), extra_inos.end());
+  std::sort(inos.begin(), inos.end());
+  inos.erase(std::unique(inos.begin(), inos.end()), inos.end());
+  for (fs::InodeNum ino : inos) {
+    notifier_->InvalInode(ino);
+  }
+}
+
+Status Verifs2::IoctlCheckpoint(std::uint64_t key) {
+  if (!mounted_) return Errno::kEINVAL;
+  pool_.Put(key, SerializeState());
+  return Status::Ok();
+}
+
+Status Verifs2::IoctlRestore(std::uint64_t key) {
+  if (!mounted_) return Errno::kEINVAL;
+  auto snapshot = pool_.Take(key);
+  if (!snapshot.ok()) return snapshot.error();
+  std::vector<std::string> pre_restore_paths = CollectAllPaths();
+  std::vector<fs::InodeNum> pre_restore_inos = CollectUsedInos();
+  DeserializeState(snapshot.value());
+  open_files_.clear();
+  if (!options_.bugs.skip_cache_invalidation_on_restore) {
+    InvalidateKernelCaches(pre_restore_paths, pre_restore_inos);
+  }
+  return Status::Ok();
+}
+
+Status Verifs2::IoctlDiscard(std::uint64_t key) {
+  return pool_.Discard(key);
+}
+
+void Verifs2::ImportState(ByteView state) {
+  std::vector<std::string> pre_restore_paths = CollectAllPaths();
+  std::vector<fs::InodeNum> pre_restore_inos = CollectUsedInos();
+  DeserializeState(state);
+  open_files_.clear();
+  if (!options_.bugs.skip_cache_invalidation_on_restore) {
+    InvalidateKernelCaches(pre_restore_paths, pre_restore_inos);
+  }
+}
+
+}  // namespace mcfs::verifs

@@ -1,0 +1,80 @@
+#include "vfs/cache.h"
+
+#include "fs/path.h"
+
+namespace mcfs::vfs {
+
+std::optional<DentryCache::Entry> DentryCache::Lookup(
+    const std::string& path) {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void DentryCache::InsertPositive(const std::string& path, fs::InodeNum ino) {
+  entries_[path] = Entry{State::kPositive, ino};
+}
+
+void DentryCache::InsertNegative(const std::string& path) {
+  entries_[path] = Entry{State::kNegative, fs::kInvalidInode};
+}
+
+void DentryCache::InvalidateEntry(const std::string& path) {
+  stats_.invalidations += entries_.erase(path);
+}
+
+void DentryCache::InvalidateInode(fs::InodeNum ino) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.state == State::kPositive && it->second.ino == ino) {
+      it = entries_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DentryCache::InvalidateSubtree(const std::string& path) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first == path || fs::IsPathPrefix(path, it->first)) {
+      it = entries_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DentryCache::Clear() {
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+}
+
+std::optional<fs::InodeAttr> AttrCache::Lookup(fs::InodeNum ino) {
+  auto it = entries_.find(ino);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void AttrCache::Insert(const fs::InodeAttr& attr) {
+  entries_[attr.ino] = attr;
+}
+
+void AttrCache::Invalidate(fs::InodeNum ino) {
+  stats_.invalidations += entries_.erase(ino);
+}
+
+void AttrCache::Clear() {
+  stats_.invalidations += entries_.size();
+  entries_.clear();
+}
+
+}  // namespace mcfs::vfs

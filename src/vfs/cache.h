@@ -1,0 +1,75 @@
+// Kernel-style dentry and attribute caches.
+//
+// These are the in-memory structures that make restoring a file system's
+// persistent state hazardous (paper §3.2): after the model checker rolls
+// the disk back, "the dcache might contain a recently created directory,
+// but the restored state might reflect a time before its creation." The
+// caches deliberately serve hits without consulting the file system, so a
+// stale entry produces exactly the spurious EEXIST/ENOENT behaviour the
+// paper debugged (§6, second VeriFS1 bug).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "fs/types.h"
+
+namespace mcfs::vfs {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+};
+
+// Path -> inode bindings, including negative ("does not exist") entries.
+class DentryCache {
+ public:
+  enum class State { kPositive, kNegative };
+
+  struct Entry {
+    State state;
+    fs::InodeNum ino;  // valid when positive
+  };
+
+  // nullopt = not cached; the caller must ask the file system.
+  std::optional<Entry> Lookup(const std::string& path);
+
+  void InsertPositive(const std::string& path, fs::InodeNum ino);
+  void InsertNegative(const std::string& path);
+
+  // Drops the entry for one path (FUSE notify_inval_entry analogue).
+  void InvalidateEntry(const std::string& path);
+  // Drops every positive entry bound to `ino`.
+  void InvalidateInode(fs::InodeNum ino);
+  // Drops the entry for `path` and everything beneath it (rename/rmdir).
+  void InvalidateSubtree(const std::string& path);
+  void Clear();
+
+  std::size_t size() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+  CacheStats stats_;
+};
+
+// Inode -> attribute bindings (the icache half of the hazard).
+class AttrCache {
+ public:
+  std::optional<fs::InodeAttr> Lookup(fs::InodeNum ino);
+  void Insert(const fs::InodeAttr& attr);
+  void Invalidate(fs::InodeNum ino);
+  void Clear();
+
+  std::size_t size() const { return entries_.size(); }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  std::unordered_map<fs::InodeNum, fs::InodeAttr> entries_;
+  CacheStats stats_;
+};
+
+}  // namespace mcfs::vfs

@@ -1,0 +1,255 @@
+// Abstraction-function tests (paper Algorithm 1, §3.3): the digest must
+// be sensitive to everything the checker cares about (content, names,
+// important metadata) and insensitive to everything it must ignore
+// (timestamps, inode numbers, directory sizes, exception-list paths,
+// physical placement) — and two different file systems holding logically
+// identical trees must hash identically.
+#include <gtest/gtest.h>
+
+#include "fs/ext2/ext2fs.h"
+#include "fs/ext4/ext4fs.h"
+#include "fs/xfs/xfsfs.h"
+#include "mcfs/abstraction.h"
+#include "storage/ram_disk.h"
+#include "verifs/verifs2.h"
+
+namespace mcfs::core {
+namespace {
+
+struct Stack {
+  std::shared_ptr<storage::RamDisk> disk;
+  fs::FileSystemPtr filesystem;
+  std::unique_ptr<vfs::Vfs> v;
+};
+
+Stack MakeExt2() {
+  Stack stack;
+  stack.disk = std::make_shared<storage::RamDisk>("d", 256 * 1024, nullptr);
+  stack.filesystem = std::make_shared<fs::Ext2Fs>(stack.disk);
+  stack.v = std::make_unique<vfs::Vfs>(stack.filesystem, nullptr);
+  EXPECT_TRUE(stack.filesystem->Mkfs().ok());
+  EXPECT_TRUE(stack.v->Mount().ok());
+  return stack;
+}
+
+Stack MakeVerifs2() {
+  Stack stack;
+  stack.filesystem = std::make_shared<verifs::Verifs2>();
+  stack.v = std::make_unique<vfs::Vfs>(stack.filesystem, nullptr);
+  EXPECT_TRUE(stack.filesystem->Mkfs().ok());
+  EXPECT_TRUE(stack.v->Mount().ok());
+  return stack;
+}
+
+void Write(vfs::Vfs& v, const std::string& path, std::string_view data) {
+  auto fd = v.Open(path, fs::kCreate | fs::kWrOnly, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(v.Write(fd.value(), 0, AsBytes(data)).ok());
+  ASSERT_TRUE(v.Close(fd.value()).ok());
+}
+
+Md5Digest HashOf(vfs::Vfs& v, AbstractionOptions options = {}) {
+  auto digest = ComputeAbstractState(v, options);
+  EXPECT_TRUE(digest.ok());
+  return digest.value_or(Md5Digest{});
+}
+
+TEST(AbstractionTest, EmptyTreesHashEqually) {
+  Stack a = MakeExt2();
+  Stack b = MakeExt2();
+  EXPECT_EQ(HashOf(*a.v), HashOf(*b.v));
+}
+
+TEST(AbstractionTest, ContentChangesTheHash) {
+  Stack stack = MakeExt2();
+  const Md5Digest empty = HashOf(*stack.v);
+  Write(*stack.v, "/f", "one");
+  const Md5Digest one = HashOf(*stack.v);
+  EXPECT_NE(empty, one);
+
+  auto fd = stack.v->Open("/f", fs::kWrOnly, 0);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(stack.v->Write(fd.value(), 0, AsBytes("two")).ok());
+  ASSERT_TRUE(stack.v->Close(fd.value()).ok());
+  EXPECT_NE(HashOf(*stack.v), one);
+}
+
+TEST(AbstractionTest, PathnamesMatter) {
+  Stack a = MakeExt2();
+  Stack b = MakeExt2();
+  Write(*a.v, "/name-a", "same-content");
+  Write(*b.v, "/name-b", "same-content");
+  EXPECT_NE(HashOf(*a.v), HashOf(*b.v));
+}
+
+TEST(AbstractionTest, ModeAndOwnershipMatter) {
+  Stack stack = MakeExt2();
+  Write(*stack.v, "/f", "x");
+  const Md5Digest before = HashOf(*stack.v);
+  ASSERT_TRUE(stack.v->Chmod("/f", 0600).ok());
+  const Md5Digest after_chmod = HashOf(*stack.v);
+  EXPECT_NE(before, after_chmod);
+  ASSERT_TRUE(stack.v->Chown("/f", 7, 7).ok());
+  EXPECT_NE(HashOf(*stack.v), after_chmod);
+}
+
+TEST(AbstractionTest, AtimeUpdatesDoNotChangeTheHash) {
+  // The noise exclusion that prevents state explosion (paper §3.3).
+  Stack stack = MakeExt2();
+  Write(*stack.v, "/f", "stable");
+  const Md5Digest before = HashOf(*stack.v);
+  // Reads update atime on the file and the directory.
+  auto fd = stack.v->Open("/f", fs::kRdOnly, 0);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(stack.v->Read(fd.value(), 0, 6).ok());
+  ASSERT_TRUE(stack.v->Close(fd.value()).ok());
+  ASSERT_TRUE(stack.v->GetDents("/").ok());
+  EXPECT_EQ(HashOf(*stack.v), before);
+}
+
+TEST(AbstractionTest, TimestampInclusionCausesExplosion) {
+  // Ablation knob: with timestamps hashed, every read mints a "new"
+  // state — exactly why the paper's c_track of raw buffers failed.
+  Stack stack = MakeExt2();
+  Write(*stack.v, "/f", "stable");
+  AbstractionOptions noisy;
+  noisy.include_timestamps = true;
+  const Md5Digest before = HashOf(*stack.v, noisy);
+  auto fd = stack.v->Open("/f", fs::kRdOnly, 0);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(stack.v->Read(fd.value(), 0, 6).ok());
+  ASSERT_TRUE(stack.v->Close(fd.value()).ok());
+  EXPECT_NE(HashOf(*stack.v, noisy), before);
+}
+
+TEST(AbstractionTest, PhysicalPlacementDoesNotMatter) {
+  // Two ext2f instances reach the same logical state along different
+  // allocation histories: blocks land in different places, hashes agree.
+  Stack a = MakeExt2();
+  Stack b = MakeExt2();
+
+  Write(*a.v, "/f", "final");
+
+  Write(*b.v, "/junk1", std::string(3000, 'j'));
+  Write(*b.v, "/junk2", std::string(5000, 'k'));
+  Write(*b.v, "/f", "final");
+  ASSERT_TRUE(b.v->Unlink("/junk1").ok());
+  ASSERT_TRUE(b.v->Unlink("/junk2").ok());
+
+  EXPECT_EQ(HashOf(*a.v), HashOf(*b.v));
+}
+
+TEST(AbstractionTest, ExceptionListHidesSpecialFolders) {
+  auto disk = std::make_shared<storage::RamDisk>("d", 256 * 1024, nullptr);
+  auto ext4 = std::make_shared<fs::Ext4Fs>(disk);
+  vfs::Vfs v4(ext4, nullptr);
+  ASSERT_TRUE(ext4->Mkfs().ok());
+  ASSERT_TRUE(v4.Mount().ok());
+
+  Stack ext2 = MakeExt2();
+
+  // Without the exception list, ext4f's lost+found makes the trees hash
+  // differently; with it, the hashes agree (paper §3.4).
+  AbstractionOptions plain;
+  EXPECT_NE(HashOf(v4, plain), HashOf(*ext2.v, plain));
+
+  AbstractionOptions with_exceptions;
+  with_exceptions.exception_list = {"/lost+found"};
+  EXPECT_EQ(HashOf(v4, with_exceptions), HashOf(*ext2.v, with_exceptions));
+}
+
+TEST(AbstractionTest, DirectorySizesIgnoredAcrossFsTypes) {
+  // ext2f reports block-rounded dir sizes; verifs2 reports entry-based
+  // ones. With the workaround on, identical trees hash identically.
+  Stack a = MakeExt2();
+  Stack b = MakeVerifs2();
+  ASSERT_TRUE(a.v->Mkdir("/d", 0755).ok());
+  ASSERT_TRUE(b.v->Mkdir("/d", 0755).ok());
+  Write(*a.v, "/d/f", "same");
+  Write(*b.v, "/d/f", "same");
+  EXPECT_EQ(HashOf(*a.v), HashOf(*b.v));
+
+  AbstractionOptions strict;
+  strict.ignore_directory_sizes = false;
+  EXPECT_NE(HashOf(*a.v, strict), HashOf(*b.v, strict));
+}
+
+TEST(AbstractionTest, CrossFsEqualStatesHashEqually) {
+  // The core integrity-check property across three different on-disk
+  // formats (bitmap ext2f, extent xfsf, RAM verifs2).
+  auto xfs_disk =
+      std::make_shared<storage::RamDisk>("x", 16 * 1024 * 1024, nullptr);
+  auto xfs = std::make_shared<fs::XfsFs>(xfs_disk);
+  vfs::Vfs vx(xfs, nullptr);
+  ASSERT_TRUE(xfs->Mkfs().ok());
+  ASSERT_TRUE(vx.Mount().ok());
+
+  Stack e2 = MakeExt2();
+  Stack v2 = MakeVerifs2();
+
+  for (vfs::Vfs* v : {&vx, e2.v.get(), v2.v.get()}) {
+    ASSERT_TRUE(v->Mkdir("/dir", 0750).ok());
+    Write(*v, "/dir/a", "alpha");
+    Write(*v, "/b", std::string(2048, 'b'));
+    ASSERT_TRUE(v->Chmod("/b", 0600).ok());
+  }
+  const Md5Digest hx = HashOf(vx);
+  EXPECT_EQ(hx, HashOf(*e2.v));
+  EXPECT_EQ(hx, HashOf(*v2.v));
+}
+
+TEST(AbstractionTest, SymlinksAndHardLinksAffectTheHash) {
+  Stack a = MakeExt2();
+  Stack b = MakeExt2();
+  Write(*a.v, "/f", "x");
+  Write(*b.v, "/f", "x");
+  ASSERT_TRUE(a.v->Symlink("/f", "/sl").ok());
+  ASSERT_TRUE(b.v->Symlink("/OTHER", "/sl").ok());
+  EXPECT_NE(HashOf(*a.v), HashOf(*b.v));  // targets differ
+
+  Stack c = MakeExt2();
+  Stack d = MakeExt2();
+  Write(*c.v, "/f", "x");
+  Write(*d.v, "/f", "x");
+  ASSERT_TRUE(c.v->Link("/f", "/hl").ok());
+  Write(*d.v, "/hl", "x");  // same names/content but nlink differs
+  EXPECT_NE(HashOf(*c.v), HashOf(*d.v));
+}
+
+TEST(AbstractionTest, XattrsAffectTheHash) {
+  Stack a = MakeExt2();
+  Stack b = MakeExt2();
+  Write(*a.v, "/f", "x");
+  Write(*b.v, "/f", "x");
+  ASSERT_TRUE(a.v->SetXattr("/f", "user.k", AsBytes("v1")).ok());
+  ASSERT_TRUE(b.v->SetXattr("/f", "user.k", AsBytes("v2")).ok());
+  EXPECT_NE(HashOf(*a.v), HashOf(*b.v));
+}
+
+TEST(AbstractionTest, ListTreePathsIsSortedAndFiltered) {
+  Stack stack = MakeExt2();
+  ASSERT_TRUE(stack.v->Mkdir("/zz", 0755).ok());
+  ASSERT_TRUE(stack.v->Mkdir("/aa", 0755).ok());
+  Write(*stack.v, "/zz/file", "x");
+  Write(*stack.v, "/skipme", "x");
+
+  AbstractionOptions options;
+  options.exception_list = {"/skipme"};
+  auto paths = ListTreePaths(*stack.v, options);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths.value(),
+            (std::vector<std::string>{"/aa", "/zz", "/zz/file"}));
+}
+
+TEST(AbstractionTest, DeterministicAcrossRepeatedWalks) {
+  Stack stack = MakeExt2();
+  Write(*stack.v, "/f", "deterministic");
+  const Md5Digest h1 = HashOf(*stack.v);
+  const Md5Digest h2 = HashOf(*stack.v);
+  // The walk itself updates atimes — which must not feed back into the
+  // digest (or no state would ever match itself).
+  EXPECT_EQ(h1, h2);
+}
+
+}  // namespace
+}  // namespace mcfs::core

@@ -1,0 +1,244 @@
+// Integrity-checker tests: outcome comparison, and each §3.4
+// false-positive workaround individually (directory sizes, getdents
+// sorting, the special-folder exception list) plus the free-space
+// equalization helper.
+#include <gtest/gtest.h>
+
+#include "fs/ext2/ext2fs.h"
+#include "fs/ext4/ext4fs.h"
+#include "mcfs/checker.h"
+#include "mcfs/equalize.h"
+#include "storage/ram_disk.h"
+#include "verifs/verifs2.h"
+
+namespace mcfs::core {
+namespace {
+
+Operation StatOp(const std::string& path) {
+  return Operation{.kind = OpKind::kStat, .path = path};
+}
+
+fs::InodeAttr FileAttr() {
+  fs::InodeAttr attr;
+  attr.ino = 11;
+  attr.type = fs::FileType::kRegular;
+  attr.mode = 0644;
+  attr.nlink = 1;
+  attr.size = 100;
+  attr.blocks = 8;
+  attr.atime_ns = 1;
+  attr.mtime_ns = 2;
+  attr.ctime_ns = 3;
+  return attr;
+}
+
+TEST(CheckerTest, IdenticalOutcomesPass) {
+  OpOutcome a, b;
+  a.error = b.error = Errno::kOk;
+  a.has_attr = b.has_attr = true;
+  a.attr = b.attr = FileAttr();
+  EXPECT_TRUE(CompareOutcomes(StatOp("/f"), a, b, {}).ok);
+}
+
+TEST(CheckerTest, ReturnCodeMismatchIsFlagged) {
+  OpOutcome a, b;
+  a.error = Errno::kOk;
+  b.error = Errno::kENOSPC;
+  const CheckVerdict verdict = CompareOutcomes(StatOp("/f"), a, b, {});
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.detail.find("OK"), std::string::npos);
+  EXPECT_NE(verdict.detail.find("ENOSPC"), std::string::npos);
+}
+
+TEST(CheckerTest, MatchingErrorsPassWithoutPayloadChecks) {
+  OpOutcome a, b;
+  a.error = b.error = Errno::kENOENT;
+  a.data = AsBytes("junk-a").size() ? Bytes{1} : Bytes{};
+  b.data = Bytes{2};  // payloads are irrelevant when both calls failed
+  EXPECT_TRUE(CompareOutcomes(StatOp("/f"), a, b, {}).ok);
+}
+
+TEST(CheckerTest, DataMismatchReportsFirstDiffOffset) {
+  OpOutcome a, b;
+  a.data = {1, 2, 3, 4};
+  b.data = {1, 2, 9, 4};
+  const CheckVerdict verdict = CompareOutcomes(
+      Operation{.kind = OpKind::kReadFile, .path = "/f"}, a, b, {});
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.detail.find("offset 2"), std::string::npos);
+}
+
+TEST(CheckerTest, AttrComparisonHonorsWorkarounds) {
+  CheckerOptions options;
+  fs::InodeAttr a = FileAttr();
+  fs::InodeAttr b = FileAttr();
+
+  // ino/blocks/timestamps never compared.
+  b.ino = 999;
+  b.blocks = 1234;
+  b.atime_ns = b.mtime_ns = b.ctime_ns = 777;
+  EXPECT_TRUE(CompareAttrs(a, b, options).ok);
+
+  // Directory sizes ignored with the workaround, flagged without.
+  a.type = b.type = fs::FileType::kDirectory;
+  a.size = 1024;  // ext4f-style block-rounded
+  b.size = 96;    // xfsf-style entry-based
+  EXPECT_TRUE(CompareAttrs(a, b, options).ok);
+  options.ignore_directory_sizes = false;
+  EXPECT_FALSE(CompareAttrs(a, b, options).ok);
+
+  // Regular-file sizes always compared.
+  a.type = b.type = fs::FileType::kRegular;
+  options.ignore_directory_sizes = true;
+  EXPECT_FALSE(CompareAttrs(a, b, options).ok);
+}
+
+TEST(CheckerTest, AttrMismatchReportsField) {
+  fs::InodeAttr a = FileAttr();
+  fs::InodeAttr b = FileAttr();
+  b.nlink = 3;
+  const CheckVerdict verdict = CompareAttrs(a, b, {});
+  EXPECT_FALSE(verdict.ok);
+  EXPECT_NE(verdict.detail.find("nlink"), std::string::npos);
+}
+
+TEST(CheckerTest, DirentsSortedBeforeComparison) {
+  // "file systems return directory entries in different orders, so we
+  // sort the output of getdents before comparing" (§3.4).
+  OpOutcome a, b;
+  a.dirents = {{"x", 1, fs::FileType::kRegular},
+               {"y", 2, fs::FileType::kDirectory}};
+  b.dirents = {{"y", 7, fs::FileType::kDirectory},
+               {"x", 8, fs::FileType::kRegular}};
+  const Operation op{.kind = OpKind::kGetDents, .path = "/"};
+
+  CheckerOptions sorted;
+  EXPECT_TRUE(CompareOutcomes(op, a, b, sorted).ok);
+
+  CheckerOptions unsorted;
+  unsorted.sort_dirents = false;
+  EXPECT_FALSE(CompareOutcomes(op, a, b, unsorted).ok);
+}
+
+TEST(CheckerTest, DirentInodesNeverCompared) {
+  OpOutcome a, b;
+  a.dirents = {{"f", 2, fs::FileType::kRegular}};
+  b.dirents = {{"f", 42, fs::FileType::kRegular}};
+  EXPECT_TRUE(CompareOutcomes(Operation{.kind = OpKind::kGetDents,
+                                        .path = "/"},
+                              a, b, {})
+                  .ok);
+}
+
+TEST(CheckerTest, SpecialNamesFilteredFromListings) {
+  // ext4f has lost+found, the other side doesn't (§3.4).
+  OpOutcome ext4_side, other_side;
+  ext4_side.dirents = {{"lost+found", 11, fs::FileType::kDirectory},
+                       {"f", 12, fs::FileType::kRegular}};
+  other_side.dirents = {{"f", 2, fs::FileType::kRegular}};
+  const Operation op{.kind = OpKind::kGetDents, .path = "/"};
+
+  CheckerOptions with_list;
+  with_list.special_names = {"lost+found"};
+  EXPECT_TRUE(CompareOutcomes(op, ext4_side, other_side, with_list).ok);
+
+  CheckerOptions without_list;
+  EXPECT_FALSE(CompareOutcomes(op, ext4_side, other_side, without_list).ok);
+}
+
+TEST(CheckerTest, MissingVsPresentEntryIsARealDiscrepancy) {
+  OpOutcome a, b;
+  a.dirents = {{"f", 1, fs::FileType::kRegular}};
+  b.dirents = {};
+  EXPECT_FALSE(CompareOutcomes(Operation{.kind = OpKind::kGetDents,
+                                         .path = "/"},
+                               a, b, {})
+                   .ok);
+}
+
+TEST(CheckerTest, SymlinkTargetMismatch) {
+  OpOutcome a, b;
+  a.link_target = "/one";
+  b.link_target = "/two";
+  EXPECT_FALSE(CompareOutcomes(Operation{.kind = OpKind::kReadLink,
+                                         .path = "/sl"},
+                               a, b, {})
+                   .ok);
+}
+
+// ---------------------------------------------------------------------------
+// Free-space equalization (§3.4 workaround 4)
+
+TEST(EqualizeTest, FillsTheLargerFileSystemDown) {
+  auto disk2 = std::make_shared<storage::RamDisk>("a", 256 * 1024, nullptr);
+  auto ext2 = std::make_shared<fs::Ext2Fs>(disk2);
+  vfs::Vfs v2(ext2, nullptr);
+  ASSERT_TRUE(ext2->Mkfs().ok());
+  ASSERT_TRUE(v2.Mount().ok());
+
+  auto disk4 = std::make_shared<storage::RamDisk>("b", 256 * 1024, nullptr);
+  auto ext4 = std::make_shared<fs::Ext4Fs>(disk4);
+  vfs::Vfs v4(ext4, nullptr);
+  ASSERT_TRUE(ext4->Mkfs().ok());
+  ASSERT_TRUE(v4.Mount().ok());
+
+  auto result = EqualizeFreeSpace({&v2, &v4});
+  ASSERT_TRUE(result.ok());
+
+  auto sv2 = v2.StatFs();
+  auto sv4 = v4.StatFs();
+  ASSERT_TRUE(sv2.ok());
+  ASSERT_TRUE(sv4.ok());
+  // ext2f (more capacity) was filled down toward ext4f's free space.
+  EXPECT_TRUE(v2.Stat(kFillFilePath).ok());
+  const std::uint64_t gap = sv2.value().free_bytes > sv4.value().free_bytes
+                                ? sv2.value().free_bytes -
+                                      sv4.value().free_bytes
+                                : sv4.value().free_bytes -
+                                      sv2.value().free_bytes;
+  EXPECT_LE(gap, 16 * 1024u);  // within fill-file metadata slack
+}
+
+TEST(EqualizeTest, EqualFileSystemsNeedNoFill) {
+  auto mk = []() {
+    auto disk =
+        std::make_shared<storage::RamDisk>("d", 256 * 1024, nullptr);
+    auto ext2 = std::make_shared<fs::Ext2Fs>(disk);
+    EXPECT_TRUE(ext2->Mkfs().ok());
+    auto v = std::make_unique<vfs::Vfs>(ext2, nullptr);
+    EXPECT_TRUE(v->Mount().ok());
+    return v;
+  };
+  auto a = mk();
+  auto b = mk();
+  auto result = EqualizeFreeSpace({a.get(), b.get()});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().fill_bytes[0], 0u);
+  EXPECT_EQ(result.value().fill_bytes[1], 0u);
+  EXPECT_EQ(a->Stat(kFillFilePath).error(), Errno::kENOENT);
+}
+
+TEST(EqualizeTest, AbsurdGapsAreSkipped) {
+  // VeriFS1-style unlimited capacity: filling is pointless and skipped.
+  auto verifs = std::make_shared<verifs::Verifs2>();
+  vfs::Vfs unlimited(verifs, nullptr);
+  ASSERT_TRUE(verifs->Mkfs().ok());
+  ASSERT_TRUE(unlimited.Mount().ok());
+
+  auto disk = std::make_shared<storage::RamDisk>("d", 256 * 1024, nullptr);
+  auto ext2 = std::make_shared<fs::Ext2Fs>(disk);
+  vfs::Vfs small(ext2, nullptr);
+  ASSERT_TRUE(ext2->Mkfs().ok());
+  ASSERT_TRUE(small.Mount().ok());
+
+  EqualizeOptions options;
+  options.max_fill_bytes = 1 << 20;
+  auto result = EqualizeFreeSpace({&unlimited, &small}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().skipped[0]);   // 8 MB vs 240 KB: gap > 1 MB
+  EXPECT_FALSE(result.value().skipped[1]);
+  EXPECT_EQ(unlimited.Stat(kFillFilePath).error(), Errno::kENOENT);
+}
+
+}  // namespace
+}  // namespace mcfs::core

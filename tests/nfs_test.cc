@@ -1,0 +1,138 @@
+// Ganesha-style NFS server + CRIU state strategy (paper §5: CRIU can
+// snapshot the user-space NFS server where it refuses FUSE daemons).
+#include <gtest/gtest.h>
+
+#include "mcfs/harness.h"
+#include "nfs/ganesha.h"
+#include "vfs/vfs.h"
+
+namespace mcfs::nfs {
+namespace {
+
+TEST(GaneshaTest, ServesOperationsOverTheSocketChannel) {
+  auto exported = std::make_shared<verifs::Verifs2>();
+  GaneshaServer server(exported, nullptr);
+  vfs::Vfs v(server.client(), nullptr);
+  ASSERT_TRUE(server.client()->Mkfs().ok());
+  ASSERT_TRUE(v.Mount().ok());
+
+  ASSERT_TRUE(v.Mkdir("/export", 0755).ok());
+  auto fd = v.Open("/export/f", fs::kCreate | fs::kWrOnly, 0644);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(v.Write(fd.value(), 0, AsBytes("over-the-wire")).ok());
+  ASSERT_TRUE(v.Close(fd.value()).ok());
+
+  auto rfd = v.Open("/export/f", fs::kRdOnly, 0);
+  ASSERT_TRUE(rfd.ok());
+  auto data = v.Read(rfd.value(), 0, 100);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(AsString(data.value()), "over-the-wire");
+  EXPECT_GT(server.channel().stats().requests, 0u);
+}
+
+TEST(GaneshaTest, ChannelIsNotACharacterDevice) {
+  auto exported = std::make_shared<verifs::Verifs2>();
+  GaneshaServer server(exported, nullptr);
+  EXPECT_FALSE(server.channel().is_char_device());
+  EXPECT_TRUE(server.process().open_device_paths().empty());
+}
+
+TEST(GaneshaTest, NfsRpcsCostMoreThanFuseCrossings) {
+  SimClock nfs_clock;
+  auto nfs_exported = std::make_shared<verifs::Verifs2>();
+  GaneshaServer server(nfs_exported, &nfs_clock);
+  ASSERT_TRUE(server.client()->Mkfs().ok());
+  ASSERT_TRUE(server.client()->Mount().ok());
+  ASSERT_TRUE(server.client()->GetAttr("/").ok());
+  const SimClock::Nanos nfs_cost = nfs_clock.now();
+
+  SimClock fuse_clock;
+  fuse::FuseChannel channel(&fuse_clock);
+  auto fuse_exported = std::make_shared<verifs::Verifs2>();
+  fuse::FuseHost host(fuse_exported, &channel);
+  fuse::FuseClientFs client(&channel);
+  ASSERT_TRUE(client.Mkfs().ok());
+  ASSERT_TRUE(client.Mount().ok());
+  ASSERT_TRUE(client.GetAttr("/").ok());
+  EXPECT_GT(nfs_cost, fuse_clock.now());
+}
+
+TEST(CriuStrategyTest, RejectedForFuseTransport) {
+  core::FsUnderTestConfig config;
+  config.kind = core::FsKind::kVerifs2;
+  config.strategy = core::StateStrategy::kCriu;
+  config.fuse_transport = true;  // daemon holds /dev/fuse
+  auto fut = core::FsUnderTest::Create(config, nullptr);
+  ASSERT_FALSE(fut.ok());
+  EXPECT_EQ(fut.error(), Errno::kEBUSY);
+}
+
+TEST(CriuStrategyTest, SaveRestoreRoundTripOverNfs) {
+  core::FsUnderTestConfig config;
+  config.kind = core::FsKind::kVerifs2;
+  config.strategy = core::StateStrategy::kCriu;
+  config.nfs_transport = true;
+  auto fut = core::FsUnderTest::Create(config, nullptr);
+  ASSERT_TRUE(fut.ok()) << ErrnoName(fut.error());
+  core::FsUnderTest& f = *fut.value();
+  EXPECT_EQ(f.name(), "verifs2(nfs)");
+
+  ASSERT_TRUE(f.vfs().Mkdir("/kept", 0755).ok());
+  ASSERT_TRUE(f.SaveState(1).ok());
+  ASSERT_TRUE(f.vfs().Rmdir("/kept").ok());
+  ASSERT_TRUE(f.vfs().Mkdir("/new", 0755).ok());
+
+  // Non-consuming restore (the CRIU image is re-dumped internally).
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(f.RestoreState(1).ok());
+    EXPECT_TRUE(f.vfs().Stat("/kept").ok()) << "round " << round;
+    EXPECT_EQ(f.vfs().Stat("/new").error(), Errno::kENOENT);
+  }
+  ASSERT_TRUE(f.DiscardState(1).ok());
+  EXPECT_FALSE(f.RestoreState(1).ok());
+}
+
+TEST(CriuStrategyTest, CleanExplorationOverNfsPair) {
+  core::McfsConfig config;
+  config.fs_a.kind = core::FsKind::kVerifs1;
+  config.fs_a.strategy = core::StateStrategy::kCriu;
+  config.fs_a.nfs_transport = true;
+  config.fs_b.kind = core::FsKind::kVerifs2;
+  config.fs_b.strategy = core::StateStrategy::kCriu;
+  config.fs_b.nfs_transport = true;
+  config.engine.pool = core::ParameterPool::Tiny();
+  config.explore.max_operations = 300;
+  config.explore.max_depth = 4;
+  auto mcfs = core::Mcfs::Create(config);
+  ASSERT_TRUE(mcfs.ok()) << ErrnoName(mcfs.error());
+  core::McfsReport report = mcfs.value()->Run();
+  EXPECT_FALSE(report.stats.violation_found) << report.Summary();
+  EXPECT_EQ(report.remounts_a + report.remounts_b, 0u);
+}
+
+TEST(CriuStrategyTest, SlowerThanIoctlsButCoherent) {
+  // The paper's ordering: FS-native ioctls beat whole-process and
+  // whole-VM snapshotting by a wide margin (process and VM snapshots are
+  // comparable — both pay tens of milliseconds per capture).
+  auto sim_rate = [](core::StateStrategy strategy, bool nfs) {
+    core::McfsConfig config;
+    config.fs_a.kind = core::FsKind::kVerifs1;
+    config.fs_b.kind = core::FsKind::kVerifs2;
+    config.fs_a.strategy = config.fs_b.strategy = strategy;
+    config.fs_a.nfs_transport = config.fs_b.nfs_transport = nfs;
+    config.engine.pool = core::ParameterPool::Tiny();
+    config.explore.max_operations = 200;
+    config.explore.max_depth = 4;
+    auto mcfs = core::Mcfs::Create(config);
+    EXPECT_TRUE(mcfs.ok());
+    return mcfs.value()->Run().sim_ops_per_sec;
+  };
+  const double ioctl_rate = sim_rate(core::StateStrategy::kIoctl, false);
+  const double criu_rate = sim_rate(core::StateStrategy::kCriu, true);
+  const double vm_rate = sim_rate(core::StateStrategy::kVmSnapshot, false);
+  EXPECT_GT(ioctl_rate, criu_rate * 5);
+  EXPECT_GT(ioctl_rate, vm_rate * 5);
+}
+
+}  // namespace
+}  // namespace mcfs::nfs

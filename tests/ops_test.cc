@@ -1,0 +1,119 @@
+// Operation-pool tests: the bounded action set (paper §4) — enumeration,
+// feature filtering, the deliberate inclusion of invalid operations, and
+// stable human-readable names.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mcfs/ops.h"
+
+namespace mcfs::core {
+namespace {
+
+std::vector<fs::FsFeature> AllFeatures() {
+  return {fs::FsFeature::kRename, fs::FsFeature::kHardLink,
+          fs::FsFeature::kSymlink, fs::FsFeature::kAccess,
+          fs::FsFeature::kXattr};
+}
+
+TEST(OpsTest, DefaultPoolIsBoundedAndDiverse) {
+  const auto ops = ParameterPool::Default().EnumerateAll(AllFeatures());
+  EXPECT_GT(ops.size(), 50u);
+  EXPECT_LT(ops.size(), 400u);  // bounded, as the paper requires
+
+  std::set<OpKind> kinds;
+  for (const auto& op : ops) kinds.insert(op.kind);
+  // Every op family is represented.
+  for (OpKind kind :
+       {OpKind::kCreateFile, OpKind::kWriteFile, OpKind::kReadFile,
+        OpKind::kTruncate, OpKind::kMkdir, OpKind::kRmdir, OpKind::kUnlink,
+        OpKind::kGetDents, OpKind::kStat, OpKind::kRename, OpKind::kLink,
+        OpKind::kSymlink, OpKind::kChmod, OpKind::kAccess,
+        OpKind::kSetXattr}) {
+    EXPECT_TRUE(kinds.contains(kind)) << OpKindName(kind);
+  }
+}
+
+TEST(OpsTest, InvalidOperationsAreGeneratedOnPurpose) {
+  // "Invalid sequences are critical because they exercise error paths,
+  // where bugs often lurk" (paper §2): the pool includes cross-type
+  // nonsense like rmdir on a file path and write to a directory path.
+  const auto ops = ParameterPool::Default().EnumerateAll(AllFeatures());
+  bool rmdir_on_file = false;
+  bool write_to_dir = false;
+  bool unlink_on_dir = false;
+  for (const auto& op : ops) {
+    if (op.kind == OpKind::kRmdir && op.path == "/f0") rmdir_on_file = true;
+    if (op.kind == OpKind::kWriteFile && op.path == "/d0") {
+      write_to_dir = true;
+    }
+    if (op.kind == OpKind::kUnlink && op.path == "/d0") unlink_on_dir = true;
+  }
+  EXPECT_TRUE(rmdir_on_file);
+  EXPECT_TRUE(write_to_dir);
+  EXPECT_TRUE(unlink_on_dir);
+}
+
+TEST(OpsTest, FeatureFilteringDropsWholeFamilies) {
+  const auto full = ParameterPool::Default().EnumerateAll(AllFeatures());
+  const auto none = ParameterPool::Default().EnumerateAll({});
+  EXPECT_LT(none.size(), full.size());
+  for (const auto& op : none) {
+    fs::FsFeature feature;
+    EXPECT_FALSE(op.RequiresFeature(&feature)) << op.ToString();
+  }
+}
+
+TEST(OpsTest, RequiresFeatureMapping) {
+  fs::FsFeature feature;
+  EXPECT_TRUE(Operation{.kind = OpKind::kRename}.RequiresFeature(&feature));
+  EXPECT_EQ(feature, fs::FsFeature::kRename);
+  EXPECT_TRUE(Operation{.kind = OpKind::kSymlink}.RequiresFeature(&feature));
+  EXPECT_EQ(feature, fs::FsFeature::kSymlink);
+  EXPECT_TRUE(
+      Operation{.kind = OpKind::kReadLink}.RequiresFeature(&feature));
+  EXPECT_EQ(feature, fs::FsFeature::kSymlink);
+  EXPECT_TRUE(
+      Operation{.kind = OpKind::kSetXattr}.RequiresFeature(&feature));
+  EXPECT_EQ(feature, fs::FsFeature::kXattr);
+  EXPECT_FALSE(Operation{.kind = OpKind::kMkdir}.RequiresFeature(&feature));
+  EXPECT_FALSE(
+      Operation{.kind = OpKind::kWriteFile}.RequiresFeature(&feature));
+}
+
+TEST(OpsTest, ToStringIsDescriptive) {
+  const Operation write{.kind = OpKind::kWriteFile,
+                        .path = "/f0",
+                        .offset = 100,
+                        .size = 3000,
+                        .fill = 0x41};
+  EXPECT_EQ(write.ToString(),
+            "write_file(/f0, off=100, size=3000, fill=0x41)");
+
+  const Operation rename{.kind = OpKind::kRename,
+                         .path = "/a",
+                         .path2 = "/b"};
+  EXPECT_EQ(rename.ToString(), "rename(/a, /b)");
+
+  const Operation chmod{.kind = OpKind::kChmod, .path = "/f", .mode = 0600};
+  EXPECT_EQ(chmod.ToString(), "chmod(/f, mode=0600)");
+}
+
+TEST(OpsTest, ActionNamesAreUnique) {
+  // The trail replays by name; duplicate names would make it ambiguous.
+  const auto ops = ParameterPool::Default().EnumerateAll(AllFeatures());
+  std::set<std::string> names;
+  for (const auto& op : ops) {
+    EXPECT_TRUE(names.insert(op.ToString()).second)
+        << "duplicate action: " << op.ToString();
+  }
+}
+
+TEST(OpsTest, TinyPoolIsTiny) {
+  const auto ops = ParameterPool::Tiny().EnumerateAll(AllFeatures());
+  EXPECT_LT(ops.size(), 20u);
+  EXPECT_GT(ops.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mcfs::core

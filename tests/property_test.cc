@@ -1,0 +1,341 @@
+// Property-based sweeps (parameterized gtest): cross-file-system
+// equivalence properties that MCFS's integrity checking relies on,
+// verified over systematic parameter grids rather than hand-picked
+// cases.
+//
+//   * data-operation equivalence: any (offset, size) write/truncate
+//     sequence leaves every file system in the same abstract state;
+//   * errno equivalence: namespace operations on a prepared fixture
+//     return the same error code on every implementation;
+//   * determinism: replaying an identical operation sequence on two
+//     instances of the same file system yields identical states.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fs/ext2/ext2fs.h"
+#include "fs/ext4/ext4fs.h"
+#include "fs/jffs2/jffs2fs.h"
+#include "fs/xfs/xfsfs.h"
+#include "mcfs/abstraction.h"
+#include "storage/ram_disk.h"
+#include "util/rng.h"
+#include "verifs/verifs1.h"
+#include "verifs/verifs2.h"
+
+namespace mcfs::core {
+namespace {
+
+struct Stack {
+  fs::FileSystemPtr filesystem;
+  std::unique_ptr<vfs::Vfs> v;
+  std::vector<std::shared_ptr<void>> keepalive;
+};
+
+Stack MakeStack(const std::string& kind) {
+  Stack stack;
+  if (kind == "ext2f") {
+    auto dev = std::make_shared<storage::RamDisk>("d", 256 * 1024, nullptr);
+    stack.filesystem = std::make_shared<fs::Ext2Fs>(dev);
+    stack.keepalive.push_back(dev);
+  } else if (kind == "ext4f") {
+    auto dev = std::make_shared<storage::RamDisk>("d", 256 * 1024, nullptr);
+    stack.filesystem = std::make_shared<fs::Ext4Fs>(dev);
+    stack.keepalive.push_back(dev);
+  } else if (kind == "xfsf") {
+    auto dev =
+        std::make_shared<storage::RamDisk>("d", 16 * 1024 * 1024, nullptr);
+    stack.filesystem = std::make_shared<fs::XfsFs>(dev);
+    stack.keepalive.push_back(dev);
+  } else if (kind == "jffs2f") {
+    auto mtd =
+        std::make_shared<storage::MtdDevice>("m", 1024 * 1024, nullptr);
+    stack.filesystem = std::make_shared<fs::Jffs2Fs>(mtd);
+    stack.keepalive.push_back(mtd);
+  } else if (kind == "verifs1") {
+    stack.filesystem = std::make_shared<verifs::Verifs1>();
+  } else {
+    stack.filesystem = std::make_shared<verifs::Verifs2>();
+  }
+  stack.v = std::make_unique<vfs::Vfs>(stack.filesystem, nullptr);
+  EXPECT_TRUE(stack.filesystem->Mkfs().ok());
+  EXPECT_TRUE(stack.v->Mount().ok());
+  return stack;
+}
+
+const std::vector<std::string> kAllKinds = {"ext2f",  "ext4f",   "xfsf",
+                                            "jffs2f", "verifs1", "verifs2"};
+
+AbstractionOptions HashOptions() {
+  AbstractionOptions options;
+  options.exception_list = {"/lost+found"};
+  return options;
+}
+
+Md5Digest HashOf(vfs::Vfs& v) {
+  auto digest = ComputeAbstractState(v, HashOptions());
+  EXPECT_TRUE(digest.ok());
+  return digest.value_or(Md5Digest{});
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: write/truncate parameter sweep leaves all FSes equivalent.
+
+struct DataCase {
+  std::uint64_t first_size;
+  std::uint64_t offset;
+  std::uint64_t second_size;
+  std::uint64_t truncate_to;
+};
+
+class DataEquivalenceSweep : public testing::TestWithParam<DataCase> {};
+
+TEST_P(DataEquivalenceSweep, AllFileSystemsAgree) {
+  const DataCase& params = GetParam();
+  std::optional<Md5Digest> reference;
+  std::string reference_kind;
+
+  for (const auto& kind : kAllKinds) {
+    Stack stack = MakeStack(kind);
+    vfs::Vfs& v = *stack.v;
+
+    auto fd = v.Open("/f", fs::kCreate | fs::kWrOnly, 0644);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(
+        v.Write(fd.value(), 0, Bytes(params.first_size, 0x41)).ok());
+    ASSERT_TRUE(v.Write(fd.value(), params.offset,
+                        Bytes(params.second_size, 0x42))
+                    .ok());
+    ASSERT_TRUE(v.Close(fd.value()).ok());
+    ASSERT_TRUE(v.Truncate("/f", params.truncate_to).ok());
+    // Grow back past the cut to expose any stale-byte bugs.
+    ASSERT_TRUE(
+        v.Truncate("/f", params.truncate_to + params.first_size).ok());
+
+    const Md5Digest digest = HashOf(v);
+    if (!reference.has_value()) {
+      reference = digest;
+      reference_kind = kind;
+    } else {
+      EXPECT_EQ(digest, *reference)
+          << kind << " diverges from " << reference_kind << " for size1="
+          << params.first_size << " off=" << params.offset
+          << " size2=" << params.second_size << " trunc="
+          << params.truncate_to;
+    }
+  }
+}
+
+std::vector<DataCase> DataGrid() {
+  std::vector<DataCase> grid;
+  for (std::uint64_t first : {1u, 100u, 1024u, 3000u}) {
+    for (std::uint64_t offset : {0u, 50u, 1024u, 4000u}) {
+      for (std::uint64_t second : {1u, 512u}) {
+        for (std::uint64_t trunc : {0u, 37u, 1000u}) {
+          grid.push_back({first, offset, second, trunc});
+        }
+      }
+    }
+  }
+  return grid;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, DataEquivalenceSweep,
+                         testing::ValuesIn(DataGrid()));
+
+// ---------------------------------------------------------------------------
+// Property 2: errno equivalence on a prepared namespace.
+
+struct ErrnoCase {
+  const char* description;
+  // Executed against a fixture with /file (content "x"), /dir, /dir/inner.
+  std::function<Errno(vfs::Vfs&)> probe;
+};
+
+class ErrnoEquivalenceSweep : public testing::TestWithParam<ErrnoCase> {};
+
+TEST_P(ErrnoEquivalenceSweep, AllFileSystemsAgree) {
+  const ErrnoCase& params = GetParam();
+  std::optional<Errno> reference;
+  std::string reference_kind;
+
+  for (const auto& kind : kAllKinds) {
+    Stack stack = MakeStack(kind);
+    vfs::Vfs& v = *stack.v;
+    auto fd = v.Open("/file", fs::kCreate | fs::kWrOnly, 0644);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(v.Write(fd.value(), 0, AsBytes("x")).ok());
+    ASSERT_TRUE(v.Close(fd.value()).ok());
+    ASSERT_TRUE(v.Mkdir("/dir", 0755).ok());
+    ASSERT_TRUE(v.Mkdir("/dir/inner", 0755).ok());
+
+    const Errno result = params.probe(v);
+    if (!reference.has_value()) {
+      reference = result;
+      reference_kind = kind;
+    } else {
+      EXPECT_EQ(result, *reference)
+          << params.description << ": " << kind << " returns "
+          << ErrnoName(result) << " but " << reference_kind << " returned "
+          << ErrnoName(*reference);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Probes, ErrnoEquivalenceSweep,
+    testing::Values(
+        ErrnoCase{"mkdir over file",
+                  [](vfs::Vfs& v) { return v.Mkdir("/file", 0755).error(); }},
+        ErrnoCase{"mkdir existing dir",
+                  [](vfs::Vfs& v) { return v.Mkdir("/dir", 0755).error(); }},
+        ErrnoCase{"rmdir non-empty",
+                  [](vfs::Vfs& v) { return v.Rmdir("/dir").error(); }},
+        ErrnoCase{"rmdir file",
+                  [](vfs::Vfs& v) { return v.Rmdir("/file").error(); }},
+        ErrnoCase{"unlink dir",
+                  [](vfs::Vfs& v) { return v.Unlink("/dir").error(); }},
+        ErrnoCase{"unlink missing",
+                  [](vfs::Vfs& v) { return v.Unlink("/gone").error(); }},
+        ErrnoCase{"stat through file",
+                  [](vfs::Vfs& v) { return v.Stat("/file/x").error(); }},
+        ErrnoCase{"open dir for write",
+                  [](vfs::Vfs& v) {
+                    return v.Open("/dir", fs::kWrOnly, 0).error();
+                  }},
+        ErrnoCase{"excl create existing",
+                  [](vfs::Vfs& v) {
+                    return v.Open("/file",
+                                  fs::kCreate | fs::kExcl | fs::kWrOnly,
+                                  0644)
+                        .error();
+                  }},
+        ErrnoCase{"truncate dir",
+                  [](vfs::Vfs& v) { return v.Truncate("/dir", 0).error(); }},
+        ErrnoCase{"create in missing parent",
+                  [](vfs::Vfs& v) {
+                    return v.Open("/no/f", fs::kCreate | fs::kWrOnly, 0644)
+                        .error();
+                  }},
+        ErrnoCase{"getdents on file",
+                  [](vfs::Vfs& v) { return v.GetDents("/file").error(); }}),
+    [](const testing::TestParamInfo<ErrnoCase>& info) {
+      std::string name = info.param.description;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Property 3: rename errno equivalence matrix (rename-capable FSes).
+
+struct RenamePair {
+  const char* from;
+  const char* to;
+};
+
+class RenameMatrixSweep : public testing::TestWithParam<RenamePair> {};
+
+TEST_P(RenameMatrixSweep, RenameCapableFileSystemsAgree) {
+  const RenamePair& params = GetParam();
+  std::optional<Errno> reference;
+  std::string reference_kind;
+
+  for (const auto& kind : kAllKinds) {
+    if (kind == "verifs1") continue;  // no rename (paper §5)
+    Stack stack = MakeStack(kind);
+    vfs::Vfs& v = *stack.v;
+    auto fd = v.Open("/file", fs::kCreate | fs::kWrOnly, 0644);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(v.Close(fd.value()).ok());
+    auto fd2 = v.Open("/file2", fs::kCreate | fs::kWrOnly, 0644);
+    ASSERT_TRUE(fd2.ok());
+    ASSERT_TRUE(v.Close(fd2.value()).ok());
+    ASSERT_TRUE(v.Mkdir("/dir", 0755).ok());
+    ASSERT_TRUE(v.Mkdir("/dir/inner", 0755).ok());
+    ASSERT_TRUE(v.Mkdir("/empty", 0755).ok());
+
+    const Errno result = v.Rename(params.from, params.to).error();
+    if (!reference.has_value()) {
+      reference = result;
+      reference_kind = kind;
+    } else {
+      EXPECT_EQ(result, *reference)
+          << "rename(" << params.from << ", " << params.to << "): " << kind
+          << "=" << ErrnoName(result) << " vs " << reference_kind << "="
+          << ErrnoName(*reference);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, RenameMatrixSweep,
+    testing::Values(RenamePair{"/file", "/fresh"},
+                    RenamePair{"/file", "/file2"},
+                    RenamePair{"/file", "/dir"},
+                    RenamePair{"/file", "/empty"},
+                    RenamePair{"/dir", "/file"},
+                    RenamePair{"/dir", "/empty"},
+                    RenamePair{"/dir", "/dir/inner/sub"},
+                    RenamePair{"/empty", "/dir"},
+                    RenamePair{"/missing", "/target"},
+                    RenamePair{"/file", "/no-parent/target"},
+                    RenamePair{"/file", "/file"},
+                    RenamePair{"/dir/inner", "/moved"}),
+    [](const testing::TestParamInfo<RenamePair>& info) {
+      std::string name = std::string(info.param.from) + "_to_" +
+                         info.param.to;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Property 4: same-FS determinism under random op sequences.
+
+class DeterminismSweep : public testing::TestWithParam<std::string> {};
+
+TEST_P(DeterminismSweep, IdenticalSequencesYieldIdenticalStates) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Stack a = MakeStack(GetParam());
+    Stack b = MakeStack(GetParam());
+
+    auto run = [&](vfs::Vfs& v) {
+      Rng rng(seed);
+      for (int i = 0; i < 60; ++i) {
+        const std::string path = "/p" + std::to_string(rng.Below(3));
+        switch (rng.Below(6)) {
+          case 0: {
+            auto fd = v.Open(path, fs::kCreate | fs::kWrOnly, 0644);
+            if (fd.ok()) {
+              (void)v.Write(fd.value(), rng.Below(200),
+                            Bytes(rng.Below(300), 'd'));
+              (void)v.Close(fd.value());
+            }
+            break;
+          }
+          case 1: (void)v.Unlink(path); break;
+          case 2: (void)v.Mkdir(path, 0755); break;
+          case 3: (void)v.Rmdir(path); break;
+          case 4: (void)v.Truncate(path, rng.Below(150)); break;
+          case 5: (void)v.GetDents("/"); break;
+        }
+      }
+    };
+    run(*a.v);
+    run(*b.v);
+    EXPECT_EQ(HashOf(*a.v), HashOf(*b.v))
+        << GetParam() << " is non-deterministic (seed " << seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFileSystems, DeterminismSweep,
+                         testing::ValuesIn(kAllKinds),
+                         [](const testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace mcfs::core
