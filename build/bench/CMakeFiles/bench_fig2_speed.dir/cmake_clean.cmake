@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_speed.dir/bench_fig2_speed.cc.o"
+  "CMakeFiles/bench_fig2_speed.dir/bench_fig2_speed.cc.o.d"
+  "bench_fig2_speed"
+  "bench_fig2_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_longrun.dir/bench_fig3_longrun.cc.o"
+  "CMakeFiles/bench_fig3_longrun.dir/bench_fig3_longrun.cc.o.d"
+  "bench_fig3_longrun"
+  "bench_fig3_longrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_longrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remount_ablation.dir/bench_remount_ablation.cc.o"
+  "CMakeFiles/bench_remount_ablation.dir/bench_remount_ablation.cc.o.d"
+  "bench_remount_ablation"
+  "bench_remount_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remount_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

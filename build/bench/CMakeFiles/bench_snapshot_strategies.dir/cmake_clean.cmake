@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_snapshot_strategies.dir/bench_snapshot_strategies.cc.o"
+  "CMakeFiles/bench_snapshot_strategies.dir/bench_snapshot_strategies.cc.o.d"
+  "bench_snapshot_strategies"
+  "bench_snapshot_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snapshot_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_fs_check.dir/cross_fs_check.cpp.o"
+  "CMakeFiles/cross_fs_check.dir/cross_fs_check.cpp.o.d"
+  "cross_fs_check"
+  "cross_fs_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_fs_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_shell.dir/fs_shell.cpp.o"
+  "CMakeFiles/fs_shell.dir/fs_shell.cpp.o.d"
+  "fs_shell"
+  "fs_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nway_vote.dir/nway_vote.cpp.o"
+  "CMakeFiles/nway_vote.dir/nway_vote.cpp.o.d"
+  "nway_vote"
+  "nway_vote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nway_vote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swarm_explore.dir/swarm_explore.cpp.o"
+  "CMakeFiles/swarm_explore.dir/swarm_explore.cpp.o.d"
+  "swarm_explore"
+  "swarm_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swarm_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

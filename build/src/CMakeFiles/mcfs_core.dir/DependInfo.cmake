@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcfs/abstraction.cc" "src/CMakeFiles/mcfs_core.dir/mcfs/abstraction.cc.o" "gcc" "src/CMakeFiles/mcfs_core.dir/mcfs/abstraction.cc.o.d"
+  "/root/repo/src/mcfs/checker.cc" "src/CMakeFiles/mcfs_core.dir/mcfs/checker.cc.o" "gcc" "src/CMakeFiles/mcfs_core.dir/mcfs/checker.cc.o.d"
+  "/root/repo/src/mcfs/equalize.cc" "src/CMakeFiles/mcfs_core.dir/mcfs/equalize.cc.o" "gcc" "src/CMakeFiles/mcfs_core.dir/mcfs/equalize.cc.o.d"
+  "/root/repo/src/mcfs/fs_under_test.cc" "src/CMakeFiles/mcfs_core.dir/mcfs/fs_under_test.cc.o" "gcc" "src/CMakeFiles/mcfs_core.dir/mcfs/fs_under_test.cc.o.d"
+  "/root/repo/src/mcfs/harness.cc" "src/CMakeFiles/mcfs_core.dir/mcfs/harness.cc.o" "gcc" "src/CMakeFiles/mcfs_core.dir/mcfs/harness.cc.o.d"
+  "/root/repo/src/mcfs/nway_engine.cc" "src/CMakeFiles/mcfs_core.dir/mcfs/nway_engine.cc.o" "gcc" "src/CMakeFiles/mcfs_core.dir/mcfs/nway_engine.cc.o.d"
+  "/root/repo/src/mcfs/ops.cc" "src/CMakeFiles/mcfs_core.dir/mcfs/ops.cc.o" "gcc" "src/CMakeFiles/mcfs_core.dir/mcfs/ops.cc.o.d"
+  "/root/repo/src/mcfs/syscall_engine.cc" "src/CMakeFiles/mcfs_core.dir/mcfs/syscall_engine.cc.o" "gcc" "src/CMakeFiles/mcfs_core.dir/mcfs/syscall_engine.cc.o.d"
+  "/root/repo/src/mcfs/trace.cc" "src/CMakeFiles/mcfs_core.dir/mcfs/trace.cc.o" "gcc" "src/CMakeFiles/mcfs_core.dir/mcfs/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcfs_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_fuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_verifs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_fsck.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_core.dir/mcfs/abstraction.cc.o"
+  "CMakeFiles/mcfs_core.dir/mcfs/abstraction.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/mcfs/checker.cc.o"
+  "CMakeFiles/mcfs_core.dir/mcfs/checker.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/mcfs/equalize.cc.o"
+  "CMakeFiles/mcfs_core.dir/mcfs/equalize.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/mcfs/fs_under_test.cc.o"
+  "CMakeFiles/mcfs_core.dir/mcfs/fs_under_test.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/mcfs/harness.cc.o"
+  "CMakeFiles/mcfs_core.dir/mcfs/harness.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/mcfs/nway_engine.cc.o"
+  "CMakeFiles/mcfs_core.dir/mcfs/nway_engine.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/mcfs/ops.cc.o"
+  "CMakeFiles/mcfs_core.dir/mcfs/ops.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/mcfs/syscall_engine.cc.o"
+  "CMakeFiles/mcfs_core.dir/mcfs/syscall_engine.cc.o.d"
+  "CMakeFiles/mcfs_core.dir/mcfs/trace.cc.o"
+  "CMakeFiles/mcfs_core.dir/mcfs/trace.cc.o.d"
+  "libmcfs_core.a"
+  "libmcfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/ext2/ext2fs.cc" "src/CMakeFiles/mcfs_fs.dir/fs/ext2/ext2fs.cc.o" "gcc" "src/CMakeFiles/mcfs_fs.dir/fs/ext2/ext2fs.cc.o.d"
+  "/root/repo/src/fs/ext4/ext4fs.cc" "src/CMakeFiles/mcfs_fs.dir/fs/ext4/ext4fs.cc.o" "gcc" "src/CMakeFiles/mcfs_fs.dir/fs/ext4/ext4fs.cc.o.d"
+  "/root/repo/src/fs/jffs2/jffs2fs.cc" "src/CMakeFiles/mcfs_fs.dir/fs/jffs2/jffs2fs.cc.o" "gcc" "src/CMakeFiles/mcfs_fs.dir/fs/jffs2/jffs2fs.cc.o.d"
+  "/root/repo/src/fs/path.cc" "src/CMakeFiles/mcfs_fs.dir/fs/path.cc.o" "gcc" "src/CMakeFiles/mcfs_fs.dir/fs/path.cc.o.d"
+  "/root/repo/src/fs/xfs/xfsfs.cc" "src/CMakeFiles/mcfs_fs.dir/fs/xfs/xfsfs.cc.o" "gcc" "src/CMakeFiles/mcfs_fs.dir/fs/xfs/xfsfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

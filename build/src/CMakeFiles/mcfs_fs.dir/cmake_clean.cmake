@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_fs.dir/fs/ext2/ext2fs.cc.o"
+  "CMakeFiles/mcfs_fs.dir/fs/ext2/ext2fs.cc.o.d"
+  "CMakeFiles/mcfs_fs.dir/fs/ext4/ext4fs.cc.o"
+  "CMakeFiles/mcfs_fs.dir/fs/ext4/ext4fs.cc.o.d"
+  "CMakeFiles/mcfs_fs.dir/fs/jffs2/jffs2fs.cc.o"
+  "CMakeFiles/mcfs_fs.dir/fs/jffs2/jffs2fs.cc.o.d"
+  "CMakeFiles/mcfs_fs.dir/fs/path.cc.o"
+  "CMakeFiles/mcfs_fs.dir/fs/path.cc.o.d"
+  "CMakeFiles/mcfs_fs.dir/fs/xfs/xfsfs.cc.o"
+  "CMakeFiles/mcfs_fs.dir/fs/xfs/xfsfs.cc.o.d"
+  "libmcfs_fs.a"
+  "libmcfs_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

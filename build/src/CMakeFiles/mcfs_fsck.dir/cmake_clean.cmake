@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_fsck.dir/fs/ext2/fsck.cc.o"
+  "CMakeFiles/mcfs_fsck.dir/fs/ext2/fsck.cc.o.d"
+  "libmcfs_fsck.a"
+  "libmcfs_fsck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_fsck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_fuse.dir/fuse/fuse_channel.cc.o"
+  "CMakeFiles/mcfs_fuse.dir/fuse/fuse_channel.cc.o.d"
+  "CMakeFiles/mcfs_fuse.dir/fuse/fuse_host.cc.o"
+  "CMakeFiles/mcfs_fuse.dir/fuse/fuse_host.cc.o.d"
+  "CMakeFiles/mcfs_fuse.dir/fuse/fuse_kernel.cc.o"
+  "CMakeFiles/mcfs_fuse.dir/fuse/fuse_kernel.cc.o.d"
+  "libmcfs_fuse.a"
+  "libmcfs_fuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_fuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/bitstate.cc" "src/CMakeFiles/mcfs_mc.dir/mc/bitstate.cc.o" "gcc" "src/CMakeFiles/mcfs_mc.dir/mc/bitstate.cc.o.d"
+  "/root/repo/src/mc/explorer.cc" "src/CMakeFiles/mcfs_mc.dir/mc/explorer.cc.o" "gcc" "src/CMakeFiles/mcfs_mc.dir/mc/explorer.cc.o.d"
+  "/root/repo/src/mc/hash_table.cc" "src/CMakeFiles/mcfs_mc.dir/mc/hash_table.cc.o" "gcc" "src/CMakeFiles/mcfs_mc.dir/mc/hash_table.cc.o.d"
+  "/root/repo/src/mc/memory_model.cc" "src/CMakeFiles/mcfs_mc.dir/mc/memory_model.cc.o" "gcc" "src/CMakeFiles/mcfs_mc.dir/mc/memory_model.cc.o.d"
+  "/root/repo/src/mc/swarm.cc" "src/CMakeFiles/mcfs_mc.dir/mc/swarm.cc.o" "gcc" "src/CMakeFiles/mcfs_mc.dir/mc/swarm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

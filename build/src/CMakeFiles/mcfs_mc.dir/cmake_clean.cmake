@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_mc.dir/mc/bitstate.cc.o"
+  "CMakeFiles/mcfs_mc.dir/mc/bitstate.cc.o.d"
+  "CMakeFiles/mcfs_mc.dir/mc/explorer.cc.o"
+  "CMakeFiles/mcfs_mc.dir/mc/explorer.cc.o.d"
+  "CMakeFiles/mcfs_mc.dir/mc/hash_table.cc.o"
+  "CMakeFiles/mcfs_mc.dir/mc/hash_table.cc.o.d"
+  "CMakeFiles/mcfs_mc.dir/mc/memory_model.cc.o"
+  "CMakeFiles/mcfs_mc.dir/mc/memory_model.cc.o.d"
+  "CMakeFiles/mcfs_mc.dir/mc/swarm.cc.o"
+  "CMakeFiles/mcfs_mc.dir/mc/swarm.cc.o.d"
+  "libmcfs_mc.a"
+  "libmcfs_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_nfs.dir/nfs/ganesha.cc.o"
+  "CMakeFiles/mcfs_nfs.dir/nfs/ganesha.cc.o.d"
+  "libmcfs_nfs.a"
+  "libmcfs_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mcfs_nfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snapshot/criu.cc" "src/CMakeFiles/mcfs_snapshot.dir/snapshot/criu.cc.o" "gcc" "src/CMakeFiles/mcfs_snapshot.dir/snapshot/criu.cc.o.d"
+  "/root/repo/src/snapshot/vm.cc" "src/CMakeFiles/mcfs_snapshot.dir/snapshot/vm.cc.o" "gcc" "src/CMakeFiles/mcfs_snapshot.dir/snapshot/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_snapshot.dir/snapshot/criu.cc.o"
+  "CMakeFiles/mcfs_snapshot.dir/snapshot/criu.cc.o.d"
+  "CMakeFiles/mcfs_snapshot.dir/snapshot/vm.cc.o"
+  "CMakeFiles/mcfs_snapshot.dir/snapshot/vm.cc.o.d"
+  "libmcfs_snapshot.a"
+  "libmcfs_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

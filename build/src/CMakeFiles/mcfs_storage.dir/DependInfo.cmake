@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/latency_disk.cc" "src/CMakeFiles/mcfs_storage.dir/storage/latency_disk.cc.o" "gcc" "src/CMakeFiles/mcfs_storage.dir/storage/latency_disk.cc.o.d"
+  "/root/repo/src/storage/mtd_device.cc" "src/CMakeFiles/mcfs_storage.dir/storage/mtd_device.cc.o" "gcc" "src/CMakeFiles/mcfs_storage.dir/storage/mtd_device.cc.o.d"
+  "/root/repo/src/storage/ram_disk.cc" "src/CMakeFiles/mcfs_storage.dir/storage/ram_disk.cc.o" "gcc" "src/CMakeFiles/mcfs_storage.dir/storage/ram_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

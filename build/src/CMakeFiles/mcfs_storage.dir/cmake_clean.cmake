@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_storage.dir/storage/latency_disk.cc.o"
+  "CMakeFiles/mcfs_storage.dir/storage/latency_disk.cc.o.d"
+  "CMakeFiles/mcfs_storage.dir/storage/mtd_device.cc.o"
+  "CMakeFiles/mcfs_storage.dir/storage/mtd_device.cc.o.d"
+  "CMakeFiles/mcfs_storage.dir/storage/ram_disk.cc.o"
+  "CMakeFiles/mcfs_storage.dir/storage/ram_disk.cc.o.d"
+  "libmcfs_storage.a"
+  "libmcfs_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_util.dir/util/log.cc.o"
+  "CMakeFiles/mcfs_util.dir/util/log.cc.o.d"
+  "CMakeFiles/mcfs_util.dir/util/md5.cc.o"
+  "CMakeFiles/mcfs_util.dir/util/md5.cc.o.d"
+  "libmcfs_util.a"
+  "libmcfs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

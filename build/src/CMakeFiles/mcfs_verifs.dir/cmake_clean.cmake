@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_verifs.dir/verifs/snapshot_pool.cc.o"
+  "CMakeFiles/mcfs_verifs.dir/verifs/snapshot_pool.cc.o.d"
+  "CMakeFiles/mcfs_verifs.dir/verifs/verifs1.cc.o"
+  "CMakeFiles/mcfs_verifs.dir/verifs/verifs1.cc.o.d"
+  "CMakeFiles/mcfs_verifs.dir/verifs/verifs2.cc.o"
+  "CMakeFiles/mcfs_verifs.dir/verifs/verifs2.cc.o.d"
+  "libmcfs_verifs.a"
+  "libmcfs_verifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_verifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/cache.cc" "src/CMakeFiles/mcfs_vfs.dir/vfs/cache.cc.o" "gcc" "src/CMakeFiles/mcfs_vfs.dir/vfs/cache.cc.o.d"
+  "/root/repo/src/vfs/vfs.cc" "src/CMakeFiles/mcfs_vfs.dir/vfs/vfs.cc.o" "gcc" "src/CMakeFiles/mcfs_vfs.dir/vfs/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcfs_vfs.dir/vfs/cache.cc.o"
+  "CMakeFiles/mcfs_vfs.dir/vfs/cache.cc.o.d"
+  "CMakeFiles/mcfs_vfs.dir/vfs/vfs.cc.o"
+  "CMakeFiles/mcfs_vfs.dir/vfs/vfs.cc.o.d"
+  "libmcfs_vfs.a"
+  "libmcfs_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcfs_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/engine_test.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/engine_test.dir/engine_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_verifs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_fuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_snapshot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_fsck.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcfs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_internals_test.dir/fs_internals_test.cc.o"
+  "CMakeFiles/fs_internals_test.dir/fs_internals_test.cc.o.d"
+  "fs_internals_test"
+  "fs_internals_test.pdb"
+  "fs_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incoherency_test.dir/incoherency_test.cc.o"
+  "CMakeFiles/incoherency_test.dir/incoherency_test.cc.o.d"
+  "incoherency_test"
+  "incoherency_test.pdb"
+  "incoherency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incoherency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

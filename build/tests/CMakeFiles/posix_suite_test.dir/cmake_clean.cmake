@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/posix_suite_test.dir/posix_suite_test.cc.o"
+  "CMakeFiles/posix_suite_test.dir/posix_suite_test.cc.o.d"
+  "posix_suite_test"
+  "posix_suite_test.pdb"
+  "posix_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/posix_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifs_test.dir/verifs_test.cc.o"
+  "CMakeFiles/verifs_test.dir/verifs_test.cc.o.d"
+  "verifs_test"
+  "verifs_test.pdb"
+  "verifs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
