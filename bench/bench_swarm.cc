@@ -1,12 +1,26 @@
 // Swarm verification scaling — paper §2(iii)/§7: seed-diversified
 // parallel verifiers jointly cover more of a large state space.
-// Sweeps worker counts and reports merged (union) coverage vs the best
-// single worker, plus wall-clock throughput.
+//
+// Part 1 sweeps worker counts for the share-nothing (Spin-style) swarm
+// and reports merged (union) coverage vs the best single worker.
+//
+// Part 2 compares the independent swarm against the cooperative swarm
+// (shared lock-striped visited store): total operations for 4 workers to
+// cover the same number of unique states a single worker reaches, plus
+// the cross-worker redundant-discovery ratio. Cooperation prunes peer
+// revisits, so the cooperative swarm needs strictly fewer operations.
+//
+// Part 3 seeds a VeriFS1 bug and measures that the first violation
+// cancels all cooperative workers promptly (no budget burn, no hang).
+//
+// All figures are exported as benchmark counters, so
+// --benchmark_format=json carries the full comparison.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "mcfs/harness.h"
 
@@ -14,6 +28,19 @@ namespace {
 
 using namespace mcfs;
 using namespace mcfs::core;
+
+McfsConfig VerifsPairConfig() {
+  McfsConfig config;
+  config.fs_a.kind = FsKind::kVerifs1;
+  config.fs_a.strategy = StateStrategy::kIoctl;
+  config.fs_b.kind = FsKind::kVerifs2;
+  config.fs_b.strategy = StateStrategy::kIoctl;
+  config.engine.pool = ParameterPool::Default();
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Part 1: share-nothing scaling sweep (unchanged shape from the paper).
 
 struct Row {
   std::uint64_t merged_unique = 0;
@@ -36,17 +63,7 @@ void RunSwarm(benchmark::State& state, int workers) {
 
     mc::Swarm swarm(options);
     const auto start = std::chrono::steady_clock::now();
-    mc::SwarmResult result = swarm.Run([](int) {
-      McfsConfig config;
-      config.fs_a.kind = FsKind::kVerifs1;
-      config.fs_a.strategy = StateStrategy::kIoctl;
-      config.fs_b.kind = FsKind::kVerifs2;
-      config.fs_b.strategy = StateStrategy::kIoctl;
-      config.engine.pool = ParameterPool::Default();
-      auto mcfs = Mcfs::Create(config);
-      if (!mcfs.ok()) std::abort();
-      return std::make_unique<McfsSwarmInstance>(std::move(mcfs).value());
-    });
+    mc::SwarmResult result = swarm.Run(MakeMcfsSwarmFactory(VerifsPairConfig()));
     Row row;
     row.merged_unique = result.merged_unique_states;
     row.total_ops = result.total_operations;
@@ -66,8 +83,116 @@ void RunSwarm(benchmark::State& state, int workers) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Part 2: independent vs cooperative, ops to cover K unique states.
+
+struct CompareRow {
+  std::uint64_t total_ops = 0;
+  std::uint64_t merged_unique = 0;
+  double redundant_discovery = 0;  // (summed - merged) / summed
+  double revisit_ratio = 0;        // revisits / operations
+  double wall_seconds = 0;
+};
+
+std::map<std::string, CompareRow> g_compare;
+std::uint64_t g_target_states = 0;  // K, set by the single-worker run
+
+constexpr std::uint64_t kSingleWorkerBudget = 1200;
+constexpr int kCompareWorkers = 4;
+
+CompareRow Summarize(const mc::SwarmResult& result, double wall) {
+  CompareRow row;
+  row.total_ops = result.total_operations;
+  row.merged_unique = result.merged_unique_states;
+  row.redundant_discovery = result.redundant_discovery_ratio;
+  row.revisit_ratio =
+      result.total_operations > 0
+          ? static_cast<double>(result.total_revisits) /
+                static_cast<double>(result.total_operations)
+          : 0;
+  row.wall_seconds = wall;
+  return row;
+}
+
+void ExportCounters(benchmark::State& state, const CompareRow& row) {
+  state.counters["ops_to_target"] = static_cast<double>(row.total_ops);
+  state.counters["merged_unique"] = static_cast<double>(row.merged_unique);
+  state.counters["redundant_discovery_ratio"] = row.redundant_discovery;
+  state.counters["revisit_ratio"] = row.revisit_ratio;
+}
+
+void RunCompare(benchmark::State& state, const std::string& label,
+                bool cooperative) {
+  for (auto _ : state) {
+    mc::SwarmOptions options;
+    options.workers = label == "single" ? 1 : kCompareWorkers;
+    options.cooperative = cooperative;
+    options.base.mode = mc::SearchMode::kRandomWalk;
+    options.base_seed = 500;
+    if (label == "single") {
+      options.base.max_operations = kSingleWorkerBudget;
+    } else {
+      // Stop at K states; the budget is only a hang backstop.
+      options.base.max_operations = 16 * kSingleWorkerBudget;
+      options.base.target_unique_states = g_target_states;
+    }
+
+    mc::Swarm swarm(options);
+    const auto start = std::chrono::steady_clock::now();
+    mc::SwarmResult result = swarm.Run(MakeMcfsSwarmFactory(VerifsPairConfig()));
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    g_compare[label] = Summarize(result, wall);
+    if (label == "single") g_target_states = result.merged_unique_states;
+    ExportCounters(state, g_compare[label]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 3: a seeded violation cancels all cooperative workers promptly.
+
+void RunCancelOnViolation(benchmark::State& state) {
+  for (auto _ : state) {
+    // Bug #1 (VeriFS1 truncate-no-zero vs ext4f) trips within a few
+    // thousand ops on the small pool — same setup as bench_bug_detection.
+    McfsConfig config;
+    config.fs_a.kind = FsKind::kExt4;
+    config.fs_a.strategy = StateStrategy::kRemountPerOp;
+    config.fs_b.kind = FsKind::kVerifs1;
+    config.fs_b.strategy = StateStrategy::kIoctl;
+    config.fs_b.bugs.truncate_no_zero_on_expand = true;
+    config.engine.pool = ParameterPool::Tiny();
+
+    mc::SwarmOptions options;
+    options.workers = kCompareWorkers;
+    options.cooperative = true;
+    // Random walk, the cooperative workhorse: partitioned DFS prunes
+    // peer-claimed subtrees, which under a shallow depth bound can
+    // exhaust the partitioned tree before reaching the bug state.
+    options.base.mode = mc::SearchMode::kRandomWalk;
+    // Far beyond ops-to-detection: cancellation keeps this short, and
+    // the budget is a bounded backstop rather than an unbounded hang.
+    options.base.max_operations = 150'000;
+    options.base_seed = 77;
+
+    mc::Swarm swarm(options);
+    const auto start = std::chrono::steady_clock::now();
+    mc::SwarmResult result = swarm.Run(MakeMcfsSwarmFactory(config));
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    state.counters["violation_found"] = result.any_violation ? 1 : 0;
+    state.counters["first_violation_worker"] =
+        static_cast<double>(result.first_violation_worker);
+    state.counters["total_ops_until_cancel"] =
+        static_cast<double>(result.total_operations);
+    state.counters["wall_seconds"] = wall;
+  }
+}
+
 void PrintSummary() {
-  std::printf("\n=== Swarm verification scaling ===\n");
+  std::printf("\n=== Swarm verification scaling (independent) ===\n");
   std::printf("%8s %14s %14s %12s %14s\n", "workers", "merged states",
               "best single", "total ops", "ops/wall-s");
   for (const auto& [workers, row] : g_rows) {
@@ -88,6 +213,40 @@ void PrintSummary() {
                 static_cast<double>(eight->second.merged_unique) /
                     static_cast<double>(one->second.merged_unique));
   }
+
+  std::printf("\n=== Independent vs cooperative: ops to cover K=%llu "
+              "unique states (%d workers) ===\n",
+              static_cast<unsigned long long>(g_target_states),
+              kCompareWorkers);
+  std::printf("%-14s %12s %14s %12s %12s\n", "mode", "total ops",
+              "merged states", "redund.", "revisit");
+  for (const char* label : {"single", "independent", "cooperative"}) {
+    const auto it = g_compare.find(label);
+    if (it == g_compare.end()) continue;
+    const CompareRow& row = it->second;
+    std::printf("%-14s %12llu %14llu %11.1f%% %11.1f%%\n", label,
+                static_cast<unsigned long long>(row.total_ops),
+                static_cast<unsigned long long>(row.merged_unique),
+                100 * row.redundant_discovery, 100 * row.revisit_ratio);
+  }
+  const auto ind = g_compare.find("independent");
+  const auto coop = g_compare.find("cooperative");
+  if (ind != g_compare.end() && coop != g_compare.end() &&
+      coop->second.total_ops > 0) {
+    const bool fewer = coop->second.total_ops < ind->second.total_ops;
+    const bool less_redundant = coop->second.redundant_discovery <
+                                ind->second.redundant_discovery;
+    std::printf("\nshape check: cooperative swarm reached K with %.2fx the "
+                "operations of the independent swarm (%s), redundancy "
+                "%.1f%% vs %.1f%% (%s).\n",
+                static_cast<double>(coop->second.total_ops) /
+                    static_cast<double>(ind->second.total_ops),
+                fewer ? "fewer, as expected" : "NOT fewer — regression",
+                100 * coop->second.redundant_discovery,
+                100 * ind->second.redundant_discovery,
+                less_redundant ? "lower, as expected"
+                               : "NOT lower — regression");
+  }
 }
 
 }  // namespace
@@ -100,6 +259,32 @@ int main(int argc, char** argv) {
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
   }
+  // Registration order is execution order: the single-worker run sets
+  // the K target the two swarm modes then race to.
+  benchmark::RegisterBenchmark(
+      "swarm_compare/single",
+      [](benchmark::State& state) { RunCompare(state, "single", false); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "swarm_compare/independent",
+      [](benchmark::State& state) {
+        RunCompare(state, "independent", false);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "swarm_compare/cooperative",
+      [](benchmark::State& state) {
+        RunCompare(state, "cooperative", true);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "swarm_cancel/seeded_violation",
+      [](benchmark::State& state) { RunCancelOnViolation(state); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

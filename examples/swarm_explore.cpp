@@ -1,11 +1,15 @@
-// Swarm verification over VeriFS1-vs-VeriFS2 (paper §2/§7): several
-// independent, seed-diversified explorers run in parallel; their visited
-// sets are merged afterwards. Prints per-worker coverage and the union,
-// showing the coverage gain from diversification.
+// Swarm verification over VeriFS1-vs-VeriFS2 (paper §2/§7).
 //
-//   ./swarm_explore [workers] [ops_per_worker]
+// Independent mode: several seed-diversified explorers run in parallel
+// with share-nothing visited sets that are merged afterwards (Spin
+// swarm's design). Cooperative mode: the workers share one lock-striped
+// visited store, so a state explored by any worker is pruned by all the
+// others, and the first violation cancels the whole swarm.
+//
+//   ./swarm_explore [workers] [ops_per_worker] [independent|cooperative]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "mcfs/harness.h"
 
@@ -16,9 +20,12 @@ int main(int argc, char** argv) {
   const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
   const std::uint64_t ops_per_worker =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
+  const bool cooperative =
+      argc > 3 && std::strcmp(argv[3], "cooperative") == 0;
 
   mc::SwarmOptions options;
   options.workers = workers;
+  options.cooperative = cooperative;
   options.base.mode = mc::SearchMode::kDfs;
   options.base.max_operations = ops_per_worker;
   options.base.max_depth = 10;
@@ -27,40 +34,40 @@ int main(int argc, char** argv) {
   // exact union for memory; pass use_bitstate=true for that mode).
   options.base_seed = 1000;
 
+  McfsConfig config;
+  config.fs_a.kind = FsKind::kVerifs1;
+  config.fs_a.strategy = StateStrategy::kIoctl;
+  config.fs_b.kind = FsKind::kVerifs2;
+  config.fs_b.strategy = StateStrategy::kIoctl;
+  config.engine.pool = ParameterPool::Default();
+
   mc::Swarm swarm(options);
-  std::printf("launching %d workers x %llu ops over verifs1-vs-verifs2...\n",
-              workers, static_cast<unsigned long long>(ops_per_worker));
+  std::printf("launching %d %s workers x %llu ops over "
+              "verifs1-vs-verifs2...\n",
+              workers, cooperative ? "cooperative" : "independent",
+              static_cast<unsigned long long>(ops_per_worker));
 
-  mc::SwarmResult result = swarm.Run([](int worker) {
-    McfsConfig config;
-    config.fs_a.kind = FsKind::kVerifs1;
-    config.fs_a.strategy = StateStrategy::kIoctl;
-    config.fs_b.kind = FsKind::kVerifs2;
-    config.fs_b.strategy = StateStrategy::kIoctl;
-    config.engine.pool = ParameterPool::Default();
-    auto mcfs = Mcfs::Create(config);
-    if (!mcfs.ok()) {
-      std::fprintf(stderr, "worker %d setup failed\n", worker);
-      std::abort();
-    }
-    return std::make_unique<McfsSwarmInstance>(std::move(mcfs).value());
-  });
+  mc::SwarmResult result = swarm.Run(MakeMcfsSwarmFactory(config));
 
-  std::printf("\n%-8s %12s %14s %12s\n", "worker", "ops", "unique states",
-              "backtracks");
+  std::printf("\n%-8s %12s %14s %12s %10s\n", "worker", "ops",
+              "unique states", "backtracks", "cancelled");
   for (std::size_t i = 0; i < result.per_worker.size(); ++i) {
     const auto& stats = result.per_worker[i];
-    std::printf("%-8zu %12llu %14llu %12llu\n", i,
+    std::printf("%-8zu %12llu %14llu %12llu %10s\n", i,
                 static_cast<unsigned long long>(stats.operations),
                 static_cast<unsigned long long>(stats.unique_states),
-                static_cast<unsigned long long>(stats.backtracks));
+                static_cast<unsigned long long>(stats.backtracks),
+                stats.cancelled ? "yes" : "no");
   }
   std::printf("\nsummed unique states (with overlap): %llu\n",
               static_cast<unsigned long long>(result.summed_unique_states));
   std::printf("merged unique states (union):        %llu\n",
               static_cast<unsigned long long>(result.merged_unique_states));
+  std::printf("cross-worker redundant discoveries:  %.1f%%\n",
+              100 * result.redundant_discovery_ratio);
   if (result.any_violation) {
-    std::printf("\nVIOLATION found by a worker:\n%s\n",
+    std::printf("\nVIOLATION found first by worker %d:\n%s\n",
+                result.first_violation_worker,
                 result.first_violation_report.c_str());
     return 2;
   }

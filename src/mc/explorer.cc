@@ -30,26 +30,83 @@ Explorer::Explorer(System& system, ExplorerOptions options)
       options_(options),
       visited_(1024),
       rng_(options.seed) {
-  if (options_.use_bitstate) {
+  if (options_.use_bitstate && options_.shared_store == nullptr) {
     bitstate_.emplace(options_.bitstate_bits);
   }
   if (options_.resume_visited != nullptr) {
     auto resumed = VisitedTable::Deserialize(*options_.resume_visited);
-    if (resumed.ok()) visited_ = std::move(resumed).value();
+    if (resumed.ok()) {
+      if (options_.shared_store != nullptr) {
+        // Seed the shared store too: resumed states must cost no worker
+        // any discovery credit, not just this one.
+        resumed.value().ForEach([this](const Md5Digest& digest) {
+          (void)options_.shared_store->Insert(digest);
+        });
+      }
+      visited_ = std::move(resumed).value();
+    }
   }
 }
 
 void Explorer::AccountMemory() {
   if (options_.memory == nullptr) return;
-  const std::uint64_t table_bytes =
-      options_.use_bitstate ? bitstate_->bytes_used() : visited_.bytes_used();
+  std::uint64_t table_bytes;
+  if (options_.shared_store != nullptr) {
+    // The worker pays for its walk-control table plus the shared store
+    // (which every sharer reports — the model cares about pressure, not
+    // exact attribution).
+    table_bytes = options_.shared_store->bytes_used() + visited_.bytes_used();
+  } else if (options_.use_bitstate) {
+    table_bytes = bitstate_->bytes_used();
+  } else {
+    table_bytes = visited_.bytes_used();
+  }
   (void)options_.memory->SetUsage(table_bytes + stored_state_bytes_);
 }
 
-bool Explorer::RecordState(const Md5Digest& digest) {
-  bool is_new;
-  if (options_.use_bitstate) {
-    is_new = bitstate_->Insert(digest);
+bool Explorer::ShouldStop() {
+  if (options_.cancel != nullptr &&
+      options_.cancel->load(std::memory_order_relaxed)) {
+    stats_.cancelled = true;
+    return true;
+  }
+  if (options_.target_unique_states != 0) {
+    const std::uint64_t known = options_.shared_store != nullptr
+                                    ? options_.shared_store->size()
+                                    : stats_.unique_states;
+    if (known >= options_.target_unique_states) {
+      stats_.cancelled = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+Explorer::RecordResult Explorer::RecordState(const Md5Digest& digest) {
+  RecordResult result;
+  if (options_.shared_store != nullptr) {
+    // The private table stays authoritative for *walk control* (the
+    // worker's own revisit structure); the shared store arbitrates the
+    // *discovery credit*: whichever worker inserts a state first
+    // swarm-wide owns it, so summed per-worker uniques equal the union.
+    const VisitedTable::InsertResult local = visited_.Insert(digest);
+    if (local.resized && options_.clock != nullptr) {
+      options_.clock->Advance(local.rehashed *
+                              options_.rehash_cost_per_entry);
+    }
+    result.locally_new = local.inserted;
+    if (local.inserted) {
+      // Only a locally-new state can be globally new: if this worker saw
+      // it before, it inserted it into the shared store then.
+      const StoreInsert shared = options_.shared_store->Insert(digest);
+      if (shared.resized && options_.clock != nullptr) {
+        options_.clock->Advance(shared.rehashed *
+                                options_.rehash_cost_per_entry);
+      }
+      result.globally_new = shared.inserted;
+    }
+  } else if (options_.use_bitstate) {
+    result.locally_new = result.globally_new = bitstate_->Insert(digest);
   } else {
     const VisitedTable::InsertResult r = visited_.Insert(digest);
     if (r.resized && options_.clock != nullptr) {
@@ -57,9 +114,9 @@ bool Explorer::RecordState(const Md5Digest& digest) {
       // stored digest is rehashed into the doubled table.
       options_.clock->Advance(r.rehashed * options_.rehash_cost_per_entry);
     }
-    is_new = r.inserted;
+    result.locally_new = result.globally_new = r.inserted;
   }
-  if (is_new) {
+  if (result.globally_new) {
     ++stats_.unique_states;
     // Spin retains per-state restore information; account for it even in
     // modes that do not keep the bytes live (the memory pressure is what
@@ -69,7 +126,7 @@ bool Explorer::RecordState(const Md5Digest& digest) {
     ++stats_.revisits;
   }
   AccountMemory();
-  return is_new;
+  return result;
 }
 
 void Explorer::MaybeSample() {
@@ -84,7 +141,9 @@ void Explorer::MaybeSample() {
   sample.unique_states = stats_.unique_states;
   sample.swap_used_bytes =
       options_.memory != nullptr ? options_.memory->swap_used() : 0;
-  sample.table_resizes = visited_.resize_count();
+  sample.table_resizes = options_.shared_store != nullptr
+                             ? options_.shared_store->resize_count()
+                             : visited_.resize_count();
   options_.progress_callback(sample);
 }
 
@@ -155,6 +214,7 @@ ExploreStats Explorer::RunDfs() {
 
   while (!stack.empty()) {
     if (stats_.operations >= options_.max_operations) break;
+    if (ShouldStop()) break;
     Frame& frame = stack.back();
 
     if (frame.next == frame.order.size()) {
@@ -204,7 +264,10 @@ ExploreStats Explorer::RunDfs() {
       break;
     }
 
-    const bool is_new = RecordState(system_.AbstractHash());
+    // Descend only below globally-new states: under a shared store this
+    // prunes subtrees a peer already claimed, partitioning the tree
+    // across the swarm.
+    const bool is_new = RecordState(system_.AbstractHash()).globally_new;
     if (is_new && stack.size() < options_.max_depth) {
       auto snap = system_.SaveConcrete();
       if (!snap.ok()) {
@@ -245,6 +308,7 @@ ExploreStats Explorer::RunRandomWalk() {
   constexpr std::size_t kTrailCap = 128;
 
   while (stats_.operations < options_.max_operations) {
+    if (ShouldStop()) break;
     const std::size_t count = system_.ActionCount();
     if (count == 0) break;
     const auto action = static_cast<std::size_t>(rng_.Below(count));
@@ -268,7 +332,12 @@ ExploreStats Explorer::RunRandomWalk() {
       break;
     }
 
-    if (RecordState(system_.AbstractHash())) {
+    // Frontier control is LOCAL even under a shared store: bouncing off
+    // peer-claimed states would trap the walk once its neighbourhood is
+    // claimed (the frontier could never advance through them). The walk
+    // moves exactly as a solo walk would; only the discovery credit is
+    // arbitrated globally.
+    if (RecordState(system_.AbstractHash()).locally_new) {
       // New frontier: advance the rolling snapshot.
       (void)system_.DiscardConcrete(frontier_snap);
       auto snap = system_.SaveConcrete();

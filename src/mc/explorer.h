@@ -15,6 +15,7 @@
 // ("Spin logs the precise sequence of operations", §2).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -23,6 +24,7 @@
 #include "mc/hash_table.h"
 #include "mc/memory_model.h"
 #include "mc/state.h"
+#include "mc/visited_store.h"
 #include "util/rng.h"
 #include "util/sim_clock.h"
 
@@ -59,6 +61,22 @@ struct ExplorerOptions {
   // visited-table image from a previous run's ExportCheckpoint(). States
   // already explored then are not re-counted or re-expanded.
   const Bytes* resume_visited = nullptr;
+  // Cooperative swarm support. When `shared_store` is set, discovery is
+  // arbitrated through it: a state counts as unique for exactly one
+  // worker swarm-wide. DFS additionally prunes subtrees under
+  // peer-claimed states (partitioned search); random walk keeps using
+  // the private table for frontier control — bouncing off peer-claimed
+  // states would trap the walk — and only the discovery *credit* is
+  // global. The explorer does not own the store. Default nullptr: solo
+  // runs take the exact same code path (and cost) as before.
+  VisitedStore* shared_store = nullptr;
+  // Stop-token-style cancellation, checked once per loop iteration. Set
+  // by the swarm when any worker finds a violation so the rest halt
+  // promptly instead of burning out their op budgets.
+  const std::atomic<bool>* cancel = nullptr;
+  // Stop once this many unique states are known (in the shared store if
+  // one is attached, else locally). 0 = no target; run to the op budget.
+  std::uint64_t target_unique_states = 0;
 };
 
 class Explorer {
@@ -79,11 +97,22 @@ class Explorer {
   ExploreStats RunDfs();
   ExploreStats RunRandomWalk();
 
-  // Inserts into whichever visited structure is active; returns whether
-  // the state is new and charges resize/memory costs.
-  bool RecordState(const Md5Digest& digest);
+  // Outcome of recording one abstract state. Solo runs have
+  // locally_new == globally_new; with a shared store a state can be new
+  // to this worker but already claimed by a peer.
+  struct RecordResult {
+    bool locally_new = false;   // new to this worker's private table
+    bool globally_new = false;  // this worker won the discovery credit
+  };
+
+  // Inserts into the active visited structures, charges resize/memory
+  // costs, and updates unique/revisit stats (on the global outcome).
+  RecordResult RecordState(const Md5Digest& digest);
   void AccountMemory();
   void MaybeSample();
+  // True when the search should stop early: cancelled by the swarm or
+  // the unique-state target has been reached. Sets stats_.cancelled.
+  bool ShouldStop();
 
   System& system_;
   ExplorerOptions options_;

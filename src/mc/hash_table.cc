@@ -73,6 +73,13 @@ Result<VisitedTable> VisitedTable::Deserialize(ByteView image) {
   try {
     ByteReader r(image);
     const std::uint64_t count = r.GetU64();
+    // A truncated or corrupt image can carry an absurd count; reject it
+    // before sizing the table from it (count * 2 slots) rather than
+    // dying on the allocation.
+    if (image.size() < sizeof(std::uint64_t) ||
+        count > (image.size() - sizeof(std::uint64_t)) / 16) {
+      return Errno::kEINVAL;
+    }
     VisitedTable table(static_cast<std::size_t>(count * 2 + 16));
     for (std::uint64_t i = 0; i < count; ++i) {
       Md5Digest digest;

@@ -1,0 +1,44 @@
+#include "mc/sharded_table.h"
+
+namespace mcfs::mc {
+
+ShardedVisitedTable::ShardedVisitedTable(
+    std::size_t initial_capacity_per_shard) {
+  std::uint64_t bytes = 0;
+  for (Shard& shard : shards_) {
+    shard.table = VisitedTable(initial_capacity_per_shard);
+    bytes += shard.table.bytes_used();
+  }
+  bytes_.store(bytes, std::memory_order_relaxed);
+}
+
+StoreInsert ShardedVisitedTable::Insert(const Md5Digest& digest) {
+  Shard& shard = shards_[ShardOf(digest)];
+  StoreInsert out;
+  std::uint64_t grown_by = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const std::uint64_t before = shard.table.bytes_used();
+    const VisitedTable::InsertResult r = shard.table.Insert(digest);
+    out.inserted = r.inserted;
+    out.resized = r.resized;
+    out.rehashed = r.rehashed;
+    if (r.resized) grown_by = shard.table.bytes_used() - before;
+  }
+  // Counters are updated outside the shard lock; they are advisory
+  // aggregates, not part of the membership invariant.
+  if (out.inserted) size_.fetch_add(1, std::memory_order_relaxed);
+  if (out.resized) {
+    resize_count_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(grown_by, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+bool ShardedVisitedTable::Contains(const Md5Digest& digest) const {
+  const Shard& shard = shards_[ShardOf(digest)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.table.Contains(digest);
+}
+
+}  // namespace mcfs::mc

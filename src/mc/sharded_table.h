@@ -1,0 +1,74 @@
+// Sharded, lock-striped visited-state store for cooperative swarms.
+//
+// 64 shards, each an ordinary VisitedTable guarded by its own mutex.
+// The shard is picked from the digest's *upper* 64 bits while the table
+// probes with the *lower* 64 bits, so sharding never correlates with a
+// shard's internal probe sequence. With 64 stripes and a handful of
+// workers, contention is rare: two workers collide only when they hash
+// states into the same shard at the same instant.
+//
+// Aggregate counters (size, resizes, bytes) are atomics maintained at
+// insert time so readers never need to sweep the shards — the swarm's
+// merged progress sampler and the explorer's target-states check both
+// poll size() on the hot path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "mc/hash_table.h"
+#include "mc/visited_store.h"
+
+namespace mcfs::mc {
+
+class ShardedVisitedTable final : public VisitedStore {
+ public:
+  static constexpr std::size_t kShardCount = 64;
+
+  explicit ShardedVisitedTable(std::size_t initial_capacity_per_shard = 256);
+
+  StoreInsert Insert(const Md5Digest& digest) override;
+  bool Contains(const Md5Digest& digest) const override;
+
+  std::uint64_t size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_used() const override {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t resize_count() const override {
+    return resize_count_.load(std::memory_order_relaxed);
+  }
+
+  // Visits every stored digest, shard by shard (each shard locked while
+  // it is walked). Not a consistent snapshot under concurrent inserts;
+  // call after the workers have joined.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.table.ForEach(fn);
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    VisitedTable table;
+  };
+
+  static std::size_t ShardOf(const Md5Digest& digest) {
+    // Top 6 bits of the upper half; VisitedTable buckets on the lower
+    // half, so the two index spaces are independent.
+    return static_cast<std::size_t>(digest.hi64() >> 58) & (kShardCount - 1);
+  }
+
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<std::uint64_t> size_{0};
+  std::atomic<std::uint64_t> resize_count_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace mcfs::mc

@@ -71,6 +71,9 @@ struct ExploreStats {
   std::uint64_t backtracks = 0;       // concrete restores performed
   std::uint64_t snapshots_taken = 0;
   std::uint64_t max_depth_reached = 0;
+  // Search halted early: a swarm peer raised the cancel flag or the
+  // unique-state target was reached (neither is a violation here).
+  bool cancelled = false;
   bool violation_found = false;
   std::string violation_report;
   std::vector<std::string> violation_trail;  // action names from the root

@@ -1,9 +1,57 @@
 #include "mc/swarm.h"
 
+#include <algorithm>
+#include <mutex>
 #include <thread>
 #include <unordered_set>
 
+#include "mc/sharded_table.h"
+
 namespace mcfs::mc {
+
+namespace {
+
+// Aggregates per-worker ProgressSamples into one swarm-wide time series:
+// each incoming sample updates its worker's latest slot and appends a
+// merged sample built from every worker's latest.
+class ProgressMerger {
+ public:
+  ProgressMerger(int workers, const VisitedStore* store)
+      : latest_(workers), store_(store) {}
+
+  void Record(int worker, const ProgressSample& sample) {
+    std::lock_guard<std::mutex> lock(mu_);
+    latest_[worker] = sample;
+    ProgressSample merged;
+    for (const ProgressSample& s : latest_) {
+      merged.operations += s.operations;
+      merged.unique_states += s.unique_states;
+      merged.swap_used_bytes += s.swap_used_bytes;
+      merged.sim_seconds = std::max(merged.sim_seconds, s.sim_seconds);
+    }
+    if (store_ != nullptr) {
+      // Shared store: the union is exact; per-worker sums would merely
+      // re-add the same states.
+      merged.unique_states = store_->size();
+      merged.table_resizes = store_->resize_count();
+    } else {
+      for (const ProgressSample& s : latest_) {
+        merged.table_resizes += s.table_resizes;
+      }
+    }
+    series_.push_back(merged);
+  }
+
+  std::vector<ProgressSample> Take() { return std::move(series_); }
+
+ private:
+  std::mutex mu_;
+  std::vector<ProgressSample> latest_;
+  const VisitedStore* store_;
+  std::vector<ProgressSample> series_;
+};
+
+}  // namespace
 
 Swarm::Swarm(SwarmOptions options) : options_(std::move(options)) {}
 
@@ -13,41 +61,109 @@ SwarmResult Swarm::Run(const SwarmFactory& factory) {
   std::vector<std::unique_ptr<Explorer>> explorers(n);
   std::vector<ExploreStats> stats(n);
 
+  // Cooperative mode: one concurrent store for every worker. The kind
+  // follows the base options — bitstate runs share a lock-free filter,
+  // exact runs share the lock-striped sharded table.
+  std::unique_ptr<VisitedStore> shared_store;
+  if (options_.cooperative) {
+    if (options_.base.use_bitstate) {
+      shared_store = std::make_unique<ConcurrentBitstateFilter>(
+          options_.base.bitstate_bits);
+    } else {
+      shared_store =
+          std::make_unique<ShardedVisitedTable>(options_.shard_initial_capacity);
+    }
+  }
+
+  std::atomic<bool> cancel{false};
+  // The first worker to CAS its index here is the first-in-time
+  // violator; it also raises the cancel flag.
+  std::atomic<int> first_violator{-1};
+  auto report_violation = [&cancel, &first_violator, this](int worker) {
+    int expected = -1;
+    first_violator.compare_exchange_strong(expected, worker);
+    if (options_.cancel_on_violation) {
+      cancel.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  ProgressMerger merger(n, shared_store.get());
+  const bool sample_progress = options_.base.progress_interval_ops != 0;
+
   for (int i = 0; i < n; ++i) {
     instances[i] = factory(i);
     ExplorerOptions opts = options_.base;
     opts.seed = options_.base_seed + static_cast<std::uint64_t>(i);
     opts.clock = instances[i]->clock();
+    if (shared_store != nullptr) {
+      opts.shared_store = shared_store.get();
+      opts.use_bitstate = false;  // the shared store covers it
+    }
+    if (options_.cancel_on_violation) opts.cancel = &cancel;
+    if (sample_progress) {
+      auto inner = options_.base.progress_callback;
+      opts.progress_callback = [&merger, i,
+                                inner](const ProgressSample& sample) {
+        merger.Record(i, sample);
+        if (inner) inner(sample);
+      };
+    }
     explorers[i] =
         std::make_unique<Explorer>(instances[i]->system(), opts);
   }
+
+  auto run_worker = [&explorers, &stats, &report_violation](int i) {
+    stats[i] = explorers[i]->Run();
+    if (stats[i].violation_found) report_violation(i);
+  };
 
   if (options_.run_parallel) {
     std::vector<std::thread> threads;
     threads.reserve(n);
     for (int i = 0; i < n; ++i) {
-      threads.emplace_back(
-          [&explorers, &stats, i]() { stats[i] = explorers[i]->Run(); });
+      threads.emplace_back([&run_worker, i]() { run_worker(i); });
     }
     for (auto& t : threads) t.join();
   } else {
-    for (int i = 0; i < n; ++i) stats[i] = explorers[i]->Run();
+    for (int i = 0; i < n; ++i) {
+      // Sequential analogue of prompt cancellation: later workers are
+      // skipped entirely once an earlier one raised the flag.
+      if (cancel.load(std::memory_order_relaxed)) {
+        stats[i].cancelled = true;
+        continue;
+      }
+      run_worker(i);
+    }
   }
 
   SwarmResult result;
   result.per_worker = stats;
+  result.merged_progress = merger.Take();
   std::unordered_set<Md5Digest> merged;
   for (int i = 0; i < n; ++i) {
     result.total_operations += stats[i].operations;
+    result.total_revisits += stats[i].revisits;
     result.summed_unique_states += stats[i].unique_states;
-    explorers[i]->visited().ForEach(
-        [&merged](const Md5Digest& digest) { merged.insert(digest); });
-    if (stats[i].violation_found && !result.any_violation) {
-      result.any_violation = true;
-      result.first_violation_report = stats[i].violation_report;
+    if (shared_store == nullptr) {
+      explorers[i]->visited().ForEach(
+          [&merged](const Md5Digest& digest) { merged.insert(digest); });
     }
+    if (stats[i].cancelled) result.cancelled = true;
   }
-  result.merged_unique_states = merged.size();
+  result.merged_unique_states =
+      shared_store != nullptr ? shared_store->size() : merged.size();
+  if (result.summed_unique_states > 0) {
+    result.redundant_discovery_ratio =
+        static_cast<double>(result.summed_unique_states -
+                            result.merged_unique_states) /
+        static_cast<double>(result.summed_unique_states);
+  }
+  const int winner = first_violator.load();
+  if (winner >= 0) {
+    result.any_violation = true;
+    result.first_violation_worker = winner;
+    result.first_violation_report = stats[winner].violation_report;
+  }
   return result;
 }
 

@@ -1,15 +1,26 @@
-// Swarm verification (Holzmann, Joshi, Groce): many independent
-// verifiers, each with a different seed (hence a different exploration
-// order) and typically bitstate hashing, run in parallel and jointly
-// cover far more of a large state space than one exhaustive search could.
-// The paper chose Spin partly for this capability (§2) and plans to lean
-// on it for larger spaces (§7).
+// Swarm verification (Holzmann, Joshi, Groce): many verifiers, each with
+// a different seed (hence a different exploration order) and typically
+// bitstate hashing, run in parallel and jointly cover far more of a large
+// state space than one exhaustive search could. The paper chose Spin
+// partly for this capability (§2) and plans to lean on it for larger
+// spaces (§7).
 //
-// Workers are fully independent — separate System instances, separate
-// clocks, separate visited structures — matching Spin swarm's
-// share-nothing design; coverage is merged afterwards.
+// Two sharing disciplines:
+//   * independent (default) — separate System instances, clocks, and
+//     visited structures, matching Spin swarm's share-nothing design;
+//     coverage is merged after the run. Workers redundantly re-explore
+//     states their peers already covered.
+//   * cooperative — workers still own their System, clock, and private
+//     walk-control table, but share one concurrent visited store
+//     (ShardedVisitedTable, or ConcurrentBitstateFilter in bitstate
+//     mode) that arbitrates discovery: whichever worker reaches an
+//     abstract state first claims the credit, DFS prunes subtrees under
+//     peer-claimed states (partitioning the tree), the swarm can stop
+//     globally at a unique-state target, and a cancel flag halts all
+//     workers promptly once any of them finds a violation.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -36,17 +47,42 @@ struct SwarmOptions {
   ExplorerOptions base;
   std::uint64_t base_seed = 1;
   bool run_parallel = true;  // false = sequential (deterministic tests)
+  // Cooperative mode: share one concurrent visited store across workers
+  // (see the file comment). base.use_bitstate selects the store kind.
+  bool cooperative = false;
+  // Initial per-shard capacity of the cooperative sharded table.
+  std::size_t shard_initial_capacity = 256;
+  // Raise the cancel flag on the first violation so the remaining
+  // workers stop promptly instead of burning out their op budgets.
+  bool cancel_on_violation = true;
 };
 
 struct SwarmResult {
+  // Every worker's full stats, including each worker's own violation
+  // report — losing reports are preserved here, not dropped.
   std::vector<ExploreStats> per_worker;
-  // Union of abstract states across workers (overlap removed).
+  // Union of abstract states across workers (overlap removed). In
+  // cooperative mode this is the shared store's exact size.
   std::uint64_t merged_unique_states = 0;
   // Sum of per-worker unique states (>= merged; the gap is overlap).
   std::uint64_t summed_unique_states = 0;
   std::uint64_t total_operations = 0;
+  std::uint64_t total_revisits = 0;
+  // Cross-worker redundancy: the fraction of per-worker discoveries that
+  // duplicated a peer's, (summed - merged) / summed. Cooperative swarms
+  // drive this to 0 — the shared store arbitrates discovery.
+  double redundant_discovery_ratio = 0;
   bool any_violation = false;
+  // The *first-in-time* violation (the worker that raised the cancel
+  // flag), not the lowest-indexed violating worker.
+  int first_violation_worker = -1;
   std::string first_violation_report;
+  // True if any worker was halted early by the cancel flag.
+  bool cancelled = false;
+  // Swarm-wide progress time series (one entry per worker sample, with
+  // operations/unique-states aggregated across all workers at that
+  // moment). Populated when base.progress_interval_ops != 0.
+  std::vector<ProgressSample> merged_progress;
 };
 
 class Swarm {

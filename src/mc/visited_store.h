@@ -1,0 +1,43 @@
+// VisitedStore: the interface a visited-state structure presents to the
+// explorer when the structure is *shared* between workers.
+//
+// Spin swarm is share-nothing: each verifier keeps its own visited set,
+// so two workers that reach the same abstract state both expand it. A
+// cooperative swarm (Holzmann-style swarm plus the state-explosion-
+// reduction lens of Abe et al.) instead hands every worker one
+// concurrent store; whichever worker inserts a digest first "owns" that
+// state and the others prune it as a revisit. The solo explorer keeps
+// using its private VisitedTable directly — this indirection only exists
+// on the multi-worker path, so single-threaded runs pay nothing for it.
+#pragma once
+
+#include <cstdint>
+
+#include "util/md5.h"
+
+namespace mcfs::mc {
+
+// Mirrors VisitedTable::InsertResult so the explorer can charge resize
+// stalls to the simulated clock regardless of which store is active.
+struct StoreInsert {
+  bool inserted = false;           // false: some worker already had it
+  bool resized = false;            // this insert triggered a shard resize
+  std::uint64_t rehashed = 0;      // entries moved during that resize
+};
+
+class VisitedStore {
+ public:
+  virtual ~VisitedStore() = default;
+
+  // Thread-safe: concurrent Insert/Contains/size calls are allowed.
+  virtual StoreInsert Insert(const Md5Digest& digest) = 0;
+  virtual bool Contains(const Md5Digest& digest) const = 0;
+
+  // Aggregate counters (atomic snapshots; may be momentarily stale with
+  // respect to in-flight inserts on other threads).
+  virtual std::uint64_t size() const = 0;
+  virtual std::uint64_t bytes_used() const = 0;
+  virtual std::uint64_t resize_count() const = 0;
+};
+
+}  // namespace mcfs::mc

@@ -44,6 +44,9 @@ Result<EqualizeResult> EqualizeFreeSpace(
       }
       written += n.value();
     }
+    // Report what actually landed in the fill file: an ENOSPC short
+    // fill must not masquerade as the full requested amount.
+    result.fill_bytes[i] = written;
     if (Status s = v.Close(fd.value()); !s.ok()) return s.error();
   }
   return result;

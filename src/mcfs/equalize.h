@@ -32,7 +32,11 @@ struct EqualizeOptions {
 
 struct EqualizeResult {
   std::uint64_t smallest_free = 0;            // S_L
-  std::vector<std::uint64_t> fill_bytes;      // S_n - S_L per file system
+  // Bytes actually written into each fill file. Usually S_n - S_L, but
+  // less after an ENOSPC short fill (the fill file's own metadata eats
+  // into the budget). For skipped file systems this records the gap
+  // that was deemed too large to fill.
+  std::vector<std::uint64_t> fill_bytes;
   std::vector<bool> skipped;                  // gap exceeded the fill cap
 };
 

@@ -1,5 +1,7 @@
 #include "mcfs/harness.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace mcfs::core {
@@ -55,6 +57,18 @@ McfsReport Mcfs::Run() {
   report.remounts_b = fs_b_->remounts();
   report.trace_text = engine_->trace().ToText();
   return report;
+}
+
+mc::SwarmFactory MakeMcfsSwarmFactory(McfsConfig config) {
+  return [config](int worker) -> std::unique_ptr<mc::SwarmInstance> {
+    auto mcfs = Mcfs::Create(config);
+    if (!mcfs.ok()) {
+      std::fprintf(stderr, "swarm worker %d: Mcfs::Create failed (%s)\n",
+                   worker, std::string(ErrnoName(mcfs.error())).c_str());
+      std::abort();
+    }
+    return std::make_unique<McfsSwarmInstance>(std::move(mcfs).value());
+  };
 }
 
 std::string McfsReport::Summary() const {

@@ -80,4 +80,11 @@ class McfsSwarmInstance final : public mc::SwarmInstance {
   std::unique_ptr<Mcfs> mcfs_;
 };
 
+// Builds a SwarmFactory that assembles one complete Mcfs stack (both
+// file systems, engine, clock) per worker from `config`. Workers share
+// nothing through the factory; in a cooperative swarm the only shared
+// state is the visited store the Swarm itself injects. Aborts if a
+// worker's stack cannot be built — swarm workers have no error channel.
+mc::SwarmFactory MakeMcfsSwarmFactory(McfsConfig config);
+
 }  // namespace mcfs::core

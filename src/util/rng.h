@@ -58,7 +58,11 @@ class Rng {
 
   // Uniform value in [lo, hi] inclusive.
   std::uint64_t Between(std::uint64_t lo, std::uint64_t hi) {
-    return lo + Below(hi - lo + 1);
+    const std::uint64_t span = hi - lo;
+    // Full-range request: span + 1 would wrap to 0 and Below(0) would
+    // pin the result to lo; every 64-bit value is valid, so draw raw.
+    if (span == ~std::uint64_t{0}) return Next();
+    return lo + Below(span + 1);
   }
 
   // Bernoulli draw with probability num/den.

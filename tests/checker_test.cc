@@ -218,6 +218,62 @@ TEST(EqualizeTest, EqualFileSystemsNeedNoFill) {
   EXPECT_EQ(a->Stat(kFillFilePath).error(), Errno::kENOENT);
 }
 
+TEST(EqualizeTest, EnospcShortFillReportsBytesActuallyWritten) {
+  // Regression: when the fill hits ENOSPC early (the fill file's own
+  // metadata — inode, indirect block — eats into the free space being
+  // measured), fill_bytes must report what was actually written, not
+  // the requested gap.
+  auto diskA = std::make_shared<storage::RamDisk>("a", 256 * 1024, nullptr);
+  auto extA = std::make_shared<fs::Ext2Fs>(diskA);
+  vfs::Vfs vA(extA, nullptr);
+  ASSERT_TRUE(extA->Mkfs().ok());
+  ASSERT_TRUE(vA.Mount().ok());
+
+  auto diskB = std::make_shared<storage::RamDisk>("b", 128 * 1024, nullptr);
+  auto extB = std::make_shared<fs::Ext2Fs>(diskB);
+  vfs::Vfs vB(extB, nullptr);
+  ASSERT_TRUE(extB->Mkfs().ok());
+  ASSERT_TRUE(vB.Mount().ok());
+
+  // Stuff B to the brim so the equalization target is ~zero free space.
+  {
+    auto fd = vB.Open("/hog", fs::kCreate | fs::kWrOnly, 0600);
+    ASSERT_TRUE(fd.ok());
+    const Bytes chunk(4096, 0xee);
+    std::uint64_t offset = 0;
+    while (true) {
+      auto n = vB.Write(fd.value(), offset, ByteView(chunk.data(),
+                                                     chunk.size()));
+      if (!n.ok()) {
+        ASSERT_EQ(n.error(), Errno::kENOSPC);
+        break;
+      }
+      offset += n.value();
+    }
+    ASSERT_TRUE(vB.Close(fd.value()).ok());
+  }
+
+  auto freeA = vA.StatFs();
+  auto freeB = vB.StatFs();
+  ASSERT_TRUE(freeA.ok());
+  ASSERT_TRUE(freeB.ok());
+  const std::uint64_t gap =
+      freeA.value().free_bytes - freeB.value().free_bytes;
+  ASSERT_GT(gap, 16 * 1024u);  // the scenario is meaningful
+
+  auto result = EqualizeFreeSpace({&vA, &vB});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().skipped[0]);
+  EXPECT_GT(result.value().fill_bytes[0], 0u);
+  // The short fill is visible: less landed than was asked for...
+  EXPECT_LT(result.value().fill_bytes[0], gap);
+  // ...and the number reported is exactly the fill file's size.
+  auto fill_attr = vA.Stat(kFillFilePath);
+  ASSERT_TRUE(fill_attr.ok());
+  EXPECT_EQ(fill_attr.value().size, result.value().fill_bytes[0]);
+  EXPECT_EQ(result.value().fill_bytes[1], 0u);
+}
+
 TEST(EqualizeTest, AbsurdGapsAreSkipped) {
   // VeriFS1-style unlimited capacity: filling is pointless and skipped.
   auto verifs = std::make_shared<verifs::Verifs2>();

@@ -1,0 +1,302 @@
+// Concurrency tests for the cooperative-swarm machinery: the sharded
+// visited table, the atomic bitstate filter, and the swarm cancel flag.
+// These deliberately hammer the racy paths from many threads; run them
+// under the MCFS_TSAN build (`cmake -DMCFS_TSAN=ON`, `ctest -L
+// concurrent`) to have the sanitizer referee the memory orderings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "mc/bitstate.h"
+#include "mc/sharded_table.h"
+#include "mc/swarm.h"
+
+namespace mcfs::mc {
+namespace {
+
+Md5Digest DigestOf(std::uint64_t v) {
+  Md5 md5;
+  md5.UpdateU64(v);
+  return md5.Final();
+}
+
+// ---------------------------------------------------------------------------
+// ShardedVisitedTable
+
+TEST(ShardedTableTest, SingleThreadedBasics) {
+  ShardedVisitedTable table(16);
+  EXPECT_TRUE(table.Insert(DigestOf(1)).inserted);
+  EXPECT_FALSE(table.Insert(DigestOf(1)).inserted);
+  EXPECT_TRUE(table.Insert(DigestOf(2)).inserted);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_TRUE(table.Contains(DigestOf(1)));
+  EXPECT_FALSE(table.Contains(DigestOf(3)));
+  EXPECT_GT(table.bytes_used(), 0u);
+}
+
+TEST(ShardedTableTest, ConcurrentDisjointInserts) {
+  ShardedVisitedTable table(16);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, t]() {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        EXPECT_TRUE(
+            table.Insert(DigestOf(t * kPerThread + i)).inserted);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(table.size(), kThreads * kPerThread);
+  for (std::uint64_t v = 0; v < kThreads * kPerThread; ++v) {
+    ASSERT_TRUE(table.Contains(DigestOf(v))) << v;
+  }
+  // Growth happened under contention and was counted.
+  EXPECT_GT(table.resize_count(), 0u);
+}
+
+TEST(ShardedTableTest, ConcurrentContendedInsertsArbitrateUniquely) {
+  // Every thread races to insert the SAME keys; each key must be won by
+  // exactly one thread in total.
+  ShardedVisitedTable table(64);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 2000;
+  std::atomic<std::uint64_t> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&table, &wins]() {
+      for (std::uint64_t i = 0; i < kKeys; ++i) {
+        if (table.Insert(DigestOf(i)).inserted) {
+          wins.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(table.size(), kKeys);
+}
+
+TEST(ShardedTableTest, ForEachSeesEveryInsertAfterJoin) {
+  ShardedVisitedTable table(16);
+  for (std::uint64_t i = 0; i < 500; ++i) table.Insert(DigestOf(i));
+  std::unordered_set<Md5Digest> seen;
+  table.ForEach([&seen](const Md5Digest& d) { seen.insert(d); });
+  EXPECT_EQ(seen.size(), 500u);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_TRUE(seen.count(DigestOf(i))) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ConcurrentBitstateFilter
+
+TEST(ConcurrentBitstateTest, MatchesSerialFilterSemantics) {
+  ConcurrentBitstateFilter filter(1 << 16);
+  EXPECT_TRUE(filter.Insert(DigestOf(1)).inserted);
+  EXPECT_FALSE(filter.Insert(DigestOf(1)).inserted);
+  EXPECT_TRUE(filter.Contains(DigestOf(1)));
+  EXPECT_FALSE(filter.Contains(DigestOf(999)));
+  EXPECT_EQ(filter.resize_count(), 0u);
+  EXPECT_EQ(filter.bytes_used(), (1u << 16) / 8);
+}
+
+TEST(ConcurrentBitstateTest, NoFalseNegativesUnderContention) {
+  ConcurrentBitstateFilter filter(1 << 20);
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kKeys = 4000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&filter]() {
+      for (std::uint64_t i = 0; i < kKeys; ++i) filter.Insert(DigestOf(i));
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(filter.Contains(DigestOf(i))) << i;
+  }
+  // Relaxed fetch_or can double-count "new" states across racing
+  // threads, but never undercounts, and the bit population is exact.
+  EXPECT_GE(filter.size(), kKeys * 9 / 10);
+  EXPECT_LE(filter.bits_set(), 2 * kKeys);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative swarm: shared store + cancellation (the toy CounterSystem
+// from mc_test, reduced to what these scenarios need).
+
+class CounterSystem : public System {
+ public:
+  explicit CounterSystem(int n, bool violate_at_corner = false)
+      : n_(n), violate_at_corner_(violate_at_corner) {}
+
+  std::size_t ActionCount() const override { return 6; }
+
+  std::string ActionName(std::size_t action) const override {
+    static const char* kNames[] = {"inc-a", "dec-a",   "inc-b",
+                                   "dec-b", "reset-a", "reset-b"};
+    return kNames[action];
+  }
+
+  Status ApplyAction(std::size_t action) override {
+    switch (action) {
+      case 0: a_ = std::min(a_ + 1, n_ - 1); break;
+      case 1: a_ = std::max(a_ - 1, 0); break;
+      case 2: b_ = std::min(b_ + 1, n_ - 1); break;
+      case 3: b_ = std::max(b_ - 1, 0); break;
+      case 4: a_ = 0; break;
+      case 5: b_ = 0; break;
+    }
+    violation_ = violate_at_corner_ && a_ == n_ - 1 && b_ == n_ - 1;
+    return Status::Ok();
+  }
+
+  bool violation_detected() const override { return violation_; }
+  std::string violation_report() const override {
+    return violation_ ? "reached the forbidden corner" : "";
+  }
+
+  Md5Digest AbstractHash() override {
+    Md5 md5;
+    md5.UpdateU64(static_cast<std::uint64_t>(a_));
+    md5.UpdateU64(static_cast<std::uint64_t>(b_));
+    return md5.Final();
+  }
+
+  Result<SnapshotId> SaveConcrete() override {
+    const SnapshotId id = next_id_++;
+    snapshots_[id] = {a_, b_};
+    return id;
+  }
+
+  Status RestoreConcrete(SnapshotId id) override {
+    auto it = snapshots_.find(id);
+    if (it == snapshots_.end()) return Errno::kENOENT;
+    a_ = it->second.first;
+    b_ = it->second.second;
+    violation_ = false;
+    return Status::Ok();
+  }
+
+  Status DiscardConcrete(SnapshotId id) override {
+    return snapshots_.erase(id) == 1 ? Status::Ok() : Status(Errno::kENOENT);
+  }
+
+  std::uint64_t ConcreteStateBytes() const override { return 16; }
+
+ private:
+  int n_;
+  bool violate_at_corner_;
+  int a_ = 0;
+  int b_ = 0;
+  bool violation_ = false;
+  SnapshotId next_id_ = 1;
+  std::map<SnapshotId, std::pair<int, int>> snapshots_;
+};
+
+class CounterInstance : public SwarmInstance {
+ public:
+  explicit CounterInstance(int n, bool violate = false)
+      : system_(n, violate) {}
+  System& system() override { return system_; }
+  SimClock* clock() override { return &clock_; }
+
+ private:
+  CounterSystem system_;
+  SimClock clock_;
+};
+
+TEST(CooperativeSwarmTest, SharedStoreEliminatesCrossWorkerRedundancy) {
+  SwarmOptions options;
+  options.workers = 4;
+  options.cooperative = true;
+  options.base.mode = SearchMode::kRandomWalk;
+  options.base.max_operations = 3000;
+  options.base_seed = 21;
+  Swarm swarm(options);
+  SwarmResult result =
+      swarm.Run([](int) { return std::make_unique<CounterInstance>(8); });
+
+  EXPECT_FALSE(result.any_violation);
+  // The store arbitrates discovery: per-worker uniques sum exactly to
+  // the union, so cross-worker redundancy is zero.
+  EXPECT_EQ(result.summed_unique_states, result.merged_unique_states);
+  EXPECT_EQ(result.redundant_discovery_ratio, 0.0);
+  EXPECT_LE(result.merged_unique_states, 64u);
+  EXPECT_GE(result.merged_unique_states, 32u);
+}
+
+TEST(CooperativeSwarmTest, ViolationCancelsAllWorkersPromptly) {
+  SwarmOptions options;
+  options.workers = 4;
+  options.cooperative = true;
+  options.base.mode = SearchMode::kRandomWalk;
+  // Effectively unbounded: without cancellation the losing workers
+  // would burn 20M ops each after the first worker finds the corner.
+  options.base.max_operations = 20'000'000;
+  options.base.max_depth = 64;
+  options.base_seed = 5;
+  Swarm swarm(options);
+  SwarmResult result = swarm.Run(
+      [](int) { return std::make_unique<CounterInstance>(4, true); });
+
+  ASSERT_TRUE(result.any_violation);
+  EXPECT_GE(result.first_violation_worker, 0);
+  EXPECT_EQ(result.first_violation_report, "reached the forbidden corner");
+  EXPECT_EQ(result.per_worker[result.first_violation_worker]
+                .violation_report,
+            "reached the forbidden corner");
+  // Nobody ran anywhere near the op budget: the losers were cancelled.
+  for (const auto& stats : result.per_worker) {
+    EXPECT_LT(stats.operations, 1'000'000u);
+  }
+}
+
+TEST(CooperativeSwarmTest, TargetUniqueStatesStopsTheSwarm) {
+  SwarmOptions options;
+  options.workers = 4;
+  options.cooperative = true;
+  options.base.mode = SearchMode::kRandomWalk;
+  // Orders of magnitude beyond the few hundred ops the target needs, but
+  // still bounded so a broken target check fails fast instead of hanging.
+  options.base.max_operations = 2'000'000;
+  options.base.target_unique_states = 30;
+  options.base_seed = 9;
+  Swarm swarm(options);
+  SwarmResult result =
+      swarm.Run([](int) { return std::make_unique<CounterInstance>(8); });
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_GE(result.merged_unique_states, 30u);
+  // Workers stop within an op or two of the target being reached, so
+  // the union cannot have run far past it.
+  EXPECT_LE(result.merged_unique_states, 40u);
+}
+
+TEST(CooperativeSwarmTest, SharedBitstateModeWorks) {
+  SwarmOptions options;
+  options.workers = 4;
+  options.cooperative = true;
+  options.base.use_bitstate = true;
+  options.base.bitstate_bits = 1 << 18;
+  options.base.mode = SearchMode::kRandomWalk;
+  options.base.max_operations = 2000;
+  Swarm swarm(options);
+  SwarmResult result =
+      swarm.Run([](int) { return std::make_unique<CounterInstance>(6); });
+  EXPECT_FALSE(result.any_violation);
+  // 36 reachable states. Bitstate can under-report (false positives
+  // suppress states), and racing relaxed fetch_or can credit the same
+  // state to two workers; both effects are small at this fill factor.
+  EXPECT_LE(result.merged_unique_states, 44u);
+  EXPECT_GE(result.merged_unique_states, 20u);
+}
+
+}  // namespace
+}  // namespace mcfs::mc

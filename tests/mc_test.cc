@@ -66,6 +66,75 @@ TEST(VisitedTableTest, ForEachVisitsEverything) {
   EXPECT_EQ(count, 50u);
 }
 
+// A digest whose low half (the probe key) is fixed and whose high half
+// varies: the worst case for the open-addressing probe sequence.
+Md5Digest CollidingDigest(std::uint64_t hi) {
+  Md5Digest d;
+  for (int i = 0; i < 8; ++i) d.bytes[i] = 0x5a;  // identical lo64
+  for (int i = 0; i < 8; ++i) {
+    d.bytes[8 + i] = static_cast<std::uint8_t>(hi >> (8 * i));
+  }
+  return d;
+}
+
+TEST(VisitedTableTest, GrowPreservesMembershipUnderCollisions) {
+  // All keys probe from the same start slot; membership must survive
+  // the rehash anyway (the probe chains are rebuilt for the new size).
+  VisitedTable table(16);
+  constexpr std::uint64_t kKeys = 300;
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    EXPECT_TRUE(table.Insert(CollidingDigest(i)).inserted) << i;
+  }
+  EXPECT_GT(table.resize_count(), 0u);
+  EXPECT_EQ(table.size(), kKeys);
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    EXPECT_TRUE(table.Contains(CollidingDigest(i))) << i;
+    EXPECT_FALSE(table.Insert(CollidingDigest(i)).inserted) << i;
+  }
+  EXPECT_FALSE(table.Contains(CollidingDigest(kKeys)));
+}
+
+TEST(VisitedTableTest, DeserializeTruncatedImageReturnsEinval) {
+  VisitedTable table(16);
+  for (std::uint64_t i = 0; i < 20; ++i) table.Insert(DigestOf(i));
+  const Bytes image = table.Serialize();
+
+  // Sliced anywhere — inside the header, between digests, mid-digest —
+  // deserialization must fail cleanly, never crash.
+  for (std::size_t cut : {std::size_t{0}, std::size_t{4}, std::size_t{8},
+                          std::size_t{9}, image.size() / 2,
+                          image.size() - 1}) {
+    auto result = VisitedTable::Deserialize(ByteView(image.data(), cut));
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+    EXPECT_EQ(result.error(), Errno::kEINVAL) << "cut=" << cut;
+  }
+  // The intact image still round-trips.
+  auto intact = VisitedTable::Deserialize(image);
+  ASSERT_TRUE(intact.ok());
+  EXPECT_EQ(intact.value().size(), 20u);
+}
+
+TEST(VisitedTableTest, SerializeRoundTripsSizeWithDuplicateDigests) {
+  VisitedTable table(16);
+  for (std::uint64_t i = 0; i < 33; ++i) table.Insert(DigestOf(i));
+  auto copy = VisitedTable::Deserialize(table.Serialize());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ(copy.value().size(), table.size());
+
+  // A (corrupt or adversarial) image that lists the same digest thrice:
+  // the declared count is 3 but only distinct digests may be counted.
+  ByteWriter w;
+  w.PutU64(3);
+  const Md5Digest dup = DigestOf(7);
+  for (int i = 0; i < 3; ++i) {
+    w.PutBytes(ByteView(dup.bytes.data(), dup.bytes.size()));
+  }
+  auto dedup = VisitedTable::Deserialize(w.bytes());
+  ASSERT_TRUE(dedup.ok());
+  EXPECT_EQ(dedup.value().size(), 1u);
+  EXPECT_TRUE(dedup.value().Contains(dup));
+}
+
 // ---------------------------------------------------------------------------
 // BitstateFilter
 
@@ -438,6 +507,87 @@ TEST(SwarmTest, ViolationSurfacesFromAnyWorker) {
       [](int) { return std::make_unique<BadInstance>(); });
   EXPECT_TRUE(bad.any_violation);
   EXPECT_EQ(bad.first_violation_report, "reached the forbidden corner");
+  // The reported violation is the first-in-time one (the worker that
+  // raised the cancel flag), and its per-worker record agrees.
+  ASSERT_GE(bad.first_violation_worker, 0);
+  EXPECT_EQ(bad.per_worker[bad.first_violation_worker].violation_report,
+            bad.first_violation_report);
+}
+
+TEST(SwarmTest, AllViolationReportsAreKept) {
+  // Every worker violates (sequentially, with cancellation off, so all
+  // of them actually run): no report may be dropped, and the "first"
+  // one is the first in time, not merely the lowest index.
+  SwarmOptions options;
+  options.workers = 3;
+  options.base.max_operations = 100'000;
+  options.base.max_depth = 12;
+  options.run_parallel = false;
+  options.cancel_on_violation = false;
+  Swarm swarm(options);
+  SwarmResult result = swarm.Run([](int) {
+    class BadInstance : public SwarmInstance {
+     public:
+      BadInstance() : system_(3, true) {}
+      System& system() override { return system_; }
+      SimClock* clock() override { return &clock_; }
+
+     private:
+      CounterSystem system_;
+      SimClock clock_;
+    };
+    return std::make_unique<BadInstance>();
+  });
+  ASSERT_TRUE(result.any_violation);
+  for (const auto& stats : result.per_worker) {
+    EXPECT_TRUE(stats.violation_found);
+    EXPECT_EQ(stats.violation_report, "reached the forbidden corner");
+  }
+  EXPECT_EQ(result.first_violation_worker, 0);  // sequential: 0 runs first
+}
+
+TEST(SwarmTest, CancelOnViolationStopsRemainingSequentialWorkers) {
+  SwarmOptions options;
+  options.workers = 3;
+  options.base.max_operations = 100'000;
+  options.base.max_depth = 12;
+  options.run_parallel = false;
+  Swarm swarm(options);
+  SwarmResult result = swarm.Run([](int) {
+    class BadInstance : public SwarmInstance {
+     public:
+      BadInstance() : system_(3, true) {}
+      System& system() override { return system_; }
+      SimClock* clock() override { return &clock_; }
+
+     private:
+      CounterSystem system_;
+      SimClock clock_;
+    };
+    return std::make_unique<BadInstance>();
+  });
+  ASSERT_TRUE(result.any_violation);
+  EXPECT_EQ(result.first_violation_worker, 0);
+  EXPECT_TRUE(result.cancelled);
+  // Workers 1 and 2 never ran.
+  EXPECT_EQ(result.per_worker[1].operations, 0u);
+  EXPECT_EQ(result.per_worker[2].operations, 0u);
+}
+
+TEST(SwarmTest, MergedProgressAggregatesAcrossWorkers) {
+  SwarmOptions options;
+  options.workers = 3;
+  options.base.mode = SearchMode::kRandomWalk;
+  options.base.max_operations = 1000;
+  options.base.progress_interval_ops = 100;
+  options.run_parallel = false;
+  Swarm swarm(options);
+  SwarmResult result = swarm.Run(
+      [](int) { return std::make_unique<CounterInstance>(6); });
+  ASSERT_GE(result.merged_progress.size(), 27u);  // 3 workers x >=9 samples
+  const ProgressSample& last = result.merged_progress.back();
+  EXPECT_EQ(last.operations, 3000u);  // all workers' ops, summed
+  EXPECT_GE(last.unique_states, result.per_worker[0].unique_states);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // byte serialization, deterministic RNG, and the simulated clock.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/bytes.h"
 #include "util/md5.h"
 #include "util/result.h"
@@ -188,6 +190,29 @@ TEST(RngTest, BetweenInclusive) {
   }
   EXPECT_TRUE(saw_lo);
   EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BetweenFullRangeDoesNotCollapse) {
+  // Regression: lo=0, hi=UINT64_MAX made the span wrap to 0, so every
+  // draw returned lo. The full-range case must draw uniformly instead.
+  Rng rng(11);
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  bool any_nonzero = false;
+  bool any_high_half = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = rng.Between(0, kMax);
+    any_nonzero |= (v != 0);
+    any_high_half |= (v > kMax / 2);
+  }
+  EXPECT_TRUE(any_nonzero);
+  EXPECT_TRUE(any_high_half);
+  // Degenerate and near-full ranges still behave.
+  EXPECT_EQ(rng.Between(42, 42), 42u);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t v = rng.Between(1, kMax);
+    EXPECT_GE(v, 1u);
+  }
+  EXPECT_EQ(rng.Between(kMax, kMax), kMax);
 }
 
 TEST(RngTest, BelowCoversAllResidues) {
