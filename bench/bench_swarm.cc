@@ -9,6 +9,18 @@
 // cover the same number of unique states a single worker reaches, plus
 // the cross-worker redundant-discovery ratio. Cooperation prunes peer
 // revisits, so the cooperative swarm needs strictly fewer operations.
+// Part 2b demonstrates the work-stealing frontier (mc::SharedFrontier)
+// on a *closed* state space, where the cooperative trade-offs invert:
+// the random walk — the plain cooperative mode's workhorse — collapses
+// near full coverage (reaching the last states of a closed ball is what
+// walks are worst at), and partitioned DFS without stealing starves
+// every late worker (DESIGN.md §7.1: their whole root subtree is
+// peer-claimed, so they exhaust and retire having discovered nothing).
+// Stealing fixes both: starved workers adopt donated branches and the
+// swarm reaches the coverage target K with systematic-search economy.
+// Ops-to-K is counted honestly — trail-replay actions are included —
+// and the rows export steals, replay ops, frontier peak, idle time,
+// and how many workers actually contributed discoveries.
 //
 // Part 3 seeds a VeriFS1 bug and measures that the first violation
 // cancels all cooperative workers promptly (no budget burn, no hang).
@@ -150,6 +162,98 @@ void RunCompare(benchmark::State& state, const std::string& label,
 }
 
 // ---------------------------------------------------------------------------
+// Part 2b: the work-stealing frontier on a closed state space.
+
+// Tiny widened to three files and two fill bytes: a ~670-state closure
+// that solo DFS exhausts in a few thousand operations, so "cover K"
+// means "nearly finish the space" — the regime §7.1's starvation
+// actually bites in.
+McfsConfig ClosedBallConfig() {
+  McfsConfig config;
+  config.fs_a.kind = FsKind::kVerifs1;
+  config.fs_a.strategy = StateStrategy::kIoctl;
+  config.fs_b.kind = FsKind::kVerifs2;
+  config.fs_b.strategy = StateStrategy::kIoctl;
+  config.engine.pool = ParameterPool::Tiny();
+  config.engine.pool.file_paths = {"/f0", "/f1", "/f2"};
+  config.engine.pool.fill_bytes = {0x41, 0x42};
+  return config;
+}
+
+constexpr std::uint64_t kStealSingleBudget = 4000;
+constexpr std::uint32_t kStealDepth = 64;  // >> closure diameter
+
+struct StealRow {
+  std::uint64_t total_ops = 0;  // includes replay ops
+  std::uint64_t merged_unique = 0;
+  bool reached_target = false;
+  std::uint64_t steals = 0;
+  std::uint64_t steal_replay_ops = 0;
+  std::uint64_t frontier_peak = 0;
+  double steal_wait_seconds = 0;
+  int contributing_workers = 0;  // workers that discovered any state
+  double wall_seconds = 0;
+};
+
+std::map<std::string, StealRow> g_steal;
+std::uint64_t g_steal_target = 0;  // K2, set by the single-DFS run
+
+void RunStealCompare(benchmark::State& state, const std::string& label,
+                     mc::SearchMode mode, bool steal) {
+  for (auto _ : state) {
+    mc::SwarmOptions options;
+    options.workers = label == "single-dfs" ? 1 : kCompareWorkers;
+    options.cooperative = label != "single-dfs";
+    options.steal_work = steal;
+    options.base.mode = mode;
+    options.base.max_depth = kStealDepth;
+    options.base_seed = 500;
+    if (label == "single-dfs") {
+      options.base.max_operations = kStealSingleBudget;
+    } else {
+      // Generous backstop: the walk row is *expected* to burn it without
+      // reaching K — that failure is the result being measured.
+      options.base.max_operations = 10 * kStealSingleBudget;
+      options.base.target_unique_states = g_steal_target;
+    }
+
+    mc::Swarm swarm(options);
+    const auto start = std::chrono::steady_clock::now();
+    mc::SwarmResult result =
+        swarm.Run(MakeMcfsSwarmFactory(ClosedBallConfig()));
+    StealRow row;
+    row.total_ops = result.total_operations + result.steal_replay_ops;
+    row.merged_unique = result.merged_unique_states;
+    row.reached_target = label == "single-dfs" ||
+                         result.merged_unique_states >= g_steal_target;
+    row.steals = result.steals;
+    row.steal_replay_ops = result.steal_replay_ops;
+    row.frontier_peak = result.frontier_peak;
+    row.steal_wait_seconds = result.steal_wait_seconds;
+    for (const auto& stats : result.per_worker) {
+      if (stats.unique_states > 0) ++row.contributing_workers;
+    }
+    row.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    g_steal[label] = row;
+    if (label == "single-dfs") g_steal_target = result.merged_unique_states;
+
+    state.counters["ops_to_target"] = static_cast<double>(row.total_ops);
+    state.counters["merged_unique"] = static_cast<double>(row.merged_unique);
+    state.counters["reached_target"] = row.reached_target ? 1 : 0;
+    state.counters["steals"] = static_cast<double>(row.steals);
+    state.counters["steal_replay_ops"] =
+        static_cast<double>(row.steal_replay_ops);
+    state.counters["frontier_peak"] =
+        static_cast<double>(row.frontier_peak);
+    state.counters["steal_wait_seconds"] = row.steal_wait_seconds;
+    state.counters["contributing_workers"] =
+        static_cast<double>(row.contributing_workers);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Part 3: a seeded violation cancels all cooperative workers promptly.
 
 void RunCancelOnViolation(benchmark::State& state) {
@@ -247,6 +351,56 @@ void PrintSummary() {
                 less_redundant ? "lower, as expected"
                                : "NOT lower — regression");
   }
+  std::printf("\n=== Work-stealing frontier: ops to cover K=%llu of a "
+              "closed ~670-state space (%d workers) ===\n",
+              static_cast<unsigned long long>(g_steal_target),
+              kCompareWorkers);
+  std::printf("%-16s %12s %14s %8s %8s %8s %10s %8s\n", "mode",
+              "total ops", "merged states", "K?", "steals", "workers",
+              "idle s", "wall s");
+  for (const char* label :
+       {"single-dfs", "coop-walk", "coop-dfs", "coop-dfs+steal"}) {
+    const auto it = g_steal.find(label);
+    if (it == g_steal.end()) continue;
+    const StealRow& row = it->second;
+    std::printf("%-16s %12llu %14llu %8s %8llu %8d %10.3f %8.3f\n", label,
+                static_cast<unsigned long long>(row.total_ops),
+                static_cast<unsigned long long>(row.merged_unique),
+                row.reached_target ? "yes" : "NO",
+                static_cast<unsigned long long>(row.steals),
+                row.contributing_workers, row.steal_wait_seconds,
+                row.wall_seconds);
+  }
+  const auto walk = g_steal.find("coop-walk");
+  const auto dfs = g_steal.find("coop-dfs");
+  const auto steal = g_steal.find("coop-dfs+steal");
+  if (walk != g_steal.end() && steal != g_steal.end() &&
+      steal->second.total_ops > 0) {
+    // total_ops includes steal_replay_ops, so the comparison does not
+    // hide the cost of transferring work between workers.
+    const bool fewer = steal->second.reached_target &&
+                       steal->second.total_ops < walk->second.total_ops;
+    std::printf("\nshape check: cooperative+stealing reached K with %.3fx "
+                "the operations of the plain cooperative (walk) swarm "
+                "(%s; walk %s K), with %llu steals (%llu replay ops), "
+                "frontier peak %llu, %.3fs total idle.\n",
+                static_cast<double>(steal->second.total_ops) /
+                    static_cast<double>(walk->second.total_ops),
+                fewer ? "fewer, as expected" : "NOT fewer — regression",
+                walk->second.reached_target ? "also reached" : "never reached",
+                static_cast<unsigned long long>(steal->second.steals),
+                static_cast<unsigned long long>(
+                    steal->second.steal_replay_ops),
+                static_cast<unsigned long long>(steal->second.frontier_peak),
+                steal->second.steal_wait_seconds);
+  }
+  if (dfs != g_steal.end() && steal != g_steal.end()) {
+    std::printf("shape check: without stealing, %d of %d DFS workers "
+                "contributed discoveries (§7.1 starvation); with "
+                "stealing, %d of %d did.\n",
+                dfs->second.contributing_workers, kCompareWorkers,
+                steal->second.contributing_workers, kCompareWorkers);
+  }
 }
 
 }  // namespace
@@ -277,6 +431,38 @@ int main(int argc, char** argv) {
       "swarm_compare/cooperative",
       [](benchmark::State& state) {
         RunCompare(state, "cooperative", true);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  // Part 2b registration order: the single-DFS run defines the closed
+  // ball's coverage target K before the three 4-worker modes race to it.
+  benchmark::RegisterBenchmark(
+      "swarm_frontier/single_dfs",
+      [](benchmark::State& state) {
+        RunStealCompare(state, "single-dfs", mc::SearchMode::kDfs, false);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "swarm_frontier/coop_walk",
+      [](benchmark::State& state) {
+        RunStealCompare(state, "coop-walk", mc::SearchMode::kRandomWalk,
+                        false);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "swarm_frontier/coop_dfs",
+      [](benchmark::State& state) {
+        RunStealCompare(state, "coop-dfs", mc::SearchMode::kDfs, false);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "swarm_frontier/coop_dfs_steal",
+      [](benchmark::State& state) {
+        RunStealCompare(state, "coop-dfs+steal", mc::SearchMode::kDfs,
+                        true);
       })
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);

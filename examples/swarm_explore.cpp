@@ -4,9 +4,13 @@
 // with share-nothing visited sets that are merged afterwards (Spin
 // swarm's design). Cooperative mode: the workers share one lock-striped
 // visited store, so a state explored by any worker is pruned by all the
-// others, and the first violation cancels the whole swarm.
+// others, and the first violation cancels the whole swarm. Stealing
+// mode: cooperative plus a shared work-stealing frontier — DFS workers
+// donate unexplored branches, a starved worker steals one, replays its
+// action trail on its own file systems (digest-verified), and resumes
+// searching there (DESIGN.md §7.2).
 //
-//   ./swarm_explore [workers] [ops_per_worker] [independent|cooperative]
+//   ./swarm_explore [workers] [ops_per_worker] [independent|cooperative|stealing]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,12 +24,14 @@ int main(int argc, char** argv) {
   const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
   const std::uint64_t ops_per_worker =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
+  const bool stealing = argc > 3 && std::strcmp(argv[3], "stealing") == 0;
   const bool cooperative =
-      argc > 3 && std::strcmp(argv[3], "cooperative") == 0;
+      stealing || (argc > 3 && std::strcmp(argv[3], "cooperative") == 0);
 
   mc::SwarmOptions options;
   options.workers = workers;
   options.cooperative = cooperative;
+  options.steal_work = stealing;
   options.base.mode = mc::SearchMode::kDfs;
   options.base.max_operations = ops_per_worker;
   options.base.max_depth = 10;
@@ -44,7 +50,9 @@ int main(int argc, char** argv) {
   mc::Swarm swarm(options);
   std::printf("launching %d %s workers x %llu ops over "
               "verifs1-vs-verifs2...\n",
-              workers, cooperative ? "cooperative" : "independent",
+              workers,
+              stealing ? "cooperative+stealing"
+                       : (cooperative ? "cooperative" : "independent"),
               static_cast<unsigned long long>(ops_per_worker));
 
   mc::SwarmResult result = swarm.Run(MakeMcfsSwarmFactory(config));
@@ -65,6 +73,17 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.merged_unique_states));
   std::printf("cross-worker redundant discoveries:  %.1f%%\n",
               100 * result.redundant_discovery_ratio);
+  if (stealing) {
+    std::printf("frontier: %llu published, %llu stolen (%llu replay ops, "
+                "%llu digest mismatches), peak %llu, %.3fs idle\n",
+                static_cast<unsigned long long>(result.frontier_published),
+                static_cast<unsigned long long>(result.steals),
+                static_cast<unsigned long long>(result.steal_replay_ops),
+                static_cast<unsigned long long>(
+                    result.steal_digest_mismatches),
+                static_cast<unsigned long long>(result.frontier_peak),
+                result.steal_wait_seconds);
+  }
   if (result.any_violation) {
     std::printf("\nVIOLATION found first by worker %d:\n%s\n",
                 result.first_violation_worker,

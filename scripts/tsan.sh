@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# One-command ThreadSanitizer sweep of the racy-path suite: configures a
+# separate build-tsan tree with -DMCFS_TSAN=ON, builds it, and runs every
+# test carrying the `concurrent` ctest label (the shared visited stores
+# and the work-stealing frontier). Usage:
+#
+#   scripts/tsan.sh [extra ctest args...]
+#
+# e.g. `scripts/tsan.sh -R Frontier` to narrow to the frontier tests.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${MCFS_TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DMCFS_TSAN=ON
+cmake --build "${build_dir}" -j
+ctest --test-dir "${build_dir}" -L concurrent --output-on-failure "$@"

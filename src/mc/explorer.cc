@@ -44,8 +44,24 @@ Explorer::Explorer(System& system, ExplorerOptions options)
         });
       }
       visited_ = std::move(resumed).value();
+    } else {
+      // A rejected image (truncated, garbage, or the empty sentinel a
+      // bitstate run would produce) must not silently degrade into a
+      // fresh search: the caller asked to *resume*, and re-counting
+      // already-explored states would corrupt every downstream figure.
+      resume_status_ = resumed.error();
     }
   }
+}
+
+Result<Bytes> Explorer::ExportCheckpoint() const {
+  if (bitstate_.has_value()) {
+    // Bitstate mode never populates visited_; serializing it would yield
+    // an empty image that a resumed run would happily accept as "no
+    // states explored yet".
+    return Errno::kENOTSUP;
+  }
+  return visited_.Serialize();
 }
 
 void Explorer::AccountMemory() {
@@ -150,6 +166,12 @@ void Explorer::MaybeSample() {
 ExploreStats Explorer::Run() {
   stats_ = ExploreStats{};
   stored_state_bytes_ = 0;
+  if (!resume_status_.ok()) {
+    stats_.violation_report =
+        "resume_visited checkpoint rejected: " +
+        std::string(ErrnoName(resume_status_.error()));
+    return stats_;
+  }
   const double sim_start =
       options_.clock != nullptr ? options_.clock->seconds() : 0;
   WallTimer timer;
@@ -175,14 +197,20 @@ ExploreStats Explorer::Run() {
 ExploreStats Explorer::RunDfs() {
   struct Frame {
     SnapshotId snapshot;
-    std::vector<std::size_t> order;  // randomized action order
+    Md5Digest digest;                // abstract hash of this node
+    std::vector<std::size_t> order;  // randomized untried action order
     std::size_t next = 0;
+    std::uint32_t depth = 0;         // distance from the true root
     // True while the system's live state equals this frame's state, so
     // the first child needs no restore.
     bool state_current = true;
   };
 
-  RecordState(system_.AbstractHash());
+  SharedFrontier* frontier = options_.shared_frontier;
+  if (frontier != nullptr) frontier->WorkerStarted();
+
+  const Md5Digest root_digest = system_.AbstractHash();
+  RecordState(root_digest);
 
   auto make_order = [this]() {
     std::vector<std::size_t> order(system_.ActionCount());
@@ -196,97 +224,262 @@ ExploreStats Explorer::RunDfs() {
   };
 
   std::vector<Frame> stack;
-  auto root_snap = system_.SaveConcrete();
-  if (!root_snap.ok()) {
-    stats_.violation_report = "SaveConcrete failed at root";
-    return stats_;
-  }
-  ++stats_.snapshots_taken;
-  stack.push_back(Frame{root_snap.value(), make_order(), 0, true});
+  // Prefix of the current work unit: empty for the root unit, the
+  // stolen entry's trail after a steal. base_names mirrors it as action
+  // names so violation trails stay complete end-to-end.
+  std::vector<std::uint32_t> base_trail;
+  std::vector<std::string> base_names;
 
-  auto collect_trail = [&stack, this]() {
-    std::vector<std::string> trail;
+  // In frontier mode, one never-discarded snapshot of the initial state
+  // anchors trail replays.
+  std::optional<SnapshotId> replay_base;
+
+  enum class Halt { kNone, kBudget, kStop, kViolation, kError };
+  Halt halt = Halt::kNone;
+
+  auto fail = [this, &halt](const char* what) {
+    stats_.violation_report = what;
+    halt = Halt::kError;
+  };
+
+  if (frontier != nullptr) {
+    auto base = system_.SaveConcrete();
+    if (!base.ok()) {
+      fail("SaveConcrete failed at root");
+    } else {
+      ++stats_.snapshots_taken;
+      replay_base = base.value();
+    }
+  }
+
+  if (halt == Halt::kNone) {
+    auto root_snap = system_.SaveConcrete();
+    if (!root_snap.ok()) {
+      fail("SaveConcrete failed at root");
+    } else {
+      ++stats_.snapshots_taken;
+      stack.push_back(
+          Frame{root_snap.value(), root_digest, make_order(), 0, 0, true});
+    }
+  }
+
+  auto collect_trail = [&stack, &base_names, this]() {
+    std::vector<std::string> trail = base_names;
     for (const Frame& f : stack) {
       if (f.next > 0) trail.push_back(system_.ActionName(f.order[f.next - 1]));
     }
     return trail;
   };
 
-  while (!stack.empty()) {
-    if (stats_.operations >= options_.max_operations) break;
-    if (ShouldStop()) break;
-    Frame& frame = stack.back();
+  // Action-index trail from the true root to stack[i]'s node: the base
+  // prefix plus the applied action of every frame below i.
+  auto trail_to_frame = [&stack, &base_trail](std::size_t i) {
+    std::vector<std::uint32_t> trail = base_trail;
+    for (std::size_t j = 0; j < i; ++j) {
+      trail.push_back(
+          static_cast<std::uint32_t>(stack[j].order[stack[j].next - 1]));
+    }
+    return trail;
+  };
 
-    if (frame.next == frame.order.size()) {
-      // Subtree exhausted: drop this node's snapshot and return to the
-      // parent's state.
-      (void)system_.DiscardConcrete(frame.snapshot);
-      stack.pop_back();
-      if (!stack.empty()) {
-        (void)system_.RestoreConcrete(stack.back().snapshot);
+  // Proactive donation: while the frontier is hungry, disown the tail
+  // half of the untried actions of the shallowest frame that still has
+  // at least two (the shallowest branches root the biggest subtrees).
+  // The donor will not descend donated branches — exactly-once transfer.
+  auto donate = [&]() {
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      Frame& f = stack[i];
+      const std::size_t rem = f.order.size() - f.next;
+      if (rem < 2) continue;
+      const std::size_t give = rem / 2;
+      FrontierEntry entry;
+      entry.trail = trail_to_frame(i);
+      entry.digest = f.digest;
+      entry.pending.assign(f.order.end() - static_cast<std::ptrdiff_t>(give),
+                           f.order.end());
+      f.order.resize(f.order.size() - give);
+      frontier->Push(std::move(entry));
+      ++stats_.frontier_published;
+      return;
+    }
+  };
+
+  // Budget exit: publish every frame's untried siblings so the subtree
+  // this worker abandons mid-search is finished by its peers instead of
+  // silently lost (the §7.1 starvation cure).
+  auto publish_stack = [&]() {
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      const Frame& f = stack[i];
+      if (f.next >= f.order.size()) continue;
+      FrontierEntry entry;
+      entry.trail = trail_to_frame(i);
+      entry.digest = f.digest;
+      for (std::size_t j = f.next; j < f.order.size(); ++j) {
+        entry.pending.push_back(static_cast<std::uint32_t>(f.order[j]));
+      }
+      frontier->Push(std::move(entry));
+      ++stats_.frontier_published;
+    }
+  };
+
+  // Replays a stolen trail from the initial state and verifies the
+  // digest. On success the stolen node becomes the new stack root.
+  auto adopt = [&](FrontierEntry entry) -> bool {
+    if (Status s = system_.RestoreConcrete(*replay_base); !s.ok()) {
+      fail("RestoreConcrete failed before steal replay");
+      return false;
+    }
+    std::vector<std::string> names;
+    names.reserve(entry.trail.size());
+    for (const std::uint32_t action : entry.trail) {
+      if (Status s = system_.ApplyAction(action); !s.ok()) {
+        fail("checker infrastructure failure replaying stolen trail");
+        return false;
+      }
+      ++stats_.steal_replay_ops;
+      names.push_back(system_.ActionName(action));
+      if (system_.violation_detected()) {
+        // The publisher traversed this prefix violation-free, so a
+        // violation here is itself a determinism discrepancy worth
+        // surfacing with its full trail.
+        stats_.violation_found = true;
+        stats_.violation_report = system_.violation_report();
+        stats_.violation_trail = std::move(names);
+        halt = Halt::kViolation;
+        return false;
+      }
+    }
+    if (system_.AbstractHash() != entry.digest) {
+      // Replay did not reconstruct the publisher's state: drop the entry
+      // (the publisher's claim on the digest keeps the store sound) and
+      // let the caller steal the next one.
+      ++stats_.steal_digest_mismatches;
+      return false;
+    }
+    auto snap = system_.SaveConcrete();
+    if (!snap.ok()) {
+      fail("SaveConcrete failed adopting stolen entry");
+      return false;
+    }
+    ++stats_.snapshots_taken;
+    ++stats_.steals;
+    base_trail = std::move(entry.trail);
+    base_names = std::move(names);
+    Frame frame;
+    frame.snapshot = snap.value();
+    frame.digest = entry.digest;
+    frame.order.assign(entry.pending.begin(), entry.pending.end());
+    frame.depth = static_cast<std::uint32_t>(base_trail.size());
+    stack.push_back(std::move(frame));
+    return true;
+  };
+
+  while (halt == Halt::kNone) {
+    while (!stack.empty()) {
+      if (stats_.operations >= options_.max_operations) {
+        halt = Halt::kBudget;
+        break;
+      }
+      if (ShouldStop()) {
+        halt = Halt::kStop;
+        break;
+      }
+      Frame& frame = stack.back();
+
+      if (frame.next == frame.order.size()) {
+        // Subtree exhausted: drop this node's snapshot and return to the
+        // parent's state.
+        (void)system_.DiscardConcrete(frame.snapshot);
+        stack.pop_back();
+        if (!stack.empty()) {
+          (void)system_.RestoreConcrete(stack.back().snapshot);
+          if (options_.memory != nullptr) {
+            options_.memory->Touch(system_.ConcreteStateBytes());
+          }
+          ++stats_.backtracks;
+          stack.back().state_current = true;
+        }
+        continue;
+      }
+
+      if (!frame.state_current) {
+        if (Status s = system_.RestoreConcrete(frame.snapshot); !s.ok()) {
+          fail("RestoreConcrete failed mid-search");
+          break;
+        }
         if (options_.memory != nullptr) {
           options_.memory->Touch(system_.ConcreteStateBytes());
         }
         ++stats_.backtracks;
-        stack.back().state_current = true;
       }
-      continue;
-    }
+      frame.state_current = false;
 
-    if (!frame.state_current) {
-      if (Status s = system_.RestoreConcrete(frame.snapshot); !s.ok()) {
-        stats_.violation_report = "RestoreConcrete failed mid-search";
+      const std::size_t action = frame.order[frame.next++];
+      if (Status s = system_.ApplyAction(action); !s.ok()) {
+        stats_.violation_found = true;
+        stats_.violation_report =
+            "checker infrastructure failure applying action: " +
+            system_.ActionName(action);
+        stats_.violation_trail = collect_trail();
+        halt = Halt::kViolation;
         break;
       }
-      if (options_.memory != nullptr) {
-        options_.memory->Touch(system_.ConcreteStateBytes());
-      }
-      ++stats_.backtracks;
-    }
-    frame.state_current = false;
+      ++stats_.operations;
+      MaybeSample();
 
-    const std::size_t action = frame.order[frame.next++];
-    if (Status s = system_.ApplyAction(action); !s.ok()) {
-      stats_.violation_found = true;
-      stats_.violation_report =
-          "checker infrastructure failure applying action: " +
-          system_.ActionName(action);
-      stats_.violation_trail = collect_trail();
-      break;
-    }
-    ++stats_.operations;
-    MaybeSample();
-
-    if (system_.violation_detected()) {
-      stats_.violation_found = true;
-      stats_.violation_report = system_.violation_report();
-      stats_.violation_trail = collect_trail();
-      break;
-    }
-
-    // Descend only below globally-new states: under a shared store this
-    // prunes subtrees a peer already claimed, partitioning the tree
-    // across the swarm.
-    const bool is_new = RecordState(system_.AbstractHash()).globally_new;
-    if (is_new && stack.size() < options_.max_depth) {
-      auto snap = system_.SaveConcrete();
-      if (!snap.ok()) {
-        stats_.violation_report = "SaveConcrete failed mid-search";
+      if (system_.violation_detected()) {
+        stats_.violation_found = true;
+        stats_.violation_report = system_.violation_report();
+        stats_.violation_trail = collect_trail();
+        halt = Halt::kViolation;
         break;
       }
-      ++stats_.snapshots_taken;
-      stats_.max_depth_reached =
-          std::max<std::uint64_t>(stats_.max_depth_reached, stack.size());
-      stack.push_back(Frame{snap.value(), make_order(), 0, true});
+
+      // Descend only below globally-new states: under a shared store
+      // this prunes subtrees a peer already claimed, partitioning the
+      // tree across the swarm.
+      const std::uint32_t child_depth = frame.depth + 1;
+      const Md5Digest child_digest = system_.AbstractHash();
+      const bool is_new = RecordState(child_digest).globally_new;
+      if (is_new && child_depth < options_.max_depth) {
+        auto snap = system_.SaveConcrete();
+        if (!snap.ok()) {
+          fail("SaveConcrete failed mid-search");
+          break;
+        }
+        ++stats_.snapshots_taken;
+        stats_.max_depth_reached =
+            std::max<std::uint64_t>(stats_.max_depth_reached, child_depth);
+        stack.push_back(Frame{snap.value(), child_digest, make_order(), 0,
+                              child_depth, true});
+        if (frontier != nullptr && frontier->Hungry()) donate();
+      }
+      // On a revisit (or at the depth bound) the loop simply continues;
+      // the next iteration restores this frame's snapshot.
     }
-    // On a revisit (or at the depth bound) the loop simply continues;
-    // the next iteration restores this frame's snapshot.
+
+    if (halt == Halt::kBudget && frontier != nullptr) publish_stack();
+    if (halt != Halt::kNone) break;
+
+    // Local stack exhausted. Solo explorers are done; swarm workers turn
+    // to the shared frontier instead of going idle.
+    if (frontier == nullptr) break;
+    auto entry = frontier->StealOrTerminate(options_.worker_id,
+                                            &stats_.steal_wait_seconds);
+    if (!entry.has_value()) break;  // swarm drained or stopped
+    (void)adopt(std::move(entry).value());
+    // A digest mismatch leaves the stack empty; the outer loop simply
+    // steals the next entry (or terminates).
   }
 
   // Unwind any remaining snapshots.
   for (const auto& frame : stack) {
     (void)system_.DiscardConcrete(frame.snapshot);
   }
+  if (replay_base.has_value()) {
+    (void)system_.DiscardConcrete(*replay_base);
+  }
+  if (frontier != nullptr) frontier->Retire();
   return stats_;
 }
 

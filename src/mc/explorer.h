@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "mc/bitstate.h"
+#include "mc/frontier.h"
 #include "mc/hash_table.h"
 #include "mc/memory_model.h"
 #include "mc/state.h"
@@ -77,6 +78,18 @@ struct ExplorerOptions {
   // Stop once this many unique states are known (in the shared store if
   // one is attached, else locally). 0 = no target; run to the op budget.
   std::uint64_t target_unique_states = 0;
+  // Work-stealing swarm support (DFS only). When set, this worker:
+  //  * donates untried sibling branches while the frontier is hungry and
+  //    publishes its remaining stack when the op budget cuts it short;
+  //  * on local exhaustion, blocks in the frontier's termination
+  //    protocol, steals an entry, replays its trail from the initial
+  //    state on its own System, verifies the digest, and resumes DFS
+  //    there instead of going idle.
+  // The explorer does not own the frontier. Requires shared_store (the
+  // partitioned-search discipline is what makes stolen work disjoint).
+  SharedFrontier* shared_frontier = nullptr;
+  // This worker's index, used for frontier stripe affinity.
+  int worker_id = 0;
 };
 
 class Explorer {
@@ -88,10 +101,17 @@ class Explorer {
   ExploreStats Run();
 
   // Snapshot of the visited set, feedable to a later run's
-  // `resume_visited` (not available in bitstate mode).
-  Bytes ExportCheckpoint() const { return visited_.Serialize(); }
+  // `resume_visited`. In bitstate (supertrace) mode the visited table is
+  // unused, so there is nothing meaningful to checkpoint: returns
+  // kENOTSUP instead of a misleading empty image.
+  Result<Bytes> ExportCheckpoint() const;
 
   const VisitedTable& visited() const { return visited_; }
+
+  // Ok unless `resume_visited` was set and its image failed to
+  // deserialize; a rejected resume makes Run() a no-op that reports the
+  // rejection instead of silently starting a fresh (mis-counted) search.
+  Status resume_status() const { return resume_status_; }
 
  private:
   ExploreStats RunDfs();
@@ -121,6 +141,7 @@ class Explorer {
   Rng rng_;
   ExploreStats stats_;
   std::uint64_t stored_state_bytes_ = 0;
+  Status resume_status_ = Status::Ok();
 };
 
 }  // namespace mcfs::mc

@@ -1,0 +1,116 @@
+#include "mc/frontier.h"
+
+#include <chrono>
+
+namespace mcfs::mc {
+
+SharedFrontier::SharedFrontier(int workers) : workers_(workers) {}
+
+void SharedFrontier::Push(FrontierEntry entry) {
+  // Round-robin stripe choice: consecutive publishes spread across the
+  // stripes, so a burst (a whole exit-published stack) never serializes
+  // stealers behind one mutex.
+  const std::uint64_t seq = pushed_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t home = static_cast<std::size_t>(seq) % kStripeCount;
+  {
+    std::lock_guard<std::mutex> lock(stripes_[home].mu);
+    stripes_[home].entries.push_back(std::move(entry));
+  }
+  const std::uint64_t now = size_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  // Empty critical section before the notify: a waiter holds term_mu_
+  // from its emptiness check until it enters the wait, so acquiring the
+  // mutex here guarantees the notify cannot slip into that window.
+  { std::lock_guard<std::mutex> lock(term_mu_); }
+  cv_.notify_one();
+}
+
+std::optional<FrontierEntry> SharedFrontier::TrySteal(int worker) {
+  const std::size_t start =
+      static_cast<std::size_t>(worker) % kStripeCount;
+  for (std::size_t i = 0; i < kStripeCount; ++i) {
+    Stripe& stripe = stripes_[(start + i) % kStripeCount];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    if (stripe.entries.empty()) continue;
+    FrontierEntry entry = std::move(stripe.entries.front());
+    stripe.entries.pop_front();
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    stolen_.fetch_add(1, std::memory_order_relaxed);
+    return entry;
+  }
+  return std::nullopt;
+}
+
+void SharedFrontier::WorkerStarted() {
+  std::lock_guard<std::mutex> lock(term_mu_);
+  ++busy_;
+  // A sequential swarm runs workers one after another over the same
+  // frontier; a fresh worker re-opens a previously drained swarm.
+  drained_ = false;
+}
+
+void SharedFrontier::Retire() {
+  {
+    std::lock_guard<std::mutex> lock(term_mu_);
+    --busy_;
+    if (busy_ == 0 && size_.load(std::memory_order_relaxed) == 0) {
+      drained_ = true;
+    }
+  }
+  // Wake waiters unconditionally: either to observe drained/stopped, or
+  // — if entries remain and this was the last busy worker — to claim
+  // them and become busy again.
+  cv_.notify_all();
+}
+
+std::optional<FrontierEntry> SharedFrontier::StealOrTerminate(
+    int worker, double* idle_seconds) {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(term_mu_);
+      if (stopped_) return std::nullopt;
+    }
+    if (auto entry = TrySteal(worker)) return entry;
+
+    std::unique_lock<std::mutex> lock(term_mu_);
+    if (stopped_) return std::nullopt;
+    if (size_.load(std::memory_order_relaxed) > 0) continue;  // race: retry
+    --busy_;
+    // Re-check after the decrement: publishes only come from busy
+    // workers, so with busy_ == 0 the emptiness check is definitive.
+    if (busy_ == 0) {
+      drained_ = true;
+      ++busy_;  // rebalance: the caller's Retire() decrements once more
+      lock.unlock();
+      cv_.notify_all();
+      return std::nullopt;
+    }
+    const auto wait_start = std::chrono::steady_clock::now();
+    cv_.wait(lock, [this] {
+      return drained_ || stopped_ ||
+             size_.load(std::memory_order_relaxed) > 0;
+    });
+    if (idle_seconds != nullptr) {
+      *idle_seconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - wait_start)
+                           .count();
+    }
+    ++busy_;  // busy again, whether to claim an entry or to retire
+    if (drained_ || stopped_) return std::nullopt;
+    // Loop around to TrySteal; on failure (a peer won the race) the
+    // worker re-enters the idle path.
+  }
+}
+
+void SharedFrontier::RequestStop() {
+  {
+    std::lock_guard<std::mutex> lock(term_mu_);
+    stopped_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace mcfs::mc

@@ -1,0 +1,132 @@
+// SharedFrontier: the work-stealing queue of *unexplored* search work
+// for cooperative swarms.
+//
+// PR 1's cooperative mode shares visited states, which partitions the
+// DFS tree but leaves late workers starving: a worker whose whole
+// subtree is peer-claimed exhausts instantly (DESIGN.md §7.1). The cure
+// — standard in swarm verification (Spin) and parallel fsck work
+// distribution (pFSCK) — is to also share *frontier* entries: branches
+// some worker has decided not to descend.
+//
+// Concrete snapshots cannot transfer between workers (each worker owns
+// its private System, so a SnapshotId is meaningless to a peer). An
+// entry therefore carries the *action trail from the root* plus the
+// expected abstract digest: deterministic replay of the trail on the
+// thief's own System reconstructs the concrete state, and the digest
+// check proves the reconstruction is byte-identical at the abstract
+// level (frontier_test.cc makes this differential argument explicit).
+//
+// Structure: a lock-striped multi-deque. Publishers append to a stripe
+// keyed by their worker id; stealers scan stripes starting from their
+// own, so contention stays rare with a handful of workers. FIFO within
+// a stripe: the oldest (shallowest) entries — the biggest subtrees —
+// are stolen first.
+//
+// Termination: the swarm is done exactly when the frontier is empty AND
+// every worker is quiescent. An atomic busy-worker count is maintained
+// under the termination mutex; the last worker to go idle re-checks the
+// frontier after its decrement (publishes only come from busy workers,
+// so busy == 0 makes the emptiness check definitive) and declares the
+// swarm drained. StealOrTerminate() blocks idle workers on a condition
+// variable until an entry lands or the swarm terminates.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "util/md5.h"
+
+namespace mcfs::mc {
+
+// One unit of stealable work: a node of the DFS tree (identified by the
+// deterministic action trail that reaches it from the initial state and
+// the abstract digest expected there) plus the sibling actions at that
+// node which the publisher disowned.
+struct FrontierEntry {
+  std::vector<std::uint32_t> trail;    // action indices, root -> node
+  Md5Digest digest;                    // expected AbstractHash() at node
+  std::vector<std::uint32_t> pending;  // untried action indices at node
+  std::uint64_t tag = 0;               // publisher-chosen id (tests)
+};
+
+class SharedFrontier {
+ public:
+  static constexpr std::size_t kStripeCount = 16;
+
+  // `workers` sizes the hunger threshold for proactive donation: the
+  // frontier reports Hungry() while it holds fewer entries than there
+  // are workers that could go idle.
+  explicit SharedFrontier(int workers);
+
+  SharedFrontier(const SharedFrontier&) = delete;
+  SharedFrontier& operator=(const SharedFrontier&) = delete;
+
+  // Publishes one entry. Callable only from a busy (started, unretired)
+  // worker — the termination protocol relies on that.
+  void Push(FrontierEntry entry);
+
+  // Non-blocking steal; scans all stripes starting at this worker's.
+  std::optional<FrontierEntry> TrySteal(int worker);
+
+  // A worker announces it is exploring. Pairs with Retire(). Resets a
+  // previous drained state so sequential swarms can run workers
+  // back-to-back over one frontier.
+  void WorkerStarted();
+
+  // A worker is permanently done (budget, cancel, target, violation).
+  void Retire();
+
+  // Blocking steal with distributed-termination detection: returns an
+  // entry to resume from, or nullopt once the swarm is globally done
+  // (frontier empty and every worker quiescent) or stopped. Seconds
+  // spent blocked are accumulated into *idle_seconds when non-null.
+  std::optional<FrontierEntry> StealOrTerminate(int worker,
+                                                double* idle_seconds);
+
+  // Sticky global stop (violation cancel): wakes every waiter; all
+  // subsequent StealOrTerminate calls return nullopt immediately.
+  void RequestStop();
+
+  bool Hungry() const {
+    return size_.load(std::memory_order_relaxed) <
+           static_cast<std::uint64_t>(workers_);
+  }
+
+  std::uint64_t size() const { return size_.load(std::memory_order_relaxed); }
+  std::uint64_t peak_size() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    std::deque<FrontierEntry> entries;
+  };
+
+  const int workers_;
+  std::vector<Stripe> stripes_{kStripeCount};
+  std::atomic<std::uint64_t> size_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+
+  // Termination protocol state, all guarded by term_mu_.
+  std::mutex term_mu_;
+  std::condition_variable cv_;
+  int busy_ = 0;        // workers currently exploring (not waiting/retired)
+  bool drained_ = false;  // busy_ == 0 && frontier empty was observed
+  bool stopped_ = false;  // RequestStop(): sticky
+};
+
+}  // namespace mcfs::mc

@@ -71,6 +71,12 @@ struct ExploreStats {
   std::uint64_t backtracks = 0;       // concrete restores performed
   std::uint64_t snapshots_taken = 0;
   std::uint64_t max_depth_reached = 0;
+  // Work-stealing (cooperative swarm with a SharedFrontier attached).
+  std::uint64_t steals = 0;             // frontier entries adopted
+  std::uint64_t steal_replay_ops = 0;   // actions replayed to reach them
+  std::uint64_t steal_digest_mismatches = 0;  // replays that failed verify
+  std::uint64_t frontier_published = 0;       // entries this worker donated
+  double steal_wait_seconds = 0;        // wall time blocked on the frontier
   // Search halted early: a swarm peer raised the cancel flag or the
   // unique-state target was reached (neither is a violation here).
   bool cancelled = false;

@@ -5,6 +5,7 @@
 #include <thread>
 #include <unordered_set>
 
+#include "mc/frontier.h"
 #include "mc/sharded_table.h"
 
 namespace mcfs::mc {
@@ -39,15 +40,38 @@ class ProgressMerger {
         merged.table_resizes += s.table_resizes;
       }
     }
+    // Merge monotonically: parallel workers' samples interleave in lock
+    // order, not in any global notion of time, so clamp every component
+    // to the running maximum. A consumer plotting the series (bench_fig3
+    // style ops/unique-states curves) must never see it run backwards.
+    merged.operations = std::max(merged.operations, floor_.operations);
+    merged.unique_states =
+        std::max(merged.unique_states, floor_.unique_states);
+    merged.swap_used_bytes =
+        std::max(merged.swap_used_bytes, floor_.swap_used_bytes);
+    merged.table_resizes =
+        std::max(merged.table_resizes, floor_.table_resizes);
+    merged.sim_seconds = std::max(merged.sim_seconds, floor_.sim_seconds);
+    floor_ = merged;
     series_.push_back(merged);
   }
 
-  std::vector<ProgressSample> Take() { return std::move(series_); }
+  std::vector<ProgressSample> Take() {
+    // Belt and braces for consumers: the clamp above makes the series
+    // monotone as recorded; a stable sort by operations keeps it so even
+    // if this merger is ever fed from replayed/offline sample streams.
+    std::stable_sort(series_.begin(), series_.end(),
+                     [](const ProgressSample& a, const ProgressSample& b) {
+                       return a.operations < b.operations;
+                     });
+    return std::move(series_);
+  }
 
  private:
   std::mutex mu_;
   std::vector<ProgressSample> latest_;
   const VisitedStore* store_;
+  ProgressSample floor_;  // running componentwise maximum
   std::vector<ProgressSample> series_;
 };
 
@@ -75,15 +99,29 @@ SwarmResult Swarm::Run(const SwarmFactory& factory) {
     }
   }
 
+  // Work-stealing frontier: only meaningful on top of the cooperative
+  // store (partitioned DFS is what makes stolen work disjoint) and only
+  // consumed by DFS workers (a random walk never exhausts, so it has
+  // nothing to steal and nothing to publish).
+  std::unique_ptr<SharedFrontier> frontier;
+  if (options_.cooperative && options_.steal_work &&
+      options_.base.mode == SearchMode::kDfs) {
+    frontier = std::make_unique<SharedFrontier>(n);
+  }
+
   std::atomic<bool> cancel{false};
   // The first worker to CAS its index here is the first-in-time
   // violator; it also raises the cancel flag.
   std::atomic<int> first_violator{-1};
-  auto report_violation = [&cancel, &first_violator, this](int worker) {
+  auto report_violation = [&cancel, &first_violator, &frontier,
+                           this](int worker) {
     int expected = -1;
     first_violator.compare_exchange_strong(expected, worker);
     if (options_.cancel_on_violation) {
       cancel.store(true, std::memory_order_relaxed);
+      // Wake workers blocked waiting to steal — they cannot observe the
+      // cancel flag from inside the frontier's wait.
+      if (frontier != nullptr) frontier->RequestStop();
     }
   };
 
@@ -98,6 +136,10 @@ SwarmResult Swarm::Run(const SwarmFactory& factory) {
     if (shared_store != nullptr) {
       opts.shared_store = shared_store.get();
       opts.use_bitstate = false;  // the shared store covers it
+    }
+    if (frontier != nullptr) {
+      opts.shared_frontier = frontier.get();
+      opts.worker_id = i;
     }
     if (options_.cancel_on_violation) opts.cancel = &cancel;
     if (sample_progress) {
@@ -144,11 +186,39 @@ SwarmResult Swarm::Run(const SwarmFactory& factory) {
     result.total_operations += stats[i].operations;
     result.total_revisits += stats[i].revisits;
     result.summed_unique_states += stats[i].unique_states;
+    result.steals += stats[i].steals;
+    result.steal_replay_ops += stats[i].steal_replay_ops;
+    result.steal_digest_mismatches += stats[i].steal_digest_mismatches;
+    result.frontier_published += stats[i].frontier_published;
+    result.steal_wait_seconds += stats[i].steal_wait_seconds;
     if (shared_store == nullptr) {
       explorers[i]->visited().ForEach(
           [&merged](const Md5Digest& digest) { merged.insert(digest); });
     }
     if (stats[i].cancelled) result.cancelled = true;
+  }
+  if (frontier != nullptr) {
+    result.frontier_peak = frontier->peak_size();
+    result.frontier_unconsumed = frontier->size();
+  }
+  if (options_.collect_union) {
+    if (shared_store != nullptr) {
+      // The exact sharded table backs cooperative mode; in shared
+      // bitstate mode there are no digests to enumerate, so the union
+      // stays empty (size is still reported in merged_unique_states).
+      if (auto* table = dynamic_cast<ShardedVisitedTable*>(
+              shared_store.get())) {
+        table->ForEach([&result](const Md5Digest& digest) {
+          result.merged_union.push_back(digest);
+        });
+      }
+    } else {
+      result.merged_union.assign(merged.begin(), merged.end());
+    }
+    std::sort(result.merged_union.begin(), result.merged_union.end(),
+              [](const Md5Digest& a, const Md5Digest& b) {
+                return a.bytes < b.bytes;
+              });
   }
   result.merged_unique_states =
       shared_store != nullptr ? shared_store->size() : merged.size();

@@ -18,6 +18,14 @@
 //     peer-claimed states (partitioning the tree), the swarm can stop
 //     globally at a unique-state target, and a cancel flag halts all
 //     workers promptly once any of them finds a violation.
+//
+// On top of cooperative DFS, `steal_work` adds a shared work-stealing
+// frontier (mc::SharedFrontier) of *unexplored* branches, curing the
+// starvation DESIGN.md §7.1 documents: instead of exhausting against
+// peer-claimed territory, an idle worker steals a trail, replays it on
+// its own System (digest-verified), and keeps searching; the swarm
+// terminates only when the frontier is empty and every worker is
+// quiescent (DESIGN.md §7.2).
 #pragma once
 
 #include <atomic>
@@ -50,11 +58,24 @@ struct SwarmOptions {
   // Cooperative mode: share one concurrent visited store across workers
   // (see the file comment). base.use_bitstate selects the store kind.
   bool cooperative = false;
+  // Work stealing (requires cooperative, DFS mode): workers additionally
+  // share a SharedFrontier of unexplored branches. DFS donates untried
+  // siblings while the frontier is hungry and publishes its remaining
+  // stack when the op budget cuts it short; an exhausted worker steals
+  // an entry, replays its trail on its own System (digest-verified), and
+  // resumes DFS there. The swarm then terminates via distributed
+  // detection: frontier empty and every worker quiescent.
+  bool steal_work = false;
   // Initial per-shard capacity of the cooperative sharded table.
   std::size_t shard_initial_capacity = 256;
   // Raise the cancel flag on the first violation so the remaining
   // workers stop promptly instead of burning out their op budgets.
   bool cancel_on_violation = true;
+  // Collect the sorted union of abstract-state digests into
+  // SwarmResult::merged_union. Off by default (the union can be large);
+  // the differential tests use it to prove coverage equality
+  // digest-by-digest, not just by count.
+  bool collect_union = false;
 };
 
 struct SwarmResult {
@@ -79,10 +100,23 @@ struct SwarmResult {
   std::string first_violation_report;
   // True if any worker was halted early by the cancel flag.
   bool cancelled = false;
-  // Swarm-wide progress time series (one entry per worker sample, with
-  // operations/unique-states aggregated across all workers at that
-  // moment). Populated when base.progress_interval_ops != 0.
+  // Work-stealing accounting (zero unless steal_work was on).
+  std::uint64_t steals = 0;             // frontier entries adopted
+  std::uint64_t steal_replay_ops = 0;   // actions spent replaying trails
+  std::uint64_t steal_digest_mismatches = 0;  // replays failing verify
+  std::uint64_t frontier_published = 0;       // entries donated/published
+  std::uint64_t frontier_peak = 0;            // high-water entry count
+  // Entries never consumed (nonzero only when budgets cut the swarm
+  // short with work still queued).
+  std::uint64_t frontier_unconsumed = 0;
+  // Total wall time workers spent blocked waiting to steal.
+  double steal_wait_seconds = 0;
+  // Swarm-wide progress time series, monotone in operations and
+  // unique-states (one entry per worker sample, aggregated across all
+  // workers at that moment). Populated when progress_interval_ops != 0.
   std::vector<ProgressSample> merged_progress;
+  // Sorted union of abstract-state digests (only when collect_union).
+  std::vector<Md5Digest> merged_union;
 };
 
 class Swarm {

@@ -1,0 +1,169 @@
+// Race-path tests for mc::SharedFrontier (ISSUE 2 satellite): N threads
+// hammer push/steal/termination concurrently. Build with -DMCFS_TSAN=ON
+// (scripts/tsan.sh) to get the thread sanitizer's verdict on the same
+// scenarios; the assertions here check the logical guarantees — no entry
+// lost, none double-popped, and termination never declared while an
+// entry is still in flight.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "mc/frontier.h"
+
+namespace mcfs::mc {
+namespace {
+
+FrontierEntry EntryWithTag(std::uint64_t tag) {
+  FrontierEntry entry;
+  entry.tag = tag;
+  return entry;
+}
+
+// Workers collectively expand a synthetic tree: each stolen entry spawns
+// `kBranch` children until a global production cap is hit, so pushes and
+// steals race from every thread at once. Every produced tag must be
+// consumed exactly once, and every worker must exit through the
+// distributed-termination path (nullopt), never by timeout.
+TEST(ConcurrentFrontierTest, TaggedEntriesConsumedExactlyOnce) {
+  constexpr int kThreads = 8;
+  constexpr int kBranch = 3;
+  constexpr std::uint64_t kMaxProduced = 5000;
+
+  SharedFrontier frontier(kThreads);
+  std::atomic<std::uint64_t> next_tag{0};
+  std::atomic<std::uint64_t> produced{0};
+  std::atomic<std::uint64_t> consumed{0};
+  // consumed_flags[tag] flips 0->1 exactly once per tag.
+  std::vector<std::atomic<std::uint8_t>> consumed_flags(
+      kMaxProduced + kThreads * kBranch + 8);
+  std::atomic<int> double_pops{0};
+
+  // Seed one root per thread so everybody has work immediately.
+  for (int i = 0; i < kThreads; ++i) {
+    frontier.Push(EntryWithTag(next_tag.fetch_add(1)));
+    produced.fetch_add(1);
+  }
+
+  auto worker = [&](int id) {
+    frontier.WorkerStarted();
+    for (;;) {
+      auto entry = frontier.StealOrTerminate(id, nullptr);
+      if (!entry.has_value()) break;
+      if (consumed_flags[entry->tag].exchange(1) != 0) {
+        double_pops.fetch_add(1);
+      }
+      consumed.fetch_add(1);
+      if (produced.load() < kMaxProduced) {
+        for (int c = 0; c < kBranch; ++c) {
+          frontier.Push(EntryWithTag(next_tag.fetch_add(1)));
+          produced.fetch_add(1);
+        }
+      }
+    }
+    frontier.Retire();
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back(worker, i);
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(double_pops.load(), 0);
+  // Termination fired only once everything produced had been consumed:
+  // a lost entry would leave produced > consumed (and a worker parked
+  // forever, which the join above would have hung on).
+  EXPECT_EQ(consumed.load(), produced.load());
+  EXPECT_EQ(frontier.size(), 0u);
+  EXPECT_EQ(frontier.pushed(), produced.load());
+  EXPECT_EQ(frontier.stolen(), consumed.load());
+}
+
+// Directly checks the in-flight window: worker A steals the only entry
+// and sits on it; worker B finds the frontier empty but must NOT see
+// termination, because A is still busy and may publish children. Only
+// after A pushes a child and retires may B consume it and then drain.
+TEST(ConcurrentFrontierTest, TerminationWaitsForInFlightEntries) {
+  SharedFrontier frontier(2);
+  frontier.Push(EntryWithTag(1));
+
+  std::atomic<bool> a_holding{false};
+  std::atomic<bool> a_may_finish{false};
+  std::atomic<bool> b_done{false};
+  std::atomic<std::uint64_t> b_tag{0};
+  std::atomic<int> b_steals{0};
+
+  std::thread a([&] {
+    frontier.WorkerStarted();
+    auto entry = frontier.StealOrTerminate(0, nullptr);
+    ASSERT_TRUE(entry.has_value());
+    a_holding.store(true);
+    while (!a_may_finish.load()) {
+      std::this_thread::yield();
+    }
+    // The entry "expands": publish its child, then go quiescent without
+    // competing for it (B must be the consumer).
+    frontier.Push(EntryWithTag(2));
+    frontier.Retire();
+  });
+
+  // Only start B once A provably holds the entry, so B cannot race A
+  // for it and invert the scenario.
+  while (!a_holding.load()) std::this_thread::yield();
+  std::thread b([&] {
+    frontier.WorkerStarted();
+    for (;;) {
+      auto entry = frontier.StealOrTerminate(1, nullptr);
+      if (!entry.has_value()) break;
+      b_steals.fetch_add(1);
+      b_tag.store(entry->tag);
+    }
+    frontier.Retire();
+    b_done.store(true);
+  });
+
+  // A holds the sole entry; the frontier is empty but A is busy, so B
+  // must stay blocked rather than declare the swarm drained.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(b_done.load());
+  EXPECT_EQ(b_steals.load(), 0);
+
+  a_may_finish.store(true);
+  a.join();
+  b.join();
+  // B woke for exactly the child A published, then drained.
+  EXPECT_EQ(b_steals.load(), 1);
+  EXPECT_EQ(b_tag.load(), 2u);
+  EXPECT_EQ(frontier.size(), 0u);
+}
+
+// RequestStop must wake a parked worker even with nothing in flight to
+// push — the cancel-on-violation path in Swarm depends on this.
+TEST(ConcurrentFrontierTest, RequestStopWakesParkedWorkers) {
+  SharedFrontier frontier(2);
+  std::atomic<bool> parked_returned{false};
+
+  frontier.WorkerStarted();  // phantom busy worker keeps B from draining
+  std::thread b([&] {
+    frontier.WorkerStarted();
+    double idle = 0;
+    EXPECT_FALSE(frontier.StealOrTerminate(1, &idle).has_value());
+    frontier.Retire();
+    parked_returned.store(true);
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(parked_returned.load());
+  frontier.RequestStop();
+  b.join();
+  EXPECT_TRUE(parked_returned.load());
+  frontier.Retire();
+}
+
+}  // namespace
+}  // namespace mcfs::mc

@@ -314,7 +314,9 @@ TEST(ResumeTest, ResumedRunSkipsAlreadyVisitedStates) {
   phase1.seed = 2;
   mc::Explorer explorer1(mcfs.value()->engine(), phase1);
   const mc::ExploreStats stats1 = explorer1.Run();
-  const Bytes checkpoint = explorer1.ExportCheckpoint();
+  auto exported = explorer1.ExportCheckpoint();
+  ASSERT_TRUE(exported.ok());
+  const Bytes checkpoint = std::move(exported).value();
   ASSERT_GT(stats1.unique_states, 0u);
 
   // Phase 2: resume with the checkpoint. Previously visited states are

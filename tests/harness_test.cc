@@ -161,5 +161,37 @@ TEST(HarnessTest, RandomWalkModeRuns) {
   EXPECT_EQ(report.stats.operations, 500u);
 }
 
+TEST(HarnessTest, SwarmMergedProgressIsMonotone) {
+  // Regression for the merged progress series: parallel workers' samples
+  // interleave in lock order, not global time, so a naive merge could
+  // emit a series that runs backwards. Consumers plot these curves
+  // (bench_fig3 style); every component must be non-decreasing.
+  McfsConfig config = BaseConfig(FsKind::kVerifs1, FsKind::kVerifs2);
+  mc::SwarmOptions options;
+  options.workers = 4;
+  options.run_parallel = true;
+  options.cooperative = true;
+  options.base.mode = mc::SearchMode::kRandomWalk;
+  options.base.max_operations = 2000;
+  options.base.max_depth = 6;
+  options.base.progress_interval_ops = 100;
+  options.base_seed = 3;
+  mc::Swarm swarm(options);
+  mc::SwarmResult result = swarm.Run(MakeMcfsSwarmFactory(config));
+
+  ASSERT_FALSE(result.any_violation) << result.first_violation_report;
+  ASSERT_GT(result.merged_progress.size(), 4u);
+  const mc::ProgressSample* prev = nullptr;
+  for (const mc::ProgressSample& sample : result.merged_progress) {
+    if (prev != nullptr) {
+      EXPECT_GE(sample.operations, prev->operations);
+      EXPECT_GE(sample.unique_states, prev->unique_states);
+      EXPECT_GE(sample.table_resizes, prev->table_resizes);
+      EXPECT_GE(sample.sim_seconds, prev->sim_seconds);
+    }
+    prev = &sample;
+  }
+}
+
 }  // namespace
 }  // namespace mcfs::core

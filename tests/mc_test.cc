@@ -380,6 +380,41 @@ TEST(ExplorerTest, BitstateModeExplores) {
   EXPECT_GE(stats.unique_states, 10u);
 }
 
+TEST(ExplorerTest, BitstateModeRefusesToExportCheckpoints) {
+  // Regression: bitstate mode never populates the exact visited table,
+  // so exporting used to hand back a well-formed but EMPTY image — a
+  // resumed run would accept it and re-count every state. It must be an
+  // explicit error instead.
+  CounterSystem system(4);
+  ExplorerOptions options;
+  options.max_operations = 100'000;
+  options.use_bitstate = true;
+  options.bitstate_bits = 1 << 16;
+  Explorer explorer(system, options);
+  explorer.Run();
+  auto exported = explorer.ExportCheckpoint();
+  ASSERT_FALSE(exported.ok());
+  EXPECT_EQ(exported.error(), Errno::kENOTSUP);
+}
+
+TEST(ExplorerTest, InvalidResumeImageMakesRunANoOp) {
+  // Regression: a rejected resume image used to be silently dropped,
+  // turning "resume my interrupted search" into a fresh run that
+  // re-counts everything. Now the rejection is sticky and visible.
+  CounterSystem system(4);
+  const Bytes garbage = {1, 2, 3};
+  ExplorerOptions options;
+  options.max_operations = 100'000;
+  options.resume_visited = &garbage;
+  Explorer explorer(system, options);
+  EXPECT_FALSE(explorer.resume_status().ok());
+  const ExploreStats stats = explorer.Run();
+  EXPECT_EQ(stats.operations, 0u);
+  EXPECT_EQ(stats.unique_states, 0u);
+  EXPECT_NE(stats.violation_report.find("rejected"), std::string::npos)
+      << stats.violation_report;
+}
+
 TEST(ExplorerTest, ResizeStallChargesSimTime) {
   CounterSystem system(40);  // 1600 states: forces table resizes
   SimClock clock;
