@@ -22,7 +22,15 @@
 // and the rows export steals, replay ops, frontier peak, idle time,
 // and how many workers actually contributed discoveries.
 //
-// Part 3 seeds a VeriFS1 bug and measures that the first violation
+// Part 3 measures the distributed swarm (DESIGN.md §7.3) over a
+// loopback visited server: first raw remote-insert throughput, batched
+// vs scalar — the round-trip amortization the batch API redesign
+// exists for — then ops-to-K for two single-worker swarm "processes"
+// sharing one visited server + frontier server versus one two-worker
+// process with in-process sharing. Same total worker count, so the
+// delta is the price (or not) of putting sockets in the middle.
+//
+// Part 4 seeds a VeriFS1 bug and measures that the first violation
 // cancels all cooperative workers promptly (no budget burn, no hang).
 //
 // All figures are exported as benchmark counters, so
@@ -33,8 +41,15 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "mcfs/harness.h"
+#include "net/frontier_service.h"
+#include "net/remote_frontier.h"
+#include "net/remote_store.h"
+#include "net/server.h"
+#include "net/visited_service.h"
 
 namespace {
 
@@ -254,7 +269,168 @@ void RunStealCompare(benchmark::State& state, const std::string& label,
 }
 
 // ---------------------------------------------------------------------------
-// Part 3: a seeded violation cancels all cooperative workers promptly.
+// Part 3: the distributed swarm over a loopback visited server.
+
+constexpr std::uint64_t kRemoteInsertDigests = 20'000;
+
+std::map<int, double> g_remote_insert;  // batch size -> inserts per second
+
+// Inserts kRemoteInsertDigests unique digests through a
+// RemoteVisitedStore in batches of `batch` (batch 1 = the scalar API:
+// one full round-trip per digest).
+void RunRemoteInsertThroughput(benchmark::State& state, int batch) {
+  for (auto _ : state) {
+    mc::ShardedVisitedTable table;
+    net::VisitedService service(&table);
+    net::FrameServer server({&service});
+    net::Endpoint loopback;
+    loopback.host = "127.0.0.1";
+    loopback.port = 0;
+    if (!server.Start(loopback).ok()) {
+      state.SkipWithError("failed to bind loopback server");
+      return;
+    }
+    net::RemoteVisitedStore store(server.endpoint());
+
+    std::vector<Md5Digest> digests(static_cast<std::size_t>(batch));
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t sent = 0;
+    while (sent < kRemoteInsertDigests) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(batch, kRemoteInsertDigests - sent));
+      for (std::size_t i = 0; i < n; ++i) {
+        Md5 md5;
+        md5.UpdateU64(sent + i);
+        digests[i] = md5.Final();
+      }
+      store.InsertBatch(std::span<const Md5Digest>(digests.data(), n));
+      sent += n;
+    }
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    server.Stop();
+
+    const double rate =
+        wall > 0 ? static_cast<double>(kRemoteInsertDigests) / wall : 0;
+    g_remote_insert[batch] = rate;
+    state.counters["inserts_per_s"] = rate;
+    state.counters["degradations"] =
+        static_cast<double>(store.health().degrade_events);
+    if (table.size() != kRemoteInsertDigests) {
+      state.SkipWithError("remote table lost digests");
+    }
+  }
+}
+
+// Ops-to-K on the Part 2b closed ball: "solo" = one process, two
+// workers, in-process sharing; "distributed" = two concurrent
+// single-worker processes (separate client objects, as separate OS
+// processes would hold) sharing a visited server and a frontier server
+// over loopback sockets.
+std::map<std::string, StealRow> g_dist;
+
+void RunDistributedSolo(benchmark::State& state) {
+  for (auto _ : state) {
+    mc::SwarmOptions options;
+    options.workers = 2;
+    options.cooperative = true;
+    options.steal_work = true;
+    options.base.mode = mc::SearchMode::kDfs;
+    options.base.max_depth = kStealDepth;
+    options.base.max_operations = 10 * kStealSingleBudget;
+    options.base.target_unique_states = g_steal_target;
+    options.base_seed = 500;
+
+    mc::Swarm swarm(options);
+    const auto start = std::chrono::steady_clock::now();
+    mc::SwarmResult result =
+        swarm.Run(MakeMcfsSwarmFactory(ClosedBallConfig()));
+    StealRow row;
+    row.total_ops = result.total_operations + result.steal_replay_ops;
+    row.merged_unique = result.merged_unique_states;
+    row.reached_target = result.merged_unique_states >= g_steal_target;
+    row.steals = result.steals;
+    row.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    g_dist["solo-1proc-2w"] = row;
+    state.counters["ops_to_target"] = static_cast<double>(row.total_ops);
+    state.counters["reached_target"] = row.reached_target ? 1 : 0;
+  }
+}
+
+void RunDistributedPair(benchmark::State& state) {
+  for (auto _ : state) {
+    mc::ShardedVisitedTable table;
+    net::VisitedService visited_service(&table);
+    net::FrameServer visited_server({&visited_service});
+    mc::SharedFrontier frontier(/*workers=*/2);
+    net::FrontierService frontier_service(&frontier);
+    net::FrameServer frontier_server({&frontier_service});
+    net::Endpoint loopback;
+    loopback.host = "127.0.0.1";
+    loopback.port = 0;
+    if (!visited_server.Start(loopback).ok() ||
+        !frontier_server.Start(loopback).ok()) {
+      state.SkipWithError("failed to bind loopback servers");
+      return;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<mc::SwarmResult> results(2);
+    std::vector<std::thread> processes;
+    for (int p = 0; p < 2; ++p) {
+      processes.emplace_back([&, p] {
+        // Each "process" owns its own client objects and connections,
+        // exactly as two real OS processes would.
+        net::RemoteVisitedStore store(visited_server.endpoint());
+        net::RemoteFrontier remote_frontier(frontier_server.endpoint(),
+                                            /*workers=*/2);
+        mc::SwarmOptions options;
+        options.workers = 1;
+        options.shared_store = &store;
+        options.shared_frontier = &remote_frontier;
+        options.base.mode = mc::SearchMode::kDfs;
+        options.base.max_depth = kStealDepth;
+        options.base.max_operations = 10 * kStealSingleBudget;
+        options.base.target_unique_states = g_steal_target;
+        // Different seeds so the two processes descend different
+        // branches before stealing evens things out.
+        options.base_seed = 500 + 37 * p;
+        mc::Swarm swarm(options);
+        results[p] = swarm.Run(MakeMcfsSwarmFactory(ClosedBallConfig()));
+      });
+    }
+    for (auto& t : processes) t.join();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    frontier_server.Stop();
+    visited_server.Stop();
+
+    StealRow row;
+    for (const mc::SwarmResult& result : results) {
+      row.total_ops += result.total_operations + result.steal_replay_ops;
+      row.steals += result.steals;
+    }
+    // Coverage is global: the server's table is the merged union.
+    row.merged_unique = table.size();
+    row.reached_target = row.merged_unique >= g_steal_target;
+    row.wall_seconds = wall;
+    g_dist["dist-2proc-1w"] = row;
+    state.counters["ops_to_target"] = static_cast<double>(row.total_ops);
+    state.counters["reached_target"] = row.reached_target ? 1 : 0;
+    state.counters["remote_steals"] = static_cast<double>(row.steals);
+    state.counters["degradations"] = static_cast<double>(
+        results[0].store_degradations + results[1].store_degradations +
+        results[0].frontier_degradations +
+        results[1].frontier_degradations);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Part 4: a seeded violation cancels all cooperative workers promptly.
 
 void RunCancelOnViolation(benchmark::State& state) {
   for (auto _ : state) {
@@ -401,6 +577,44 @@ void PrintSummary() {
                 dfs->second.contributing_workers, kCompareWorkers,
                 steal->second.contributing_workers, kCompareWorkers);
   }
+
+  std::printf("\n=== Distributed swarm over loopback (DESIGN.md §7.3) "
+              "===\n");
+  const auto scalar = g_remote_insert.find(1);
+  const auto batched = g_remote_insert.find(64);
+  if (scalar != g_remote_insert.end() && batched != g_remote_insert.end() &&
+      scalar->second > 0) {
+    std::printf("remote insert throughput: scalar %.0f/s, batch-64 "
+                "%.0f/s — batching amortizes the round-trip %.1fx.\n",
+                scalar->second, batched->second,
+                batched->second / scalar->second);
+  }
+  std::printf("%-16s %12s %14s %8s %8s %8s\n", "deployment", "total ops",
+              "merged states", "K?", "steals", "wall s");
+  for (const char* label : {"solo-1proc-2w", "dist-2proc-1w"}) {
+    const auto it = g_dist.find(label);
+    if (it == g_dist.end()) continue;
+    const StealRow& row = it->second;
+    std::printf("%-16s %12llu %14llu %8s %8llu %8.3f\n", label,
+                static_cast<unsigned long long>(row.total_ops),
+                static_cast<unsigned long long>(row.merged_unique),
+                row.reached_target ? "yes" : "NO",
+                static_cast<unsigned long long>(row.steals),
+                row.wall_seconds);
+  }
+  const auto solo = g_dist.find("solo-1proc-2w");
+  const auto dist = g_dist.find("dist-2proc-1w");
+  if (solo != g_dist.end() && dist != g_dist.end() &&
+      solo->second.total_ops > 0) {
+    std::printf("shape check: two socket-sharing processes reached K=%llu "
+                "with %.2fx the operations of one in-process two-worker "
+                "swarm (%s) — the wire adds latency, not wasted search.\n",
+                static_cast<unsigned long long>(g_steal_target),
+                static_cast<double>(dist->second.total_ops) /
+                    static_cast<double>(solo->second.total_ops),
+                dist->second.reached_target ? "both reached K"
+                                            : "distributed MISSED K");
+  }
 }
 
 }  // namespace
@@ -464,6 +678,26 @@ int main(int argc, char** argv) {
         RunStealCompare(state, "coop-dfs+steal", mc::SearchMode::kDfs,
                         true);
       })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  for (int batch : {1, 64}) {
+    benchmark::RegisterBenchmark(
+        ("swarm_remote/insert_batch:" + std::to_string(batch)).c_str(),
+        [batch](benchmark::State& state) {
+          RunRemoteInsertThroughput(state, batch);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Needs g_steal_target, so these must run after swarm_frontier/*.
+  benchmark::RegisterBenchmark(
+      "swarm_remote/solo_1proc_2workers",
+      [](benchmark::State& state) { RunDistributedSolo(state); })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "swarm_remote/dist_2proc_1worker",
+      [](benchmark::State& state) { RunDistributedPair(state); })
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);
   benchmark::RegisterBenchmark(

@@ -10,23 +10,54 @@
 // action trail on its own file systems (digest-verified), and resumes
 // searching there (DESIGN.md §7.2).
 //
-//   ./swarm_explore [workers] [ops_per_worker] [independent|cooperative|stealing]
+// Distributed mode: point --visited-server (and optionally
+// --frontier-server) at a running ./visited_server and this process
+// becomes one shard of a cross-process swarm — the shared store and the
+// stolen work both travel over the socket (DESIGN.md §7.3). If the
+// server dies mid-run the workers degrade to process-local structures
+// and finish anyway; the degradation counters below report it.
+//
+//   ./swarm_explore [workers] [ops_per_worker]
+//                   [independent|cooperative|stealing]
+//                   [--visited-server host:port|unix:/path]
+//                   [--frontier-server host:port|unix:/path]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include <memory>
+
 #include "mcfs/harness.h"
+#include "net/remote_frontier.h"
+#include "net/remote_store.h"
 
 int main(int argc, char** argv) {
   using namespace mcfs;
   using namespace mcfs::core;
 
-  const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  const char* visited_server = nullptr;
+  const char* frontier_server = nullptr;
+  const char* positional[3] = {nullptr, nullptr, nullptr};
+  int npos = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--visited-server") == 0 && i + 1 < argc) {
+      visited_server = argv[++i];
+    } else if (std::strcmp(argv[i], "--frontier-server") == 0 &&
+               i + 1 < argc) {
+      frontier_server = argv[++i];
+    } else if (npos < 3) {
+      positional[npos++] = argv[i];
+    }
+  }
+
+  const int workers = positional[0] ? std::atoi(positional[0]) : 4;
   const std::uint64_t ops_per_worker =
-      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2000;
-  const bool stealing = argc > 3 && std::strcmp(argv[3], "stealing") == 0;
+      positional[1] ? std::strtoull(positional[1], nullptr, 10) : 2000;
+  const bool stealing =
+      positional[2] && std::strcmp(positional[2], "stealing") == 0;
   const bool cooperative =
-      stealing || (argc > 3 && std::strcmp(argv[3], "cooperative") == 0);
+      stealing || (positional[2] &&
+                   std::strcmp(positional[2], "cooperative") == 0);
 
   mc::SwarmOptions options;
   options.workers = workers;
@@ -39,6 +70,33 @@ int main(int argc, char** argv) {
   // (Spin swarm typically uses bitstate hashing instead, trading the
   // exact union for memory; pass use_bitstate=true for that mode).
   options.base_seed = 1000;
+
+  // Remote attachments: the swarm does not own these, so they live
+  // here and outlive the run (their stats feed the report below).
+  std::unique_ptr<net::RemoteVisitedStore> remote_store;
+  std::unique_ptr<net::RemoteFrontier> remote_frontier;
+  if (visited_server != nullptr) {
+    auto endpoint = net::ParseEndpoint(visited_server);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "bad --visited-server endpoint '%s'\n",
+                   visited_server);
+      return 2;
+    }
+    remote_store = std::make_unique<net::RemoteVisitedStore>(
+        endpoint.value(), net::RetryPolicy{});
+    options.shared_store = remote_store.get();
+  }
+  if (frontier_server != nullptr) {
+    auto endpoint = net::ParseEndpoint(frontier_server);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "bad --frontier-server endpoint '%s'\n",
+                   frontier_server);
+      return 2;
+    }
+    remote_frontier = std::make_unique<net::RemoteFrontier>(
+        endpoint.value(), workers, net::RetryPolicy{});
+    options.shared_frontier = remote_frontier.get();
+  }
 
   McfsConfig config;
   config.fs_a.kind = FsKind::kVerifs1;
@@ -54,6 +112,14 @@ int main(int argc, char** argv) {
               stealing ? "cooperative+stealing"
                        : (cooperative ? "cooperative" : "independent"),
               static_cast<unsigned long long>(ops_per_worker));
+  if (remote_store) {
+    std::printf("shared visited store: %s\n",
+                remote_store->endpoint().ToString().c_str());
+  }
+  if (remote_frontier) {
+    std::printf("shared frontier:      %s\n",
+                remote_frontier->endpoint().ToString().c_str());
+  }
 
   mc::SwarmResult result = swarm.Run(MakeMcfsSwarmFactory(config));
 
@@ -83,6 +149,13 @@ int main(int argc, char** argv) {
                     result.steal_digest_mismatches),
                 static_cast<unsigned long long>(result.frontier_peak),
                 result.steal_wait_seconds);
+  }
+  if (remote_store || remote_frontier) {
+    std::printf("remote health: %llu store degradations, %llu frontier "
+                "degradations, %llu failed RPCs\n",
+                static_cast<unsigned long long>(result.store_degradations),
+                static_cast<unsigned long long>(result.frontier_degradations),
+                static_cast<unsigned long long>(result.remote_rpc_failures));
   }
   if (result.any_violation) {
     std::printf("\nVIOLATION found first by worker %d:\n%s\n",

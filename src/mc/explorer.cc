@@ -38,10 +38,13 @@ Explorer::Explorer(System& system, ExplorerOptions options)
     if (resumed.ok()) {
       if (options_.shared_store != nullptr) {
         // Seed the shared store too: resumed states must cost no worker
-        // any discovery credit, not just this one.
-        resumed.value().ForEach([this](const Md5Digest& digest) {
-          (void)options_.shared_store->Insert(digest);
-        });
+        // any discovery credit, not just this one. One batched insert —
+        // a resumed image can hold millions of digests, and on a remote
+        // store that would otherwise be millions of round-trips.
+        std::vector<Md5Digest> seeds;
+        resumed.value().ForEach(
+            [&seeds](const Md5Digest& digest) { seeds.push_back(digest); });
+        (void)options_.shared_store->InsertBatch(seeds);
       }
       visited_ = std::move(resumed).value();
     } else {
@@ -86,7 +89,20 @@ bool Explorer::ShouldStop() {
     stats_.cancelled = true;
     return true;
   }
+  // A remote peer's violation reaches this host as the frontier's sticky
+  // stop (the swarm raises it alongside the cancel flag); polling it
+  // here halts mid-search workers that would never observe the remote
+  // cancel otherwise.
+  if (options_.shared_frontier != nullptr &&
+      options_.shared_frontier->stopped()) {
+    stats_.cancelled = true;
+    return true;
+  }
   if (options_.target_unique_states != 0) {
+    // The target is judged against the shared store, so buffered credit
+    // must be resolved first — at the cost of degrading the batch to the
+    // interval between ShouldStop calls while a target is armed.
+    FlushCreditBuffer();
     const std::uint64_t known = options_.shared_store != nullptr
                                     ? options_.shared_store->size()
                                     : stats_.unique_states;
@@ -96,6 +112,34 @@ bool Explorer::ShouldStop() {
     }
   }
   return false;
+}
+
+bool Explorer::BufferSharedCredit() const {
+  return options_.mode == SearchMode::kRandomWalk &&
+         options_.shared_store != nullptr && options_.store_batch_size > 1;
+}
+
+void Explorer::FlushCreditBuffer() {
+  if (credit_buffer_.empty()) return;
+  const std::vector<StoreInsert> results =
+      options_.shared_store->InsertBatch(credit_buffer_);
+  credit_buffer_.clear();
+  bool resized = false;
+  std::uint64_t rehashed = 0;
+  for (const StoreInsert& r : results) {
+    if (r.inserted) {
+      ++stats_.unique_states;
+      stored_state_bytes_ += system_.ConcreteStateBytes();
+    } else {
+      ++stats_.revisits;
+    }
+    resized |= r.resized;
+    rehashed += r.rehashed;
+  }
+  if (resized && options_.clock != nullptr) {
+    options_.clock->Advance(rehashed * options_.rehash_cost_per_entry);
+  }
+  AccountMemory();
 }
 
 Explorer::RecordResult Explorer::RecordState(const Md5Digest& digest) {
@@ -112,6 +156,19 @@ Explorer::RecordResult Explorer::RecordState(const Md5Digest& digest) {
     }
     result.locally_new = local.inserted;
     if (local.inserted) {
+      if (BufferSharedCredit()) {
+        // Walk mode: the shared insert settles only the discovery
+        // credit (the walk steers by locally_new), so it is deferred
+        // into a batch — one round-trip per store_batch_size states on
+        // a socket-backed store. unique/revisit accounting happens at
+        // flush time; globally_new is provisional and unused here.
+        result.globally_new = true;
+        credit_buffer_.push_back(digest);
+        if (credit_buffer_.size() >= options_.store_batch_size) {
+          FlushCreditBuffer();
+        }
+        return result;
+      }
       // Only a locally-new state can be globally new: if this worker saw
       // it before, it inserted it into the shared store then.
       const StoreInsert shared = options_.shared_store->Insert(digest);
@@ -150,6 +207,9 @@ void Explorer::MaybeSample() {
     return;
   }
   if (stats_.operations % options_.progress_interval_ops != 0) return;
+  // Samples feed the swarm's merged (store-exact) series: resolve any
+  // buffered credit so this worker's counters agree with the store.
+  FlushCreditBuffer();
   ProgressSample sample;
   sample.operations = stats_.operations;
   sample.sim_seconds =
@@ -166,6 +226,7 @@ void Explorer::MaybeSample() {
 ExploreStats Explorer::Run() {
   stats_ = ExploreStats{};
   stored_state_bytes_ = 0;
+  credit_buffer_.clear();
   if (!resume_status_.ok()) {
     stats_.violation_report =
         "resume_visited checkpoint rejected: " +
@@ -206,7 +267,7 @@ ExploreStats Explorer::RunDfs() {
     bool state_current = true;
   };
 
-  SharedFrontier* frontier = options_.shared_frontier;
+  Frontier* frontier = options_.shared_frontier;
   if (frontier != nullptr) frontier->WorkerStarted();
 
   const Md5Digest root_digest = system_.AbstractHash();
@@ -553,6 +614,10 @@ ExploreStats Explorer::RunRandomWalk() {
       ++stats_.backtracks;
     }
   }
+  // Settle deferred discovery credit before reporting: the returned
+  // stats (and any differential comparison against them) must reflect
+  // every state this walk found.
+  FlushCreditBuffer();
   (void)system_.DiscardConcrete(frontier_snap);
   return stats_;
 }

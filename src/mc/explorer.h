@@ -85,11 +85,22 @@ struct ExplorerOptions {
   //    protocol, steals an entry, replays its trail from the initial
   //    state on its own System, verifies the digest, and resumes DFS
   //    there instead of going idle.
-  // The explorer does not own the frontier. Requires shared_store (the
+  // Any Frontier implementation works: the in-process SharedFrontier or
+  // a socket-backed net::RemoteFrontier (the explorer also polls
+  // stopped() so a cross-host cancel reaches mid-search workers). The
+  // explorer does not own the frontier. Requires shared_store (the
   // partitioned-search discipline is what makes stolen work disjoint).
-  SharedFrontier* shared_frontier = nullptr;
+  Frontier* shared_frontier = nullptr;
   // This worker's index, used for frontier stripe affinity.
   int worker_id = 0;
+  // Random-walk + shared-store runs buffer this many locally-new digests
+  // before one InsertBatch resolves their discovery credit (the walk's
+  // control decisions only need the private table, so the shared insert
+  // is credit-only and batchable — one round-trip per batch on a remote
+  // store instead of one per state). DFS is unaffected: its shared
+  // insert gates subtree descent, so it must stay synchronous. 1
+  // effectively disables batching.
+  std::size_t store_batch_size = 64;
 };
 
 class Explorer {
@@ -128,6 +139,12 @@ class Explorer {
   // Inserts into the active visited structures, charges resize/memory
   // costs, and updates unique/revisit stats (on the global outcome).
   RecordResult RecordState(const Md5Digest& digest);
+  // True when shared-store discovery credit may be deferred and batched
+  // (walk mode: the insert result steers no control decision).
+  bool BufferSharedCredit() const;
+  // Resolves the buffered digests' discovery credit with one
+  // InsertBatch, updating unique/revisit stats and resize charges.
+  void FlushCreditBuffer();
   void AccountMemory();
   void MaybeSample();
   // True when the search should stop early: cancelled by the swarm or
@@ -142,6 +159,9 @@ class Explorer {
   ExploreStats stats_;
   std::uint64_t stored_state_bytes_ = 0;
   Status resume_status_ = Status::Ok();
+  // Locally-new digests whose shared-store credit is pending (walk mode
+  // batching; see ExplorerOptions::store_batch_size).
+  std::vector<Md5Digest> credit_buffer_;
 };
 
 }  // namespace mcfs::mc

@@ -68,15 +68,38 @@ void SharedFrontier::Retire() {
 
 std::optional<FrontierEntry> SharedFrontier::StealOrTerminate(
     int worker, double* idle_seconds) {
+  // The unbounded wait is just the bounded round repeated: a kTimeout
+  // verdict (deadline passed with the swarm still live) simply re-arms.
+  constexpr std::chrono::milliseconds kRound{60'000};
   for (;;) {
-    {
-      std::lock_guard<std::mutex> lock(term_mu_);
-      if (stopped_) return std::nullopt;
+    StealWaitResult round = StealOrTerminateFor(worker, kRound, idle_seconds);
+    switch (round.outcome) {
+      case StealWait::kEntry:
+        return std::move(round.entry);
+      case StealWait::kTimeout:
+        continue;
+      case StealWait::kDrained:
+      case StealWait::kStopped:
+        return std::nullopt;
     }
-    if (auto entry = TrySteal(worker)) return entry;
+  }
+}
+
+SharedFrontier::StealWaitResult SharedFrontier::StealOrTerminateFor(
+    int worker, std::chrono::milliseconds timeout, double* idle_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    if (stopped_.load(std::memory_order_acquire)) {
+      return {StealWait::kStopped, std::nullopt};
+    }
+    if (auto entry = TrySteal(worker)) {
+      return {StealWait::kEntry, std::move(entry)};
+    }
 
     std::unique_lock<std::mutex> lock(term_mu_);
-    if (stopped_) return std::nullopt;
+    if (stopped_.load(std::memory_order_relaxed)) {
+      return {StealWait::kStopped, std::nullopt};
+    }
     if (size_.load(std::memory_order_relaxed) > 0) continue;  // race: retry
     --busy_;
     // Re-check after the decrement: publishes only come from busy
@@ -86,11 +109,11 @@ std::optional<FrontierEntry> SharedFrontier::StealOrTerminate(
       ++busy_;  // rebalance: the caller's Retire() decrements once more
       lock.unlock();
       cv_.notify_all();
-      return std::nullopt;
+      return {StealWait::kDrained, std::nullopt};
     }
     const auto wait_start = std::chrono::steady_clock::now();
-    cv_.wait(lock, [this] {
-      return drained_ || stopped_ ||
+    const bool signalled = cv_.wait_until(lock, deadline, [this] {
+      return drained_ || stopped_.load(std::memory_order_relaxed) ||
              size_.load(std::memory_order_relaxed) > 0;
     });
     if (idle_seconds != nullptr) {
@@ -98,8 +121,12 @@ std::optional<FrontierEntry> SharedFrontier::StealOrTerminate(
                            std::chrono::steady_clock::now() - wait_start)
                            .count();
     }
-    ++busy_;  // busy again, whether to claim an entry or to retire
-    if (drained_ || stopped_) return std::nullopt;
+    ++busy_;  // busy again: to claim an entry, retire, or retry a round
+    if (drained_) return {StealWait::kDrained, std::nullopt};
+    if (stopped_.load(std::memory_order_relaxed)) {
+      return {StealWait::kStopped, std::nullopt};
+    }
+    if (!signalled) return {StealWait::kTimeout, std::nullopt};
     // Loop around to TrySteal; on failure (a peer won the race) the
     // worker re-enters the idle path.
   }
@@ -108,7 +135,7 @@ std::optional<FrontierEntry> SharedFrontier::StealOrTerminate(
 void SharedFrontier::RequestStop() {
   {
     std::lock_guard<std::mutex> lock(term_mu_);
-    stopped_ = true;
+    stopped_.store(true, std::memory_order_release);
   }
   cv_.notify_all();
 }

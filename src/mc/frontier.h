@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -39,6 +40,7 @@
 #include <optional>
 #include <vector>
 
+#include "mc/visited_store.h"
 #include "util/md5.h"
 
 namespace mcfs::mc {
@@ -54,7 +56,60 @@ struct FrontierEntry {
   std::uint64_t tag = 0;               // publisher-chosen id (tests)
 };
 
-class SharedFrontier {
+// The frontier contract the explorer codes against. Two peers implement
+// it: SharedFrontier (in-process, lock-striped — below) and
+// net::RemoteFrontier (socket-backed, speaking the same
+// push/steal/terminate protocol to a frontier server), interchangeable
+// via ExplorerOptions::shared_frontier / SwarmOptions::shared_frontier.
+// A FrontierEntry is host-portable (action trail + digest, no snapshot
+// handles), which is what makes the remote implementation possible.
+class Frontier {
+ public:
+  virtual ~Frontier() = default;
+
+  // Publishes one entry. Callable only from a busy (started, unretired)
+  // worker — the termination protocol relies on that.
+  virtual void Push(FrontierEntry entry) = 0;
+
+  // Non-blocking steal; scans all stripes starting at this worker's.
+  virtual std::optional<FrontierEntry> TrySteal(int worker) = 0;
+
+  // A worker announces it is exploring. Pairs with Retire(). Resets a
+  // previous drained state so sequential swarms can run workers
+  // back-to-back over one frontier.
+  virtual void WorkerStarted() = 0;
+
+  // A worker is permanently done (budget, cancel, target, violation).
+  virtual void Retire() = 0;
+
+  // Blocking steal with distributed-termination detection: returns an
+  // entry to resume from, or nullopt once the swarm is globally done
+  // (frontier empty and every worker quiescent) or stopped. Seconds
+  // spent blocked are accumulated into *idle_seconds when non-null.
+  virtual std::optional<FrontierEntry> StealOrTerminate(
+      int worker, double* idle_seconds) = 0;
+
+  // Sticky global stop (violation cancel): wakes every waiter; all
+  // subsequent StealOrTerminate calls return nullopt immediately.
+  virtual void RequestStop() = 0;
+
+  // True once RequestStop was observed (locally or — for the remote
+  // frontier — learned from the server). The explorer polls this to
+  // propagate a cross-host cancel into workers that are mid-search.
+  virtual bool stopped() const = 0;
+
+  virtual bool Hungry() const = 0;
+
+  virtual std::uint64_t size() const = 0;
+  virtual std::uint64_t peak_size() const = 0;
+  virtual std::uint64_t pushed() const = 0;
+  virtual std::uint64_t stolen() const = 0;
+
+  // Degradation status; nontrivial only for socket-backed frontiers.
+  virtual RemoteHealth health() const { return {}; }
+};
+
+class SharedFrontier final : public Frontier {
  public:
   static constexpr std::size_t kStripeCount = 16;
 
@@ -66,45 +121,48 @@ class SharedFrontier {
   SharedFrontier(const SharedFrontier&) = delete;
   SharedFrontier& operator=(const SharedFrontier&) = delete;
 
-  // Publishes one entry. Callable only from a busy (started, unretired)
-  // worker — the termination protocol relies on that.
-  void Push(FrontierEntry entry);
-
-  // Non-blocking steal; scans all stripes starting at this worker's.
-  std::optional<FrontierEntry> TrySteal(int worker);
-
-  // A worker announces it is exploring. Pairs with Retire(). Resets a
-  // previous drained state so sequential swarms can run workers
-  // back-to-back over one frontier.
-  void WorkerStarted();
-
-  // A worker is permanently done (budget, cancel, target, violation).
-  void Retire();
-
-  // Blocking steal with distributed-termination detection: returns an
-  // entry to resume from, or nullopt once the swarm is globally done
-  // (frontier empty and every worker quiescent) or stopped. Seconds
-  // spent blocked are accumulated into *idle_seconds when non-null.
+  void Push(FrontierEntry entry) override;
+  std::optional<FrontierEntry> TrySteal(int worker) override;
+  void WorkerStarted() override;
+  void Retire() override;
   std::optional<FrontierEntry> StealOrTerminate(int worker,
-                                                double* idle_seconds);
+                                                double* idle_seconds) override;
+  void RequestStop() override;
 
-  // Sticky global stop (violation cancel): wakes every waiter; all
-  // subsequent StealOrTerminate calls return nullopt immediately.
-  void RequestStop();
+  bool stopped() const override {
+    return stopped_.load(std::memory_order_acquire);
+  }
 
-  bool Hungry() const {
+  // One bounded round of the blocking steal, the building block the
+  // frontier *server* uses to keep its connections responsive: a remote
+  // worker's wait is a sequence of short server-side waits. kTimeout
+  // means "no entry yet, still undrained — ask again"; the caller
+  // counts as busy between rounds, which can only delay (never falsify)
+  // the distributed-termination verdict.
+  enum class StealWait { kEntry, kTimeout, kDrained, kStopped };
+  struct StealWaitResult {
+    StealWait outcome = StealWait::kTimeout;
+    std::optional<FrontierEntry> entry;
+  };
+  StealWaitResult StealOrTerminateFor(int worker,
+                                      std::chrono::milliseconds timeout,
+                                      double* idle_seconds);
+
+  bool Hungry() const override {
     return size_.load(std::memory_order_relaxed) <
            static_cast<std::uint64_t>(workers_);
   }
 
-  std::uint64_t size() const { return size_.load(std::memory_order_relaxed); }
-  std::uint64_t peak_size() const {
+  std::uint64_t size() const override {
+    return size_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peak_size() const override {
     return peak_.load(std::memory_order_relaxed);
   }
-  std::uint64_t pushed() const {
+  std::uint64_t pushed() const override {
     return pushed_.load(std::memory_order_relaxed);
   }
-  std::uint64_t stolen() const {
+  std::uint64_t stolen() const override {
     return stolen_.load(std::memory_order_relaxed);
   }
 
@@ -121,12 +179,13 @@ class SharedFrontier {
   std::atomic<std::uint64_t> pushed_{0};
   std::atomic<std::uint64_t> stolen_{0};
 
-  // Termination protocol state, all guarded by term_mu_.
+  // Termination protocol state, guarded by term_mu_ (stopped_ is
+  // written under the mutex but read lock-free by stopped()).
   std::mutex term_mu_;
   std::condition_variable cv_;
   int busy_ = 0;        // workers currently exploring (not waiting/retired)
   bool drained_ = false;  // busy_ == 0 && frontier empty was observed
-  bool stopped_ = false;  // RequestStop(): sticky
+  std::atomic<bool> stopped_{false};  // RequestStop(): sticky
 };
 
 }  // namespace mcfs::mc

@@ -53,6 +53,12 @@ class ShardedVisitedTable final : public VisitedStore {
     }
   }
 
+  bool ForEachDigest(
+      const std::function<void(const Md5Digest&)>& fn) const override {
+    ForEach(fn);
+    return true;
+  }
+
  private:
   struct Shard {
     mutable std::mutex mu;

@@ -85,47 +85,62 @@ SwarmResult Swarm::Run(const SwarmFactory& factory) {
   std::vector<std::unique_ptr<Explorer>> explorers(n);
   std::vector<ExploreStats> stats(n);
 
-  // Cooperative mode: one concurrent store for every worker. The kind
-  // follows the base options — bitstate runs share a lock-free filter,
-  // exact runs share the lock-striped sharded table.
-  std::unique_ptr<VisitedStore> shared_store;
-  if (options_.cooperative) {
+  // Cooperative mode: one concurrent store for every worker. An
+  // externally-owned store (distributed swarm: a socket-backed
+  // RemoteVisitedStore) takes precedence and implies cooperation;
+  // otherwise the kind follows the base options — bitstate runs share a
+  // lock-free filter, exact runs share the lock-striped sharded table.
+  const bool cooperative =
+      options_.cooperative || options_.shared_store != nullptr;
+  std::unique_ptr<VisitedStore> owned_store;
+  if (cooperative && options_.shared_store == nullptr) {
     if (options_.base.use_bitstate) {
-      shared_store = std::make_unique<ConcurrentBitstateFilter>(
+      owned_store = std::make_unique<ConcurrentBitstateFilter>(
           options_.base.bitstate_bits);
     } else {
-      shared_store =
+      owned_store =
           std::make_unique<ShardedVisitedTable>(options_.shard_initial_capacity);
     }
   }
+  VisitedStore* shared_store =
+      options_.shared_store != nullptr ? options_.shared_store
+                                       : owned_store.get();
 
   // Work-stealing frontier: only meaningful on top of the cooperative
   // store (partitioned DFS is what makes stolen work disjoint) and only
   // consumed by DFS workers (a random walk never exhausts, so it has
-  // nothing to steal and nothing to publish).
-  std::unique_ptr<SharedFrontier> frontier;
-  if (options_.cooperative && options_.steal_work &&
-      options_.base.mode == SearchMode::kDfs) {
-    frontier = std::make_unique<SharedFrontier>(n);
+  // nothing to steal and nothing to publish). An externally-owned
+  // frontier (net::RemoteFrontier) is used under the same gate.
+  std::unique_ptr<SharedFrontier> owned_frontier;
+  Frontier* frontier = nullptr;
+  if (cooperative && options_.base.mode == SearchMode::kDfs) {
+    if (options_.shared_frontier != nullptr) {
+      frontier = options_.shared_frontier;
+    } else if (options_.steal_work) {
+      owned_frontier = std::make_unique<SharedFrontier>(n);
+      frontier = owned_frontier.get();
+    }
   }
 
   std::atomic<bool> cancel{false};
   // The first worker to CAS its index here is the first-in-time
   // violator; it also raises the cancel flag.
   std::atomic<int> first_violator{-1};
-  auto report_violation = [&cancel, &first_violator, &frontier,
+  auto report_violation = [&cancel, &first_violator, frontier,
                            this](int worker) {
     int expected = -1;
     first_violator.compare_exchange_strong(expected, worker);
     if (options_.cancel_on_violation) {
       cancel.store(true, std::memory_order_relaxed);
       // Wake workers blocked waiting to steal — they cannot observe the
-      // cancel flag from inside the frontier's wait.
+      // cancel flag from inside the frontier's wait. For a remote
+      // frontier this also propagates the stop to workers on other
+      // hosts via the server's sticky stop flag.
       if (frontier != nullptr) frontier->RequestStop();
     }
   };
 
-  ProgressMerger merger(n, shared_store.get());
+  ProgressMerger merger(n, shared_store);
   const bool sample_progress = options_.base.progress_interval_ops != 0;
 
   for (int i = 0; i < n; ++i) {
@@ -134,11 +149,11 @@ SwarmResult Swarm::Run(const SwarmFactory& factory) {
     opts.seed = options_.base_seed + static_cast<std::uint64_t>(i);
     opts.clock = instances[i]->clock();
     if (shared_store != nullptr) {
-      opts.shared_store = shared_store.get();
+      opts.shared_store = shared_store;
       opts.use_bitstate = false;  // the shared store covers it
     }
     if (frontier != nullptr) {
-      opts.shared_frontier = frontier.get();
+      opts.shared_frontier = frontier;
       opts.worker_id = i;
     }
     if (options_.cancel_on_violation) opts.cancel = &cancel;
@@ -200,18 +215,23 @@ SwarmResult Swarm::Run(const SwarmFactory& factory) {
   if (frontier != nullptr) {
     result.frontier_peak = frontier->peak_size();
     result.frontier_unconsumed = frontier->size();
+    const RemoteHealth fh = frontier->health();
+    result.frontier_degradations = fh.degrade_events;
+    result.remote_rpc_failures += fh.rpc_failures;
+  }
+  if (shared_store != nullptr) {
+    const RemoteHealth sh = shared_store->health();
+    result.store_degradations = sh.degrade_events;
+    result.remote_rpc_failures += sh.rpc_failures;
   }
   if (options_.collect_union) {
     if (shared_store != nullptr) {
-      // The exact sharded table backs cooperative mode; in shared
-      // bitstate mode there are no digests to enumerate, so the union
-      // stays empty (size is still reported in merged_unique_states).
-      if (auto* table = dynamic_cast<ShardedVisitedTable*>(
-              shared_store.get())) {
-        table->ForEach([&result](const Md5Digest& digest) {
-          result.merged_union.push_back(digest);
-        });
-      }
+      // Exact stores (the sharded table, or a remote store's dump RPC)
+      // enumerate their digests; a shared bitstate filter has none, so
+      // the union stays empty (size is still in merged_unique_states).
+      shared_store->ForEachDigest([&result](const Md5Digest& digest) {
+        result.merged_union.push_back(digest);
+      });
     } else {
       result.merged_union.assign(merged.begin(), merged.end());
     }

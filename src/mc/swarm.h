@@ -68,6 +68,14 @@ struct SwarmOptions {
   bool steal_work = false;
   // Initial per-shard capacity of the cooperative sharded table.
   std::size_t shard_initial_capacity = 256;
+  // Distributed swarm: externally-owned shared structures (typically a
+  // net::RemoteVisitedStore / net::RemoteFrontier speaking to servers on
+  // other hosts) used *instead of* building in-process ones. Setting
+  // shared_store implies cooperative discipline; shared_frontier
+  // additionally implies steal_work and attaches only on the DFS mode
+  // (a walk has nothing to steal). The swarm does not own either.
+  VisitedStore* shared_store = nullptr;
+  Frontier* shared_frontier = nullptr;
   // Raise the cancel flag on the first violation so the remaining
   // workers stop promptly instead of burning out their op budgets.
   bool cancel_on_violation = true;
@@ -111,6 +119,12 @@ struct SwarmResult {
   std::uint64_t frontier_unconsumed = 0;
   // Total wall time workers spent blocked waiting to steal.
   double steal_wait_seconds = 0;
+  // Distributed-swarm health (zero for in-process swarms): times the
+  // external shared store / frontier fell back to local structures after
+  // losing its server, and total failed RPC attempts underneath.
+  std::uint64_t store_degradations = 0;
+  std::uint64_t frontier_degradations = 0;
+  std::uint64_t remote_rpc_failures = 0;
   // Swarm-wide progress time series, monotone in operations and
   // unique-states (one entry per worker sample, aggregated across all
   // workers at that moment). Populated when progress_interval_ops != 0.

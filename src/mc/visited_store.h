@@ -12,6 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
 
 #include "util/md5.h"
 
@@ -25,6 +28,17 @@ struct StoreInsert {
   std::uint64_t rehashed = 0;      // entries moved during that resize
 };
 
+// Health of a possibly-remote store or frontier. In-process
+// implementations are always healthy; socket-backed ones report sticky
+// degradation (server dead or partitioned -> local fallback) so the
+// swarm can surface it in SwarmResult instead of hiding a silently
+// weaker run.
+struct RemoteHealth {
+  bool degraded = false;            // fell back to the local structure
+  std::uint64_t degrade_events = 0;  // fallback transitions (sticky: 0 or 1)
+  std::uint64_t rpc_failures = 0;    // failed calls, including retries
+};
+
 class VisitedStore {
  public:
   virtual ~VisitedStore() = default;
@@ -33,11 +47,50 @@ class VisitedStore {
   virtual StoreInsert Insert(const Md5Digest& digest) = 0;
   virtual bool Contains(const Md5Digest& digest) const = 0;
 
+  // Batched variants: one call for many digests, so a socket-backed
+  // store pays one round-trip instead of N. The defaults loop the
+  // scalar calls — in-process stores (ShardedVisitedTable,
+  // ConcurrentBitstateFilter) inherit them unchanged, semantically
+  // identical to N scalar calls.
+  virtual std::vector<StoreInsert> InsertBatch(
+      std::span<const Md5Digest> digests) {
+    std::vector<StoreInsert> results;
+    results.reserve(digests.size());
+    for (const Md5Digest& digest : digests) {
+      results.push_back(Insert(digest));
+    }
+    return results;
+  }
+  virtual std::vector<bool> ContainsBatch(
+      std::span<const Md5Digest> digests) const {
+    std::vector<bool> results;
+    results.reserve(digests.size());
+    for (const Md5Digest& digest : digests) {
+      results.push_back(Contains(digest));
+    }
+    return results;
+  }
+
+  // Enumerates every stored digest where the store can (exact stores;
+  // a bitstate filter has no digests to enumerate and a remote store
+  // may be unreachable). Returns false when enumeration is unsupported
+  // or failed — the caller must not treat "false" as "empty". Not a
+  // consistent snapshot under concurrent inserts; call after workers
+  // have joined.
+  virtual bool ForEachDigest(
+      const std::function<void(const Md5Digest&)>& fn) const {
+    (void)fn;
+    return false;
+  }
+
   // Aggregate counters (atomic snapshots; may be momentarily stale with
   // respect to in-flight inserts on other threads).
   virtual std::uint64_t size() const = 0;
   virtual std::uint64_t bytes_used() const = 0;
   virtual std::uint64_t resize_count() const = 0;
+
+  // Degradation status; nontrivial only for socket-backed stores.
+  virtual RemoteHealth health() const { return {}; }
 };
 
 }  // namespace mcfs::mc

@@ -1,0 +1,93 @@
+// RpcClient: one connection, many concurrent callers, strict FIFO
+// request/reply matching.
+//
+// The protocol has no request IDs — a server answers each connection's
+// requests in arrival order (see server.h) — so matching is a queue
+// discipline, not a correlation map: the i-th reply on the socket
+// belongs to the i-th request written to it. Pipelining falls out for
+// free: several workers' requests can be in flight at once and each
+// round-trip is amortized across them.
+//
+// Reader handoff: there is no dedicated reader thread. The first caller
+// whose reply hasn't arrived claims the reader role, reads frames off
+// the socket (assigning each to the oldest pending ticket), and
+// relinquishes the role when its own reply shows up; a remaining waiter
+// takes over. Callers therefore block only inside this class, with
+// every socket wait bounded by the retry policy's timeouts.
+//
+// Failure model: any socket error or timeout *breaks* the connection —
+// after a lost or late reply the FIFO correspondence is unknowable, so
+// all in-flight calls fail and the next call reconnects from scratch.
+// Idempotent calls (visited-store reads/inserts, frontier stop) are
+// retried with exponential backoff; non-idempotent ones (push, steal)
+// fail fast and leave recovery to the caller. rpc_failures() counts
+// every failed attempt for SwarmResult's health accounting.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace mcfs::net {
+
+struct RetryPolicy {
+  int attempts = 3;          // total tries for idempotent calls
+  int backoff_ms = 10;       // first retry delay; doubles per retry
+  int call_timeout_ms = 2000;     // per-attempt wait for the reply
+  int connect_timeout_ms = 1000;  // per-attempt connect budget
+};
+
+class RpcClient {
+ public:
+  RpcClient(Endpoint endpoint, RetryPolicy policy);
+  ~RpcClient();
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // Sends `type`+`payload` and returns the matching reply frame (which
+  // may be a successful reply or decode to a server-side kError —
+  // callers check IsReplyTo). `idempotent` enables the retry loop.
+  // `extra_timeout_ms` widens this call's reply deadline beyond the
+  // policy (a StealWait sleeps server-side by design, so its reply is
+  // legitimately slow).
+  Result<Frame> Call(FrameType type, ByteView payload, bool idempotent,
+                     int extra_timeout_ms = 0);
+
+  // Failed attempts (timeouts, resets, refused connects) to date.
+  std::uint64_t rpc_failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+  const Endpoint& endpoint() const { return endpoint_; }
+
+ private:
+  // One attempt: connect if needed, enqueue, send, await the FIFO reply.
+  Result<Frame> CallOnce(FrameType type, ByteView payload,
+                         int reply_timeout_ms);
+  // Marks the connection broken and fails every pending ticket.
+  // Requires mu_ held.
+  void BreakLocked(Errno error);
+
+  const Endpoint endpoint_;
+  const RetryPolicy policy_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  Socket socket_;            // guarded by mu_ for send; reader reads unlocked
+  bool connected_ = false;
+  bool reader_busy_ = false;
+  std::uint64_t next_ticket_ = 0;
+  std::deque<std::uint64_t> fifo_;  // tickets awaiting replies, send order
+  std::unordered_map<std::uint64_t, Frame> ready_;    // arrived replies
+  std::unordered_map<std::uint64_t, Errno> failed_;   // broken tickets
+  FrameDecoder decoder_;
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace mcfs::net

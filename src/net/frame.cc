@@ -1,0 +1,57 @@
+#include "net/frame.h"
+
+namespace mcfs::net {
+
+Bytes EncodeFrame(FrameType type, std::uint8_t flags, ByteView payload) {
+  ByteWriter w;
+  w.PutU32(kFrameMagic);
+  w.PutU8(static_cast<std::uint8_t>(type));
+  w.PutU8(flags);
+  w.PutU32(static_cast<std::uint32_t>(payload.size()));
+  w.PutBytes(payload);
+  return w.Take();
+}
+
+void FrameDecoder::Feed(ByteView data) {
+  // Compact lazily: once the consumed prefix dominates the buffer, slide
+  // the live suffix down so the buffer doesn't grow without bound on a
+  // long-lived connection.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (poison_ != Errno::kOk) return poison_;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderSize) return std::optional<Frame>(std::nullopt);
+
+  ByteReader r(ByteView(buf_).subspan(pos_, avail));
+  const std::uint32_t magic = r.GetU32();
+  if (magic != kFrameMagic) {
+    poison_ = Errno::kEINVAL;
+    return poison_;
+  }
+  const std::uint8_t type = r.GetU8();
+  const std::uint8_t flags = r.GetU8();
+  const std::uint32_t length = r.GetU32();
+  if (length > kMaxFramePayload) {
+    poison_ = Errno::kEOVERFLOW;
+    return poison_;
+  }
+  if (avail < kFrameHeaderSize + length) {
+    return std::optional<Frame>(std::nullopt);  // payload still in flight
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.flags = flags;
+  ByteView payload = r.GetBytes(length);
+  frame.payload.assign(payload.begin(), payload.end());
+  pos_ += kFrameHeaderSize + length;
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace mcfs::net

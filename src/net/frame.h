@@ -1,0 +1,98 @@
+// Length-prefixed frame codec: the unit of exchange on every MCFS
+// socket (DESIGN.md §7.3).
+//
+// A frame is a fixed 10-byte header followed by the payload:
+//
+//   magic   u32  'MCFN' (0x4E46434D little-endian on the wire)
+//   type    u8   FrameType — request, or request|kReplyBit for replies
+//   flags   u8   reply metadata (frontier stopped/hungry bits)
+//   length  u32  payload byte count, <= kMaxFramePayload
+//   payload length bytes (layouts in net/wire.h)
+//
+// The decoder is incremental and transport-agnostic: feed it whatever
+// byte runs arrive (a socket read, a test vector, a deliberately split
+// delivery) and pop whole frames out. Truncation is *not* an error to
+// the decoder — more bytes may still arrive; only the transport layer
+// can rule that out (EOF mid-frame => kEIO). A wrong magic or an
+// oversized length, on the other hand, means the stream is garbage or
+// hostile and can never resynchronize: those are hard errors and the
+// connection must be dropped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mcfs::net {
+
+// On-the-wire message types. Replies echo the request type with
+// kReplyBit set; kError is a reply to anything the server rejected
+// (payload: i32 Errno).
+enum class FrameType : std::uint8_t {
+  kVisitedInsert = 0x01,
+  kVisitedContains = 0x02,
+  kVisitedStats = 0x03,
+  kVisitedDump = 0x04,
+  kFrontierPush = 0x10,
+  kFrontierTrySteal = 0x11,
+  kFrontierStealWait = 0x12,
+  kFrontierStarted = 0x13,
+  kFrontierRetire = 0x14,
+  kFrontierStop = 0x15,
+  kFrontierStats = 0x16,
+  kError = 0x7F,
+};
+
+inline constexpr std::uint8_t kReplyBit = 0x80;
+
+// Reply flag bits (frontier services; zero elsewhere).
+inline constexpr std::uint8_t kFlagStopped = 0x01;  // sticky global stop set
+inline constexpr std::uint8_t kFlagHungry = 0x02;   // frontier wants donations
+
+inline constexpr std::uint32_t kFrameMagic = 0x4E46434D;  // "MCFN"
+inline constexpr std::size_t kFrameHeaderSize = 10;
+// Generous but bounded: a malicious or corrupt length field must not
+// make the decoder allocate gigabytes. 16 MiB holds ~1M digests.
+inline constexpr std::size_t kMaxFramePayload = 16u << 20;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::uint8_t flags = 0;
+  Bytes payload;
+
+  bool IsReplyTo(FrameType request) const {
+    return static_cast<std::uint8_t>(type) ==
+           (static_cast<std::uint8_t>(request) | kReplyBit);
+  }
+};
+
+// Serializes one frame (header + payload copy).
+Bytes EncodeFrame(FrameType type, std::uint8_t flags, ByteView payload);
+
+// Incremental frame parser over a byte stream.
+class FrameDecoder {
+ public:
+  // Appends raw stream bytes (any split: byte-at-a-time works).
+  void Feed(ByteView data);
+
+  // Pops the next complete frame. nullopt: need more bytes (truncated
+  // *so far* — not an error). kEINVAL: bad magic (stream corrupt,
+  // unsynchronizable). kEOVERFLOW: declared payload length exceeds
+  // kMaxFramePayload. After an error the decoder is poisoned: every
+  // subsequent Next() repeats the error, mirroring "drop the
+  // connection".
+  Result<std::optional<Frame>> Next();
+
+  // Bytes buffered but not yet consumed by a popped frame. Nonzero at
+  // EOF means the peer died mid-frame.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  Bytes buf_;
+  std::size_t pos_ = 0;  // parse cursor into buf_
+  Errno poison_ = Errno::kOk;
+};
+
+}  // namespace mcfs::net

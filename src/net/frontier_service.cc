@@ -1,0 +1,131 @@
+#include "net/frontier_service.h"
+
+#include <algorithm>
+
+#include "net/wire.h"
+#include "util/log.h"
+
+namespace mcfs::net {
+
+namespace {
+
+std::uint8_t OutcomeByte(mc::SharedFrontier::StealWait outcome) {
+  switch (outcome) {
+    case mc::SharedFrontier::StealWait::kEntry: return kStealEntry;
+    case mc::SharedFrontier::StealWait::kTimeout: return kStealTimeout;
+    case mc::SharedFrontier::StealWait::kDrained: return kStealDrained;
+    case mc::SharedFrontier::StealWait::kStopped: return kStealStopped;
+  }
+  return kStealTimeout;
+}
+
+}  // namespace
+
+bool FrontierService::Handles(FrameType type) const {
+  switch (type) {
+    case FrameType::kFrontierPush:
+    case FrameType::kFrontierTrySteal:
+    case FrameType::kFrontierStealWait:
+    case FrameType::kFrontierStarted:
+    case FrameType::kFrontierRetire:
+    case FrameType::kFrontierStop:
+    case FrameType::kFrontierStats:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Frame> FrontierService::Handle(const Frame& request,
+                                      std::uint64_t conn_id) {
+  Frame reply;
+  reply.type = static_cast<FrameType>(
+      static_cast<std::uint8_t>(request.type) | kReplyBit);
+
+  switch (request.type) {
+    case FrameType::kFrontierPush: {
+      auto entry = DecodeFrontierEntry(request.payload);
+      if (!entry.ok()) return entry.error();
+      frontier_->Push(std::move(entry.value()));
+      break;
+    }
+    case FrameType::kFrontierTrySteal: {
+      auto req = DecodeStealRequest(request.payload, /*with_timeout=*/false);
+      if (!req.ok()) return req.error();
+      StealResponse rsp;
+      if (auto entry =
+              frontier_->TrySteal(static_cast<int>(req.value().worker))) {
+        rsp.outcome = kStealEntry;
+        rsp.entry = std::move(entry);
+      } else {
+        rsp.outcome = kStealTimeout;
+      }
+      reply.payload = EncodeStealResponse(rsp);
+      break;
+    }
+    case FrameType::kFrontierStealWait: {
+      auto req = DecodeStealRequest(request.payload, /*with_timeout=*/true);
+      if (!req.ok()) return req.error();
+      const std::uint32_t wait_ms = std::min(req.value().timeout_ms, kMaxWaitMs);
+      auto round = frontier_->StealOrTerminateFor(
+          static_cast<int>(req.value().worker),
+          std::chrono::milliseconds(wait_ms), nullptr);
+      StealResponse rsp;
+      rsp.outcome = OutcomeByte(round.outcome);
+      rsp.entry = std::move(round.entry);
+      reply.payload = EncodeStealResponse(rsp);
+      break;
+    }
+    case FrameType::kFrontierStarted: {
+      frontier_->WorkerStarted();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++busy_balance_[conn_id];
+      break;
+    }
+    case FrameType::kFrontierRetire: {
+      frontier_->Retire();
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_balance_[conn_id];
+      break;
+    }
+    case FrameType::kFrontierStop: {
+      frontier_->RequestStop();
+      break;
+    }
+    case FrameType::kFrontierStats: {
+      FrontierStats stats;
+      stats.size = frontier_->size();
+      stats.peak = frontier_->peak_size();
+      stats.pushed = frontier_->pushed();
+      stats.stolen = frontier_->stolen();
+      reply.payload = EncodeFrontierStats(stats);
+      break;
+    }
+    default:
+      return Errno::kENOTSUP;
+  }
+
+  if (frontier_->stopped()) reply.flags |= kFlagStopped;
+  if (frontier_->Hungry()) reply.flags |= kFlagHungry;
+  return reply;
+}
+
+void FrontierService::OnDisconnect(std::uint64_t conn_id) {
+  int leaked = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = busy_balance_.find(conn_id);
+    if (it != busy_balance_.end()) {
+      leaked = it->second;
+      busy_balance_.erase(it);
+    }
+  }
+  if (leaked > 0) {
+    MCFS_LOG_WARN << "frontier: connection " << conn_id << " died with "
+                  << leaked << " busy workers; retiring them so "
+                  << "termination detection can conclude";
+    for (int i = 0; i < leaked; ++i) frontier_->Retire();
+  }
+}
+
+}  // namespace mcfs::net

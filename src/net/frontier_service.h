@@ -1,0 +1,52 @@
+// FrontierService: serves a SharedFrontier over frames — the server
+// half of remote work-stealing.
+//
+// The wrapped SharedFrontier runs the exact in-process termination
+// protocol; remote workers participate through three translations:
+//
+//  * Started/Retire RPCs move the server-side busy count. The service
+//    keeps a per-connection balance and retires leaked counts in
+//    OnDisconnect, so a worker (or whole host) that dies mid-run cannot
+//    wedge the swarm's termination detection forever.
+//  * StealWait maps to SharedFrontier::StealOrTerminateFor with the
+//    requested timeout clamped to kMaxWaitMs: a remote worker's long
+//    wait becomes a sequence of short server-side waits (each kTimeout
+//    reply re-armed client-side), keeping every connection thread's
+//    blocking bounded. Between rounds the remote worker still counts
+//    busy, which can only delay — never falsify — the drained verdict.
+//  * Every reply carries kFlagStopped/kFlagHungry so clients track the
+//    sticky stop and donation pressure without polling RPCs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "mc/frontier.h"
+#include "net/server.h"
+
+namespace mcfs::net {
+
+class FrontierService final : public FrameService {
+ public:
+  // Server-side cap on one StealWait round. Clients re-arm on kTimeout.
+  static constexpr std::uint32_t kMaxWaitMs = 1000;
+
+  // The frontier is borrowed and must outlive the service.
+  explicit FrontierService(mc::SharedFrontier* frontier)
+      : frontier_(frontier) {}
+
+  bool Handles(FrameType type) const override;
+  Result<Frame> Handle(const Frame& request, std::uint64_t conn_id) override;
+  void OnDisconnect(std::uint64_t conn_id) override;
+
+ private:
+  mc::SharedFrontier* const frontier_;
+
+  std::mutex mu_;
+  // Outstanding Started-minus-Retired per connection, for disconnect
+  // cleanup.
+  std::map<std::uint64_t, int> busy_balance_;
+};
+
+}  // namespace mcfs::net

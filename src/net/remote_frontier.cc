@@ -1,0 +1,271 @@
+#include "net/remote_frontier.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "net/wire.h"
+#include "util/log.h"
+
+namespace mcfs::net {
+
+RemoteFrontier::RemoteFrontier(Endpoint endpoint, int workers,
+                               RetryPolicy policy)
+    : endpoint_(endpoint),
+      policy_(policy),
+      workers_(workers),
+      main_(std::move(endpoint), policy) {}
+
+Result<Frame> RemoteFrontier::CallFrontier(RpcClient& client, FrameType type,
+                                           ByteView payload, bool idempotent,
+                                           int extra_timeout_ms) const {
+  auto reply = client.Call(type, payload, idempotent, extra_timeout_ms);
+  if (!reply.ok()) return reply.error();
+  if (!reply.value().IsReplyTo(type)) {
+    if (reply.value().type == FrameType::kError) {
+      return DecodeError(reply.value().payload);
+    }
+    return Errno::kEIO;  // FIFO answered with a mismatched type
+  }
+  if ((reply.value().flags & kFlagStopped) != 0) {
+    remote_stopped_.store(true, std::memory_order_release);
+  }
+  remote_hungry_.store((reply.value().flags & kFlagHungry) != 0,
+                       std::memory_order_relaxed);
+  return reply;
+}
+
+mc::SharedFrontier* RemoteFrontier::Degrade(Errno error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fallback_ == nullptr) {
+    MCFS_LOG_WARN << "frontier at " << endpoint_.ToString()
+                  << " unreachable (" << ErrnoName(error)
+                  << "); degrading to process-local frontier — stolen "
+                  << "work no longer crosses processes";
+    auto fallback = std::make_unique<mc::SharedFrontier>(workers_);
+    // Replay this process's busy balance so the fallback's termination
+    // protocol starts from the truth: every locally-active worker is
+    // busy; none of the remote processes' workers exist here.
+    for (int i = 0; i < active_; ++i) fallback->WorkerStarted();
+    if (stop_requested_.load(std::memory_order_relaxed) ||
+        remote_stopped_.load(std::memory_order_relaxed)) {
+      fallback->RequestStop();
+    }
+    degrade_events_.fetch_add(1, std::memory_order_relaxed);
+    fallback_ = std::move(fallback);
+    degraded_.store(true, std::memory_order_release);
+  }
+  return fallback_.get();
+}
+
+RpcClient* RemoteFrontier::StealChannel(int worker) {
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  auto it = steal_channels_.find(worker);
+  if (it == steal_channels_.end()) {
+    it = steal_channels_
+             .emplace(worker,
+                      std::make_unique<RpcClient>(endpoint_, policy_))
+             .first;
+  }
+  return it->second.get();
+}
+
+void RemoteFrontier::Push(mc::FrontierEntry entry) {
+  if (degraded()) {
+    fallback_->Push(std::move(entry));
+    return;
+  }
+  // Not idempotent: a retry after a lost reply would enqueue the entry
+  // twice, and a double-explored subtree wastes two workers.
+  const Bytes payload = EncodeFrontierEntry(entry);
+  auto reply = CallFrontier(main_, FrameType::kFrontierPush, payload,
+                            /*idempotent=*/false);
+  if (!reply.ok()) {
+    // The entry must survive the server's death: park it locally.
+    Degrade(reply.error())->Push(std::move(entry));
+  }
+}
+
+std::optional<mc::FrontierEntry> RemoteFrontier::TrySteal(int worker) {
+  if (degraded()) return fallback_->TrySteal(worker);
+  StealRequest req;
+  req.worker = static_cast<std::uint32_t>(worker);
+  auto reply = CallFrontier(main_, FrameType::kFrontierTrySteal,
+                            EncodeStealRequest(req, /*with_timeout=*/false),
+                            /*idempotent=*/false);
+  if (!reply.ok()) return Degrade(reply.error())->TrySteal(worker);
+  auto rsp = DecodeStealResponse(reply.value().payload);
+  if (!rsp.ok()) return Degrade(rsp.error())->TrySteal(worker);
+  if (rsp.value().outcome == kStealEntry && rsp.value().entry.has_value()) {
+    return std::move(rsp.value().entry);
+  }
+  return std::nullopt;
+}
+
+void RemoteFrontier::WorkerStarted() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++active_;
+  if (fallback_ != nullptr) {
+    fallback_->WorkerStarted();
+    return;
+  }
+  lock.unlock();
+  // Not idempotent (it increments the server's busy count); a failure
+  // degrades, and the transition's replay — which already saw our
+  // ++active_ — registers us with the fallback instead.
+  auto reply = CallFrontier(main_, FrameType::kFrontierStarted, {},
+                            /*idempotent=*/false);
+  if (!reply.ok()) (void)Degrade(reply.error());
+}
+
+void RemoteFrontier::Retire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  --active_;
+  if (fallback_ != nullptr) {
+    fallback_->Retire();
+    return;
+  }
+  lock.unlock();
+  auto reply = CallFrontier(main_, FrameType::kFrontierRetire, {},
+                            /*idempotent=*/false);
+  // On failure the server still counts us busy until it notices the
+  // dead connection (OnDisconnect retires leaked counts). Degrading
+  // here keeps the local view coherent.
+  if (!reply.ok()) (void)Degrade(reply.error());
+}
+
+std::optional<mc::FrontierEntry> RemoteFrontier::StealOrTerminate(
+    int worker, double* idle_seconds) {
+  using Clock = std::chrono::steady_clock;
+  for (;;) {
+    if (degraded()) return fallback_->StealOrTerminate(worker, idle_seconds);
+    if (stop_requested_.load(std::memory_order_relaxed) ||
+        remote_stopped_.load(std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+
+    StealRequest req;
+    req.worker = static_cast<std::uint32_t>(worker);
+    req.timeout_ms = kStealRoundMs;
+    const auto wait_start = Clock::now();
+    // Dedicated channel: the server parks this request for up to its
+    // wait cap, and FIFO matching must not park anyone else's RPCs
+    // behind it. The reply deadline covers the park plus margin.
+    auto reply = CallFrontier(
+        *StealChannel(worker), FrameType::kFrontierStealWait,
+        EncodeStealRequest(req, /*with_timeout=*/true),
+        /*idempotent=*/false, static_cast<int>(kStealRoundMs));
+    if (idle_seconds != nullptr) {
+      *idle_seconds +=
+          std::chrono::duration<double>(Clock::now() - wait_start).count();
+    }
+    if (!reply.ok()) {
+      (void)Degrade(reply.error());
+      continue;  // resume the wait on the fallback
+    }
+    auto rsp = DecodeStealResponse(reply.value().payload);
+    if (!rsp.ok()) {
+      (void)Degrade(rsp.error());
+      continue;
+    }
+    switch (rsp.value().outcome) {
+      case kStealEntry:
+        if (rsp.value().entry.has_value()) {
+          return std::move(rsp.value().entry);
+        }
+        return std::nullopt;  // malformed but conclusive; treat as done
+      case kStealTimeout:
+        continue;  // re-arm: still live, nothing to steal yet
+      case kStealDrained:
+        return std::nullopt;
+      case kStealStopped:
+      default:
+        remote_stopped_.store(true, std::memory_order_release);
+        return std::nullopt;
+    }
+  }
+}
+
+void RemoteFrontier::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fallback_ != nullptr) {
+      fallback_->RequestStop();
+      return;
+    }
+  }
+  // Idempotent by nature (stop is sticky server-side), so retries are
+  // safe and worth it: this is the cross-host cancel path.
+  auto reply = CallFrontier(main_, FrameType::kFrontierStop, {},
+                            /*idempotent=*/true);
+  if (!reply.ok()) (void)Degrade(reply.error());
+}
+
+bool RemoteFrontier::stopped() const {
+  if (stop_requested_.load(std::memory_order_acquire) ||
+      remote_stopped_.load(std::memory_order_acquire)) {
+    return true;
+  }
+  return degraded() && fallback_->stopped();
+}
+
+bool RemoteFrontier::Hungry() const {
+  if (degraded()) return fallback_->Hungry();
+  return remote_hungry_.load(std::memory_order_relaxed);
+}
+
+void RemoteFrontier::RefreshStats() const {
+  if (degraded()) return;
+  auto reply = CallFrontier(main_, FrameType::kFrontierStats, {},
+                            /*idempotent=*/true);
+  if (!reply.ok()) return;  // keep the stale cache; stats are best-effort
+  auto rsp = DecodeFrontierStats(reply.value().payload);
+  if (!rsp.ok()) return;
+  stat_size_.store(rsp.value().size, std::memory_order_relaxed);
+  stat_peak_.store(rsp.value().peak, std::memory_order_relaxed);
+  stat_pushed_.store(rsp.value().pushed, std::memory_order_relaxed);
+  stat_stolen_.store(rsp.value().stolen, std::memory_order_relaxed);
+}
+
+std::uint64_t RemoteFrontier::size() const {
+  RefreshStats();
+  std::uint64_t total = stat_size_.load(std::memory_order_relaxed);
+  if (degraded()) total += fallback_->size();
+  return total;
+}
+
+std::uint64_t RemoteFrontier::peak_size() const {
+  RefreshStats();
+  std::uint64_t total = stat_peak_.load(std::memory_order_relaxed);
+  if (degraded()) total = std::max(total, fallback_->peak_size());
+  return total;
+}
+
+std::uint64_t RemoteFrontier::pushed() const {
+  RefreshStats();
+  std::uint64_t total = stat_pushed_.load(std::memory_order_relaxed);
+  if (degraded()) total += fallback_->pushed();
+  return total;
+}
+
+std::uint64_t RemoteFrontier::stolen() const {
+  RefreshStats();
+  std::uint64_t total = stat_stolen_.load(std::memory_order_relaxed);
+  if (degraded()) total += fallback_->stolen();
+  return total;
+}
+
+mc::RemoteHealth RemoteFrontier::health() const {
+  mc::RemoteHealth health;
+  health.degraded = degraded();
+  health.degrade_events = degrade_events_.load(std::memory_order_relaxed);
+  health.rpc_failures = main_.rpc_failures();
+  std::lock_guard<std::mutex> lock(
+      const_cast<std::mutex&>(channels_mu_));
+  for (const auto& [worker, channel] : steal_channels_) {
+    health.rpc_failures += channel->rpc_failures();
+  }
+  return health;
+}
+
+}  // namespace mcfs::net

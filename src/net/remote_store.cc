@@ -1,0 +1,157 @@
+#include "net/remote_store.h"
+
+#include "net/wire.h"
+#include "util/log.h"
+
+namespace mcfs::net {
+
+namespace {
+// Digests per dump chunk: 64K × 16B = 1 MiB payloads, well under the
+// frame cap.
+constexpr std::uint32_t kDumpChunk = 64 * 1024;
+
+// Monotonic cache update. Pipelined replies can be *processed* out of
+// send order by their waiting threads, and the store's aggregates only
+// ever grow — so the largest value seen is the freshest.
+void StoreMax(std::atomic<std::uint64_t>& cache, std::uint64_t value) {
+  std::uint64_t current = cache.load(std::memory_order_relaxed);
+  while (value > current &&
+         !cache.compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+}  // namespace
+
+RemoteVisitedStore::RemoteVisitedStore(Endpoint endpoint, RetryPolicy policy)
+    : client_(std::move(endpoint), policy),
+      fallback_(std::make_unique<mc::ShardedVisitedTable>()) {}
+
+void RemoteVisitedStore::Degrade(Errno error) const {
+  std::lock_guard<std::mutex> lock(degrade_mu_);
+  if (degraded_.load(std::memory_order_relaxed)) return;
+  MCFS_LOG_WARN << "visited store at " << client_.endpoint().ToString()
+                << " unreachable (" << ErrnoName(error)
+                << "); degrading to process-local table — cross-process "
+                << "discovery credit is no longer arbitrated";
+  degrade_events_.fetch_add(1, std::memory_order_relaxed);
+  degraded_.store(true, std::memory_order_release);
+}
+
+mc::StoreInsert RemoteVisitedStore::Insert(const Md5Digest& digest) {
+  auto results = InsertBatch(std::span<const Md5Digest>(&digest, 1));
+  return results.empty() ? mc::StoreInsert{} : results.front();
+}
+
+bool RemoteVisitedStore::Contains(const Md5Digest& digest) const {
+  auto results = ContainsBatch(std::span<const Md5Digest>(&digest, 1));
+  return results.empty() ? false : results.front();
+}
+
+std::vector<mc::StoreInsert> RemoteVisitedStore::InsertBatch(
+    std::span<const Md5Digest> digests) {
+  if (digests.empty()) return {};
+  if (!degraded()) {
+    // Idempotent on the wire: re-inserting a digest answers
+    // inserted=false. The caveat — a retry after a lost *reply* loses
+    // this worker the credit for states the first attempt did insert —
+    // is a stats/coverage blemish, never a wrong answer (DESIGN §7.3).
+    auto reply = client_.Call(FrameType::kVisitedInsert,
+                              EncodeDigestList(digests),
+                              /*idempotent=*/true);
+    if (reply.ok() && reply.value().IsReplyTo(FrameType::kVisitedInsert)) {
+      auto rsp = DecodeInsertResponse(reply.value().payload);
+      if (rsp.ok() && rsp.value().inserted.size() == digests.size()) {
+        const InsertBatchResponse& r = rsp.value();
+        StoreMax(remote_size_, r.store_size);
+        StoreMax(remote_bytes_, r.store_bytes);
+        StoreMax(remote_resizes_, r.resize_count);
+        std::vector<mc::StoreInsert> results(digests.size());
+        for (std::size_t i = 0; i < digests.size(); ++i) {
+          results[i].inserted = r.inserted[i];
+        }
+        // Resize charges are per-batch aggregates on the wire; pin
+        // them to the first slot so the explorer's clock sees them
+        // exactly once.
+        if (!results.empty() && r.resize_events > 0) {
+          results.front().resized = true;
+          results.front().rehashed = r.rehashed;
+        }
+        return results;
+      }
+    }
+    Degrade(reply.ok() ? Errno::kEINVAL : reply.error());
+  }
+  return fallback_->InsertBatch(digests);
+}
+
+std::vector<bool> RemoteVisitedStore::ContainsBatch(
+    std::span<const Md5Digest> digests) const {
+  if (digests.empty()) return {};
+  if (!degraded()) {
+    auto reply = client_.Call(FrameType::kVisitedContains,
+                              EncodeDigestList(digests),
+                              /*idempotent=*/true);
+    if (reply.ok() && reply.value().IsReplyTo(FrameType::kVisitedContains)) {
+      auto rsp = DecodeContainsResponse(reply.value().payload);
+      if (rsp.ok() && rsp.value().present.size() == digests.size()) {
+        StoreMax(remote_size_, rsp.value().store_size);
+        StoreMax(remote_bytes_, rsp.value().store_bytes);
+        StoreMax(remote_resizes_, rsp.value().resize_count);
+        return std::move(rsp.value().present);
+      }
+    }
+    Degrade(reply.ok() ? Errno::kEINVAL : reply.error());
+  }
+  return fallback_->ContainsBatch(digests);
+}
+
+bool RemoteVisitedStore::ForEachDigest(
+    const std::function<void(const Md5Digest&)>& fn) const {
+  if (degraded()) return false;  // remote portion unreachable: incomplete
+  std::uint64_t offset = 0;
+  for (;;) {
+    DumpRequest req;
+    req.offset = offset;
+    req.max_digests = kDumpChunk;
+    auto reply = client_.Call(FrameType::kVisitedDump, EncodeDumpRequest(req),
+                              /*idempotent=*/true);
+    if (!reply.ok() || !reply.value().IsReplyTo(FrameType::kVisitedDump)) {
+      return false;
+    }
+    auto rsp = DecodeDumpResponse(reply.value().payload);
+    if (!rsp.ok()) return false;
+    for (const Md5Digest& digest : rsp.value().digests) fn(digest);
+    offset += rsp.value().digests.size();
+    if (offset >= rsp.value().total || rsp.value().digests.empty()) {
+      return true;
+    }
+  }
+}
+
+std::uint64_t RemoteVisitedStore::size() const {
+  std::uint64_t total = remote_size_.load(std::memory_order_relaxed);
+  if (degraded()) total += fallback_->size();
+  return total;
+}
+
+std::uint64_t RemoteVisitedStore::bytes_used() const {
+  std::uint64_t total = remote_bytes_.load(std::memory_order_relaxed);
+  if (degraded()) total += fallback_->bytes_used();
+  return total;
+}
+
+std::uint64_t RemoteVisitedStore::resize_count() const {
+  std::uint64_t total = remote_resizes_.load(std::memory_order_relaxed);
+  if (degraded()) total += fallback_->resize_count();
+  return total;
+}
+
+mc::RemoteHealth RemoteVisitedStore::health() const {
+  mc::RemoteHealth health;
+  health.degraded = degraded();
+  health.degrade_events = degrade_events_.load(std::memory_order_relaxed);
+  health.rpc_failures = client_.rpc_failures();
+  return health;
+}
+
+}  // namespace mcfs::net

@@ -1,0 +1,85 @@
+// RemoteVisitedStore: the VisitedStore interface backed by a
+// visited_server over one pipelined RpcClient.
+//
+// Batching is where this earns its keep: the explorer's walk-mode
+// credit buffering (ExplorerOptions::store_batch_size) turns N
+// per-state round-trips into one InsertBatch RPC, and bench_swarm
+// Part 3 measures the difference. Scalar Insert/Contains are one-
+// element batches — correct, just paying a full round-trip each.
+//
+// Degradation (ISSUE acceptance criterion: a dead server must degrade,
+// not hang): when an RPC exhausts its retries, the store flips — once,
+// stickily — to a private in-process ShardedVisitedTable and the run
+// continues as an ordinary cooperative swarm *for this process*.
+// What that costs, honestly:
+//  * digests inserted remotely before the flip are unknown locally, so
+//    workers may re-explore states the swarm already covered (safe:
+//    revisiting is wasted work, never wrong answers);
+//  * discovery credit is no longer globally unique across processes;
+//  * size() becomes "last known remote size + local inserts since",
+//    an overlap-blind approximation.
+// The flip is logged, counted in health() (-> SwarmResult's
+// store_degradations), and never reversed mid-run: flapping between
+// stores would make discovery credit incoherent.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "mc/sharded_table.h"
+#include "mc/visited_store.h"
+#include "net/client.h"
+
+namespace mcfs::net {
+
+class RemoteVisitedStore final : public mc::VisitedStore {
+ public:
+  explicit RemoteVisitedStore(Endpoint endpoint, RetryPolicy policy = {});
+
+  mc::StoreInsert Insert(const Md5Digest& digest) override;
+  bool Contains(const Md5Digest& digest) const override;
+  std::vector<mc::StoreInsert> InsertBatch(
+      std::span<const Md5Digest> digests) override;
+  std::vector<bool> ContainsBatch(
+      std::span<const Md5Digest> digests) const override;
+
+  // Dumps the server's digests chunk by chunk (plus, after a flip, the
+  // local fallback's). Returns false when degraded or when the dump
+  // RPC fails — a partial union must not masquerade as the union.
+  bool ForEachDigest(
+      const std::function<void(const Md5Digest&)>& fn) const override;
+
+  // Cached from the most recent reply; after a flip, remote-at-flip +
+  // local growth. Never an extra RPC — size() is on the explorer's
+  // per-op target-check path.
+  std::uint64_t size() const override;
+  std::uint64_t bytes_used() const override;
+  std::uint64_t resize_count() const override;
+
+  mc::RemoteHealth health() const override;
+
+  const Endpoint& endpoint() const { return client_.endpoint(); }
+
+ private:
+  // Sticky flip to the local fallback. Thread-safe; first caller wins.
+  void Degrade(Errno error) const;
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+
+  mutable RpcClient client_;
+  // Fallback constructed up front (cheap) so the flip is a single
+  // atomic store — no locking on the fast path.
+  const std::unique_ptr<mc::ShardedVisitedTable> fallback_;
+
+  mutable std::atomic<bool> degraded_{false};
+  mutable std::atomic<std::uint64_t> degrade_events_{0};
+  mutable std::mutex degrade_mu_;  // serializes the flip itself
+
+  // Remote aggregates, refreshed from every reply. After the flip they
+  // freeze at their last known values and fallback growth adds on top.
+  mutable std::atomic<std::uint64_t> remote_size_{0};
+  mutable std::atomic<std::uint64_t> remote_bytes_{0};
+  mutable std::atomic<std::uint64_t> remote_resizes_{0};
+};
+
+}  // namespace mcfs::net

@@ -1,0 +1,158 @@
+#include "net/server.h"
+
+#include <sys/socket.h>
+
+#include "net/wire.h"
+#include "util/log.h"
+
+namespace mcfs::net {
+
+namespace {
+// Read timeout per poll round on a connection. Short enough that a
+// stopping server joins its threads promptly, long enough to be
+// invisible in steady state (the loop just re-polls on kEAGAIN).
+constexpr int kReadRoundMs = 200;
+// Send timeout for replies. A client that stops draining its socket for
+// this long is dead weight; drop it.
+constexpr int kSendTimeoutMs = 5000;
+}  // namespace
+
+FrameServer::FrameServer(std::vector<FrameService*> services)
+    : services_(std::move(services)) {}
+
+FrameServer::~FrameServer() { Stop(); }
+
+Status FrameServer::Start(const Endpoint& listen) {
+  auto bound = Listener::Bind(listen);
+  if (!bound.ok()) return bound.error();
+  listener_ = std::move(bound.value());
+  endpoint_ = listener_.endpoint();
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void FrameServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Second caller: threads are joined (or being joined) by the
+      // first; nothing left to do.
+    }
+    stopping_ = true;
+    for (auto& [id, fd] : live_fds_) {
+      (void)::shutdown(fd, SHUT_RDWR);  // wakes the connection thread
+    }
+  }
+  listener_.Close();  // wakes the accept thread
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  running_ = false;
+}
+
+std::uint64_t FrameServer::connections_accepted() const {
+  std::lock_guard<std::mutex> lock(const_cast<std::mutex&>(mu_));
+  return accepted_;
+}
+
+void FrameServer::AcceptLoop() {
+  for (;;) {
+    auto conn = listener_.Accept(kReadRoundMs);
+    if (!conn.ok()) {
+      if (conn.error() == Errno::kEAGAIN) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) return;
+        continue;
+      }
+      return;  // listener closed
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    const std::uint64_t conn_id = next_conn_id_++;
+    ++accepted_;
+    live_fds_[conn_id] = conn.value().fd();
+    Socket socket = std::move(conn.value());
+    conn_threads_.emplace_back(
+        [this, conn_id, sock = std::move(socket)]() mutable {
+          ServeConnection(std::move(sock), conn_id);
+        });
+  }
+}
+
+void FrameServer::ServeConnection(Socket socket, std::uint64_t conn_id) {
+  FrameDecoder decoder;
+  std::uint8_t buf[16 * 1024];
+  bool alive = true;
+  while (alive) {
+    // Drain every complete frame before reading more: pipelined
+    // requests are answered back-to-back without extra socket reads.
+    for (;;) {
+      auto next = decoder.Next();
+      if (!next.ok()) {
+        // Corrupt stream (bad magic / oversized length): tell the peer
+        // once, then drop — there is no way to resynchronize.
+        Bytes err = EncodeFrame(FrameType::kError, 0,
+                                EncodeError(next.error()));
+        (void)socket.SendAll(err, kSendTimeoutMs);
+        alive = false;
+        break;
+      }
+      if (!next.value().has_value()) break;  // need more bytes
+      const Frame& request = *next.value();
+
+      FrameService* service = nullptr;
+      for (FrameService* s : services_) {
+        if (s->Handles(request.type)) {
+          service = s;
+          break;
+        }
+      }
+      Bytes reply_bytes;
+      if (service == nullptr) {
+        reply_bytes = EncodeFrame(FrameType::kError, 0,
+                                  EncodeError(Errno::kENOTSUP));
+      } else {
+        auto reply = service->Handle(request, conn_id);
+        if (reply.ok()) {
+          reply_bytes = EncodeFrame(reply.value().type, reply.value().flags,
+                                    reply.value().payload);
+        } else {
+          reply_bytes = EncodeFrame(FrameType::kError, 0,
+                                    EncodeError(reply.error()));
+        }
+      }
+      if (!socket.SendAll(reply_bytes, kSendTimeoutMs).ok()) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) break;
+
+    auto n = socket.RecvSome(buf, sizeof(buf), kReadRoundMs);
+    if (!n.ok()) {
+      if (n.error() == Errno::kEAGAIN) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stopping_) break;
+        continue;
+      }
+      break;  // peer reset / socket shut down
+    }
+    if (n.value() == 0) break;  // orderly EOF
+    decoder.Feed(ByteView(buf, n.value()));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live_fds_.erase(conn_id);
+  }
+  for (FrameService* s : services_) s->OnDisconnect(conn_id);
+}
+
+}  // namespace mcfs::net

@@ -1,0 +1,97 @@
+// FrameServer: accepts connections and dispatches decoded frames to
+// registered services.
+//
+// Threading model: one accept thread plus one thread per connection —
+// the straightforward model for a handful of model-checking workers
+// (tens of connections, not tens of thousands). Per-connection threads
+// also give the frontier service its blocking-wait building block: a
+// StealWait request may sleep server-side without stalling any other
+// connection, which is exactly why RemoteFrontier opens a dedicated
+// steal channel per worker.
+//
+// Requests on one connection are handled strictly in arrival order and
+// answered in that order — the FIFO discipline RpcClient's pipelining
+// relies on instead of request IDs.
+//
+// Lifecycle: Stop() (idempotent, also run by the destructor) closes the
+// listener, shuts every live connection down, joins all threads, and
+// fires FrameService::OnDisconnect for each connection so services can
+// reclaim per-connection state (the frontier service retires leaked
+// busy counts there).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace mcfs::net {
+
+class FrameService {
+ public:
+  virtual ~FrameService() = default;
+
+  // True if this service owns `type`. Exactly one registered service
+  // should claim each request type.
+  virtual bool Handles(FrameType type) const = 0;
+
+  // Handles one request and returns the reply frame (type must be
+  // request|kReplyBit; flags per the service's protocol). An error
+  // Result becomes a kError reply. `conn_id` identifies the connection
+  // for per-connection state; ids are never reused within one server.
+  virtual Result<Frame> Handle(const Frame& request, std::uint64_t conn_id) = 0;
+
+  // The connection closed (cleanly or not). Called exactly once per
+  // connection that ever reached this service's Handle.
+  virtual void OnDisconnect(std::uint64_t conn_id) { (void)conn_id; }
+};
+
+class FrameServer {
+ public:
+  // Services are borrowed, not owned; they must outlive the server.
+  explicit FrameServer(std::vector<FrameService*> services);
+  ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  // Binds and starts accepting. `listen` may use port 0; the resolved
+  // endpoint is available from endpoint() afterwards.
+  Status Start(const Endpoint& listen);
+
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  // Stops accepting, severs every connection, joins all threads.
+  // Idempotent; safe to call while requests are in flight (workers see
+  // their RPCs fail and degrade — the ISSUE's server-kill scenario).
+  void Stop();
+
+  bool running() const { return running_; }
+
+  // Total connections ever accepted (tests).
+  std::uint64_t connections_accepted() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(Socket socket, std::uint64_t conn_id);
+
+  std::vector<FrameService*> services_;
+  Listener listener_;
+  Endpoint endpoint_;
+  std::thread accept_thread_;
+  bool running_ = false;
+
+  std::mutex mu_;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t accepted_ = 0;
+  // Live connection fds, for Shutdown() on Stop; joined threads.
+  std::map<std::uint64_t, int> live_fds_;
+  std::vector<std::thread> conn_threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace mcfs::net

@@ -1,0 +1,109 @@
+// Thin POSIX socket layer: endpoints, timed connect, timed send/recv,
+// and a listener — everything above it (frames, RPC, services) is
+// transport-agnostic and testable without a kernel socket.
+//
+// Error discipline (Result<T> everywhere, no bool-plus-out-param):
+//   kEAGAIN — the poll() deadline passed (timeout; retryable)
+//   kEIO    — the peer vanished (EOF, ECONNRESET, EPIPE) or the host
+//             socket call failed in a way we don't distinguish further
+//   kEINVAL — unparseable endpoint string
+// Timeouts are per-call and bounded: nothing in this file blocks
+// forever, which is what lets a worker degrade to local structures
+// instead of hanging when its server dies (ISSUE acceptance criterion).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+#include "util/result.h"
+
+namespace mcfs::net {
+
+// "host:port" (TCP) or "unix:/path" (Unix-domain stream socket).
+struct Endpoint {
+  bool is_unix = false;
+  std::string host;        // TCP only
+  std::uint16_t port = 0;  // TCP only; 0 = ephemeral (resolved on Bind)
+  std::string path;        // Unix only
+
+  std::string ToString() const;
+};
+
+Result<Endpoint> ParseEndpoint(std::string_view text);
+
+// RAII stream socket. Movable, not copyable.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Relinquishes ownership without closing (returns -1 if empty).
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  // Writes the whole buffer or fails; the timeout bounds each poll()
+  // round, so total blocking is O(timeout) per short-write stall.
+  Status SendAll(ByteView data, int timeout_ms);
+
+  // Reads up to `len` bytes. value 0 = orderly EOF. kEAGAIN = timeout.
+  Result<std::size_t> RecvSome(std::uint8_t* buf, std::size_t len,
+                               int timeout_ms);
+
+  // Unblocks any thread sleeping in RecvSome/SendAll on this socket
+  // (they observe EOF/EPIPE). Safe to call from another thread.
+  void Shutdown();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Timed connect (TCP or Unix per the endpoint). Nonblocking connect +
+// poll, so an unreachable host costs `timeout_ms`, not a kernel sysctl.
+Result<Socket> ConnectTo(const Endpoint& endpoint, int timeout_ms);
+
+// Bound, listening socket. Bind resolves an ephemeral TCP port (port 0)
+// into the real one, so tests can listen on "127.0.0.1:0" race-free.
+class Listener {
+ public:
+  static Result<Listener> Bind(const Endpoint& endpoint);
+
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  bool valid() const { return fd_.load(std::memory_order_relaxed) >= 0; }
+  const Endpoint& endpoint() const { return endpoint_; }
+
+  // kEAGAIN on timeout; kEIO once Close() was called underneath.
+  Result<Socket> Accept(int timeout_ms);
+
+  // Safe from another thread; pending and future Accepts fail kEIO.
+  void Close();
+
+ private:
+  // Atomic because Close() races with the accept thread's reads; the
+  // fd itself is only ever closed once (Close exchanges it out).
+  std::atomic<int> fd_{-1};
+  Endpoint endpoint_;
+};
+
+}  // namespace mcfs::net

@@ -1,0 +1,95 @@
+#include "net/visited_service.h"
+
+#include "net/wire.h"
+
+namespace mcfs::net {
+
+namespace {
+
+Frame Reply(FrameType request_type, Bytes payload) {
+  Frame frame;
+  frame.type = static_cast<FrameType>(
+      static_cast<std::uint8_t>(request_type) | kReplyBit);
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+}  // namespace
+
+bool VisitedService::Handles(FrameType type) const {
+  switch (type) {
+    case FrameType::kVisitedInsert:
+    case FrameType::kVisitedContains:
+    case FrameType::kVisitedStats:
+    case FrameType::kVisitedDump:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<Frame> VisitedService::Handle(const Frame& request,
+                                     std::uint64_t conn_id) {
+  (void)conn_id;  // the store is connection-agnostic
+  switch (request.type) {
+    case FrameType::kVisitedInsert: {
+      auto digests = DecodeDigestList(request.payload);
+      if (!digests.ok()) return digests.error();
+      const auto results = store_->InsertBatch(digests.value());
+      InsertBatchResponse rsp;
+      rsp.inserted.reserve(results.size());
+      for (const mc::StoreInsert& r : results) {
+        rsp.inserted.push_back(r.inserted);
+        if (r.resized) ++rsp.resize_events;
+        rsp.rehashed += r.rehashed;
+      }
+      rsp.store_size = store_->size();
+      rsp.store_bytes = store_->bytes_used();
+      rsp.resize_count = store_->resize_count();
+      return Reply(request.type, EncodeInsertResponse(rsp));
+    }
+    case FrameType::kVisitedContains: {
+      auto digests = DecodeDigestList(request.payload);
+      if (!digests.ok()) return digests.error();
+      ContainsBatchResponse rsp;
+      rsp.present = store_->ContainsBatch(digests.value());
+      rsp.store_size = store_->size();
+      rsp.store_bytes = store_->bytes_used();
+      rsp.resize_count = store_->resize_count();
+      return Reply(request.type, EncodeContainsResponse(rsp));
+    }
+    case FrameType::kVisitedStats: {
+      StoreStats stats;
+      stats.size = store_->size();
+      stats.bytes = store_->bytes_used();
+      stats.resize_count = store_->resize_count();
+      return Reply(request.type, EncodeStoreStats(stats));
+    }
+    case FrameType::kVisitedDump: {
+      auto req = DecodeDumpRequest(request.payload);
+      if (!req.ok()) return req.error();
+      // Enumeration is only stable while no inserts land; the client
+      // calls this after its workers joined (collect_union semantics).
+      // Each chunk re-walks the store — O(n) per chunk, fine at the
+      // scales where dumps make sense at all.
+      DumpResponse rsp;
+      std::uint64_t index = 0;
+      const std::uint64_t offset = req.value().offset;
+      const std::uint64_t limit = req.value().max_digests;
+      const bool enumerable = store_->ForEachDigest(
+          [&](const Md5Digest& digest) {
+            if (index >= offset && index < offset + limit) {
+              rsp.digests.push_back(digest);
+            }
+            ++index;
+          });
+      if (!enumerable) return Errno::kENOTSUP;  // e.g. a bitstate store
+      rsp.total = index;
+      return Reply(request.type, EncodeDumpResponse(rsp));
+    }
+    default:
+      return Errno::kENOTSUP;
+  }
+}
+
+}  // namespace mcfs::net

@@ -1,0 +1,34 @@
+// VisitedService: serves a VisitedStore over frames — the server half
+// of the socket-sharded visited store (`visited_server` daemon).
+//
+// The store it wraps is the ordinary in-process ShardedVisitedTable:
+// digests shard by their hi64 top bits exactly as they do for local
+// swarms (DESIGN.md §7.3 — one sharding function, two deployments).
+// The service is a thin translation layer: decode → store call →
+// encode; every reply carries the store's aggregate counters so
+// clients keep size()/bytes_used()/resize_count() hot without extra
+// round-trips.
+//
+// Thread-safety comes from the store itself (its interface contract is
+// concurrent-callable), so any number of connection threads may call
+// Handle in parallel.
+#pragma once
+
+#include "mc/visited_store.h"
+#include "net/server.h"
+
+namespace mcfs::net {
+
+class VisitedService final : public FrameService {
+ public:
+  // The store is borrowed and must outlive the service.
+  explicit VisitedService(mc::VisitedStore* store) : store_(store) {}
+
+  bool Handles(FrameType type) const override;
+  Result<Frame> Handle(const Frame& request, std::uint64_t conn_id) override;
+
+ private:
+  mc::VisitedStore* const store_;
+};
+
+}  // namespace mcfs::net

@@ -1,0 +1,153 @@
+// Payload layouts for every FrameType, plus their encode/decode pairs.
+//
+// Decoders are hardened the same way VisitedTable::Deserialize is: a
+// declared element count is bounds-checked against the bytes actually
+// present *before* any allocation sized by it, and ByteReader's
+// out_of_range (truncated payload) is caught and folded into kEINVAL —
+// a malformed peer must never crash or balloon the process. All
+// integers are little-endian (ByteWriter/ByteReader convention).
+//
+// Layouts (DESIGN.md §7.3 has the prose version):
+//   VisitedInsert  req: u32 n, n×16B digests
+//                  rsp: u64 size, u64 bytes, u64 resize_count,
+//                       u32 resize_events, u64 rehashed,
+//                       u32 n, n×u8 inserted
+//   VisitedContains req: u32 n, n×16B digests
+//                  rsp: u64 size, u64 bytes, u64 resize_count,
+//                       u32 n, n×u8 present
+//   VisitedStats   req: empty
+//                  rsp: u64 size, u64 bytes, u64 resize_count
+//   VisitedDump    req: u64 offset, u32 max_digests
+//                  rsp: u64 total, u32 n, n×16B digests
+//   FrontierPush   req: FrontierEntry          rsp: empty
+//   FrontierTrySteal req: u32 worker           rsp: u8 has, [entry]
+//   FrontierStealWait req: u32 worker, u32 timeout_ms
+//                  rsp: u8 outcome(0 entry,1 timeout,2 drained,3 stopped),
+//                       [entry]
+//   FrontierStarted/Retire/Stop req+rsp: empty
+//   FrontierStats  req: empty
+//                  rsp: u64 size, u64 peak, u64 pushed, u64 stolen
+//   Error          rsp: i32 errno (mcfs::Errno value)
+//   FrontierEntry  encoding: u64 tag, 16B digest, u32 trail_n, trail
+//                  u32s, u32 pending_n, pending u32s
+// Every frontier *reply* additionally carries kFlagStopped/kFlagHungry
+// in the frame flags so clients track both without extra round-trips.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mc/frontier.h"
+#include "util/bytes.h"
+#include "util/md5.h"
+#include "util/result.h"
+
+namespace mcfs::net {
+
+// --- digests -------------------------------------------------------
+
+void PutDigest(ByteWriter& w, const Md5Digest& digest);
+Result<Md5Digest> GetDigest(ByteReader& r);
+
+Bytes EncodeDigestList(std::span<const Md5Digest> digests);
+Result<std::vector<Md5Digest>> DecodeDigestList(ByteView payload);
+
+// --- visited-store messages ---------------------------------------
+
+struct InsertBatchResponse {
+  std::uint64_t store_size = 0;     // post-insert aggregate snapshots...
+  std::uint64_t store_bytes = 0;    // ...the client caches so size() and
+  std::uint64_t resize_count = 0;   // friends never need an extra RPC
+  std::uint32_t resize_events = 0;  // resizes triggered by this batch
+  std::uint64_t rehashed = 0;       // entries moved by those resizes
+  std::vector<bool> inserted;       // per-digest: this call won the credit
+};
+
+Bytes EncodeInsertResponse(const InsertBatchResponse& rsp);
+Result<InsertBatchResponse> DecodeInsertResponse(ByteView payload);
+
+struct ContainsBatchResponse {
+  std::uint64_t store_size = 0;
+  std::uint64_t store_bytes = 0;
+  std::uint64_t resize_count = 0;
+  std::vector<bool> present;
+};
+
+Bytes EncodeContainsResponse(const ContainsBatchResponse& rsp);
+Result<ContainsBatchResponse> DecodeContainsResponse(ByteView payload);
+
+struct StoreStats {
+  std::uint64_t size = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t resize_count = 0;
+};
+
+Bytes EncodeStoreStats(const StoreStats& stats);
+Result<StoreStats> DecodeStoreStats(ByteView payload);
+
+struct DumpRequest {
+  std::uint64_t offset = 0;
+  std::uint32_t max_digests = 0;
+};
+
+Bytes EncodeDumpRequest(const DumpRequest& req);
+Result<DumpRequest> DecodeDumpRequest(ByteView payload);
+
+struct DumpResponse {
+  std::uint64_t total = 0;  // store size; lets the client loop to the end
+  std::vector<Md5Digest> digests;
+};
+
+Bytes EncodeDumpResponse(const DumpResponse& rsp);
+Result<DumpResponse> DecodeDumpResponse(ByteView payload);
+
+// --- frontier messages --------------------------------------------
+
+void PutFrontierEntry(ByteWriter& w, const mc::FrontierEntry& entry);
+Result<mc::FrontierEntry> GetFrontierEntry(ByteReader& r);
+
+Bytes EncodeFrontierEntry(const mc::FrontierEntry& entry);
+Result<mc::FrontierEntry> DecodeFrontierEntry(ByteView payload);
+
+struct StealRequest {
+  std::uint32_t worker = 0;
+  std::uint32_t timeout_ms = 0;  // StealWait only
+};
+
+Bytes EncodeStealRequest(const StealRequest& req, bool with_timeout);
+Result<StealRequest> DecodeStealRequest(ByteView payload, bool with_timeout);
+
+// Outcome byte values for FrontierStealWait responses; mirrors
+// mc::SharedFrontier::StealWait.
+inline constexpr std::uint8_t kStealEntry = 0;
+inline constexpr std::uint8_t kStealTimeout = 1;
+inline constexpr std::uint8_t kStealDrained = 2;
+inline constexpr std::uint8_t kStealStopped = 3;
+
+struct StealResponse {
+  std::uint8_t outcome = kStealTimeout;
+  std::optional<mc::FrontierEntry> entry;
+};
+
+Bytes EncodeStealResponse(const StealResponse& rsp);
+Result<StealResponse> DecodeStealResponse(ByteView payload);
+
+struct FrontierStats {
+  std::uint64_t size = 0;
+  std::uint64_t peak = 0;
+  std::uint64_t pushed = 0;
+  std::uint64_t stolen = 0;
+};
+
+Bytes EncodeFrontierStats(const FrontierStats& stats);
+Result<FrontierStats> DecodeFrontierStats(ByteView payload);
+
+// --- error reply ---------------------------------------------------
+
+Bytes EncodeError(Errno error);
+// Malformed error payloads fold to kEIO: "the server failed and we
+// cannot even tell how".
+Errno DecodeError(ByteView payload);
+
+}  // namespace mcfs::net

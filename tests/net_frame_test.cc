@@ -1,0 +1,271 @@
+// Frame and wire-codec tests: round trips, arbitrarily split delivery,
+// and — the part that earns the `net` label — hostile input: truncated,
+// corrupt, and oversized frames, and payloads whose declared element
+// counts exceed the bytes present. A malformed peer must produce a
+// clean Errno, never a crash or a giant allocation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace mcfs::net {
+namespace {
+
+Bytes B(std::initializer_list<std::uint8_t> bytes) { return Bytes(bytes); }
+
+Md5Digest DigestOf(std::uint64_t seed) {
+  Md5 md5;
+  md5.UpdateU64(seed);
+  return md5.Final();
+}
+
+// --- frame codec ---------------------------------------------------
+
+TEST(FrameCodecTest, RoundTripsTypeFlagsAndPayload) {
+  const Bytes payload = {1, 2, 3, 4, 5};
+  const Bytes encoded =
+      EncodeFrame(FrameType::kVisitedInsert, kFlagStopped, payload);
+  ASSERT_EQ(encoded.size(), kFrameHeaderSize + payload.size());
+
+  FrameDecoder decoder;
+  decoder.Feed(encoded);
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(frame.value()->type, FrameType::kVisitedInsert);
+  EXPECT_EQ(frame.value()->flags, kFlagStopped);
+  EXPECT_EQ(frame.value()->payload, payload);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameCodecTest, EmptyPayloadRoundTrips) {
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(FrameType::kFrontierStop, 0, {}));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(frame.value()->type, FrameType::kFrontierStop);
+  EXPECT_TRUE(frame.value()->payload.empty());
+}
+
+TEST(FrameCodecTest, ByteAtATimeDeliveryStillDecodes) {
+  const Bytes payload = {9, 8, 7};
+  const Bytes encoded = EncodeFrame(FrameType::kVisitedStats, 3, payload);
+  FrameDecoder decoder;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    // Before the last byte arrives the frame is merely incomplete —
+    // nullopt, never an error.
+    auto partial = decoder.Next();
+    ASSERT_TRUE(partial.ok());
+    EXPECT_FALSE(partial.value().has_value());
+    decoder.Feed(ByteView(&encoded[i], 1));
+  }
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(frame.value()->payload, payload);
+}
+
+TEST(FrameCodecTest, PipelinedFramesPopInOrder) {
+  FrameDecoder decoder;
+  Bytes stream = EncodeFrame(FrameType::kVisitedInsert, 0, B({1}));
+  const Bytes second = EncodeFrame(FrameType::kVisitedContains, 0, B({2, 2}));
+  stream.insert(stream.end(), second.begin(), second.end());
+  decoder.Feed(stream);
+
+  auto first = decoder.Next();
+  ASSERT_TRUE(first.ok() && first.value().has_value());
+  EXPECT_EQ(first.value()->type, FrameType::kVisitedInsert);
+  auto next = decoder.Next();
+  ASSERT_TRUE(next.ok() && next.value().has_value());
+  EXPECT_EQ(next.value()->type, FrameType::kVisitedContains);
+  EXPECT_EQ(next.value()->payload.size(), 2u);
+}
+
+TEST(FrameCodecTest, TruncatedFrameIsPendingNotError) {
+  const Bytes encoded =
+      EncodeFrame(FrameType::kVisitedDump, 0, B({1, 2, 3, 4}));
+  FrameDecoder decoder;
+  decoder.Feed(ByteView(encoded.data(), encoded.size() - 1));
+  auto frame = decoder.Next();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(frame.value().has_value());
+  // The tail is still buffered; EOF now would mean a peer died
+  // mid-frame, which the transport reports as kEIO.
+  EXPECT_GT(decoder.buffered(), 0u);
+}
+
+TEST(FrameCodecTest, BadMagicPoisonsTheDecoder) {
+  Bytes encoded = EncodeFrame(FrameType::kVisitedInsert, 0, B({1}));
+  encoded[0] ^= 0xFF;  // corrupt the magic
+  FrameDecoder decoder;
+  decoder.Feed(encoded);
+  auto frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.error(), Errno::kEINVAL);
+  // Poisoned: even a valid follow-up frame cannot resynchronize.
+  decoder.Feed(EncodeFrame(FrameType::kVisitedStats, 0, {}));
+  EXPECT_FALSE(decoder.Next().ok());
+}
+
+TEST(FrameCodecTest, OversizedLengthIsRejectedBeforeAllocation) {
+  ByteWriter w;
+  w.PutU32(kFrameMagic);
+  w.PutU8(static_cast<std::uint8_t>(FrameType::kVisitedInsert));
+  w.PutU8(0);
+  w.PutU32(static_cast<std::uint32_t>(kMaxFramePayload + 1));
+  FrameDecoder decoder;
+  decoder.Feed(w.bytes());
+  auto frame = decoder.Next();
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.error(), Errno::kEOVERFLOW);
+}
+
+// --- endpoint parsing ----------------------------------------------
+
+TEST(EndpointTest, ParsesTcpAndUnixForms) {
+  auto tcp = ParseEndpoint("127.0.0.1:9000");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_FALSE(tcp.value().is_unix);
+  EXPECT_EQ(tcp.value().host, "127.0.0.1");
+  EXPECT_EQ(tcp.value().port, 9000);
+  EXPECT_EQ(tcp.value().ToString(), "127.0.0.1:9000");
+
+  auto unix_ep = ParseEndpoint("unix:/tmp/mcfs.sock");
+  ASSERT_TRUE(unix_ep.ok());
+  EXPECT_TRUE(unix_ep.value().is_unix);
+  EXPECT_EQ(unix_ep.value().path, "/tmp/mcfs.sock");
+  EXPECT_EQ(unix_ep.value().ToString(), "unix:/tmp/mcfs.sock");
+}
+
+TEST(EndpointTest, RejectsMalformedEndpoints) {
+  EXPECT_FALSE(ParseEndpoint("").ok());
+  EXPECT_FALSE(ParseEndpoint("no-port").ok());
+  EXPECT_FALSE(ParseEndpoint(":123").ok());
+  EXPECT_FALSE(ParseEndpoint("host:").ok());
+  EXPECT_FALSE(ParseEndpoint("host:notaport").ok());
+  EXPECT_FALSE(ParseEndpoint("host:70000").ok());
+  EXPECT_FALSE(ParseEndpoint("unix:").ok());
+}
+
+// --- wire payload codecs -------------------------------------------
+
+TEST(WireCodecTest, DigestListRoundTrips) {
+  std::vector<Md5Digest> digests = {DigestOf(1), DigestOf(2), DigestOf(3)};
+  auto decoded = DecodeDigestList(EncodeDigestList(digests));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), digests);
+}
+
+TEST(WireCodecTest, DigestListCountBeyondPayloadIsRejected) {
+  // Claims 1000 digests but carries one: the count check must fire
+  // before any allocation sized by it.
+  ByteWriter w;
+  w.PutU32(1000);
+  PutDigest(w, DigestOf(1));
+  auto decoded = DecodeDigestList(w.bytes());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), Errno::kEINVAL);
+}
+
+TEST(WireCodecTest, InsertResponseRoundTrips) {
+  InsertBatchResponse rsp;
+  rsp.store_size = 42;
+  rsp.store_bytes = 1024;
+  rsp.resize_count = 3;
+  rsp.resize_events = 1;
+  rsp.rehashed = 77;
+  rsp.inserted = {true, false, true};
+  auto decoded = DecodeInsertResponse(EncodeInsertResponse(rsp));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().store_size, 42u);
+  EXPECT_EQ(decoded.value().store_bytes, 1024u);
+  EXPECT_EQ(decoded.value().resize_count, 3u);
+  EXPECT_EQ(decoded.value().resize_events, 1u);
+  EXPECT_EQ(decoded.value().rehashed, 77u);
+  EXPECT_EQ(decoded.value().inserted, (std::vector<bool>{true, false, true}));
+}
+
+TEST(WireCodecTest, TruncatedInsertResponseIsEinval) {
+  const Bytes encoded = EncodeInsertResponse({});
+  auto decoded = DecodeInsertResponse(
+      ByteView(encoded.data(), encoded.size() / 2));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), Errno::kEINVAL);
+}
+
+TEST(WireCodecTest, FrontierEntryRoundTrips) {
+  mc::FrontierEntry entry;
+  entry.tag = 0xDEADBEEF;
+  entry.digest = DigestOf(99);
+  entry.trail = {0, 3, 1, 4, 1, 5};
+  entry.pending = {2, 6};
+  auto decoded = DecodeFrontierEntry(EncodeFrontierEntry(entry));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().tag, entry.tag);
+  EXPECT_EQ(decoded.value().digest, entry.digest);
+  EXPECT_EQ(decoded.value().trail, entry.trail);
+  EXPECT_EQ(decoded.value().pending, entry.pending);
+}
+
+TEST(WireCodecTest, FrontierEntryHostileTrailCountIsRejected) {
+  ByteWriter w;
+  w.PutU64(1);              // tag
+  PutDigest(w, DigestOf(1));
+  w.PutU32(0x40000000);     // ~1 billion trail entries, 4 GiB if believed
+  auto decoded = DecodeFrontierEntry(w.bytes());
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error(), Errno::kEINVAL);
+}
+
+TEST(WireCodecTest, StealResponsesRoundTrip) {
+  StealResponse with_entry;
+  with_entry.outcome = kStealEntry;
+  mc::FrontierEntry entry;
+  entry.tag = 5;
+  entry.digest = DigestOf(5);
+  with_entry.entry = entry;
+  auto decoded = DecodeStealResponse(EncodeStealResponse(with_entry));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().outcome, kStealEntry);
+  ASSERT_TRUE(decoded.value().entry.has_value());
+  EXPECT_EQ(decoded.value().entry->tag, 5u);
+
+  StealResponse drained;
+  drained.outcome = kStealDrained;
+  auto decoded2 = DecodeStealResponse(EncodeStealResponse(drained));
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_EQ(decoded2.value().outcome, kStealDrained);
+  EXPECT_FALSE(decoded2.value().entry.has_value());
+}
+
+TEST(WireCodecTest, DumpMessagesRoundTrip) {
+  DumpRequest req;
+  req.offset = 128;
+  req.max_digests = 64;
+  auto decoded_req = DecodeDumpRequest(EncodeDumpRequest(req));
+  ASSERT_TRUE(decoded_req.ok());
+  EXPECT_EQ(decoded_req.value().offset, 128u);
+  EXPECT_EQ(decoded_req.value().max_digests, 64u);
+
+  DumpResponse rsp;
+  rsp.total = 2;
+  rsp.digests = {DigestOf(1), DigestOf(2)};
+  auto decoded_rsp = DecodeDumpResponse(EncodeDumpResponse(rsp));
+  ASSERT_TRUE(decoded_rsp.ok());
+  EXPECT_EQ(decoded_rsp.value().total, 2u);
+  EXPECT_EQ(decoded_rsp.value().digests, rsp.digests);
+}
+
+TEST(WireCodecTest, ErrorPayloadRoundTripsAndToleratesGarbage) {
+  EXPECT_EQ(DecodeError(EncodeError(Errno::kENOTSUP)), Errno::kENOTSUP);
+  EXPECT_EQ(DecodeError(EncodeError(Errno::kEINVAL)), Errno::kEINVAL);
+  EXPECT_EQ(DecodeError(Bytes{}), Errno::kEIO);  // truncated error reply
+}
+
+}  // namespace
+}  // namespace mcfs::net
