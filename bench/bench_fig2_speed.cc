@@ -38,7 +38,7 @@ struct Row {
 std::map<std::string, Row> g_rows;
 
 McfsConfig PairConfig(FsKind a, FsKind b, Backend backend,
-                      std::uint64_t max_ops) {
+                      std::uint64_t max_ops, bool incremental) {
   McfsConfig config;
   config.fs_a.kind = a;
   config.fs_b.kind = b;
@@ -65,13 +65,17 @@ McfsConfig PairConfig(FsKind a, FsKind b, Backend backend,
   // pair's 105 GB of state hit it, swap time dominated.
   config.memory.swap_in_cost_per_mb = 1'000'000;
   config.memory.swap_out_cost_per_mb = 1'000'000;
+  // The §7.4 rows: same pair, abstraction digests maintained
+  // incrementally instead of re-walked per step.
+  config.engine.abstraction.incremental = incremental;
   return config;
 }
 
 void RunPair(benchmark::State& state, const std::string& name, FsKind a,
-             FsKind b, Backend backend, std::uint64_t max_ops) {
+             FsKind b, Backend backend, std::uint64_t max_ops,
+             bool incremental) {
   for (auto _ : state) {
-    auto mcfs = Mcfs::Create(PairConfig(a, b, backend, max_ops));
+    auto mcfs = Mcfs::Create(PairConfig(a, b, backend, max_ops, incremental));
     if (!mcfs.ok()) {
       state.SkipWithError("setup failed");
       return;
@@ -124,17 +128,22 @@ void PrintSummary() {
               ratio("ext2-vs-ext4(ram)", "ext4-vs-xfs(ram)"));
   std::printf("  ext2-vs-ext4(ram) / ext4-vs-jffs2      = %.1fx   (slower)\n",
               ratio("ext2-vs-ext4(ram)", "ext4-vs-jffs2"));
+  std::printf("\nincremental-abstraction lift (DESIGN.md §7.4):\n");
+  std::printf("  verifs1-vs-verifs2(incr) / verifs1-vs-verifs2 = %.2fx\n",
+              ratio("verifs1-vs-verifs2(incr)", "verifs1-vs-verifs2"));
+  std::printf("  ext2-vs-ext4(ram,incr) / ext2-vs-ext4(ram)    = %.2fx\n",
+              ratio("ext2-vs-ext4(ram,incr)", "ext2-vs-ext4(ram)"));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto reg = [](const char* name, FsKind a, FsKind b, Backend backend,
-                std::uint64_t ops) {
+                std::uint64_t ops, bool incremental = false) {
     benchmark::RegisterBenchmark(
         name,
         [=](benchmark::State& state) {
-          RunPair(state, name, a, b, backend, ops);
+          RunPair(state, name, a, b, backend, ops, incremental);
         })
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
@@ -151,6 +160,10 @@ int main(int argc, char** argv) {
   reg("ext4-vs-jffs2", FsKind::kExt4, FsKind::kJffs2, Backend::kRam, 800);
   reg("verifs1-vs-verifs2", FsKind::kVerifs1, FsKind::kVerifs2,
       Backend::kRam, 2000);
+  reg("ext2-vs-ext4(ram,incr)", FsKind::kExt2, FsKind::kExt4,
+      Backend::kRam, 2000, /*incremental=*/true);
+  reg("verifs1-vs-verifs2(incr)", FsKind::kVerifs1, FsKind::kVerifs2,
+      Backend::kRam, 2000, /*incremental=*/true);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

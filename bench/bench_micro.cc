@@ -12,6 +12,8 @@
 #include "mc/bitstate.h"
 #include "mc/hash_table.h"
 #include "mcfs/abstraction.h"
+#include "mcfs/ops.h"
+#include "mcfs/trace.h"
 #include "storage/ram_disk.h"
 #include "util/md5.h"
 #include "verifs/verifs2.h"
@@ -125,6 +127,105 @@ void BM_AbstractionWalk(benchmark::State& state) {
   state.counters["files"] = static_cast<double>(state.range(0));
 }
 BENCHMARK(BM_AbstractionWalk)->Arg(4)->Arg(16);
+
+// ---------------------------------------------------------------------------
+// Incremental-vs-full ablation (DESIGN.md §7.4): one single-path
+// operation per iteration followed by one abstract digest, over
+// tree size x file size x op mix. The full variant re-walks and
+// re-reads everything per step (Algorithm 1 literally); the incremental
+// variant re-hashes only the touched paths and folds the cache.
+// Run `scripts/bench_micro.sh` for the JSON form tracked in
+// EXPERIMENTS.md.
+
+struct AblationTree {
+  std::shared_ptr<verifs::Verifs2> filesystem;
+  std::unique_ptr<vfs::Vfs> v;
+  std::vector<std::string> files;
+};
+
+AblationTree MakeAblationTree(std::int64_t files, std::int64_t file_size) {
+  AblationTree tree;
+  tree.filesystem = std::make_shared<verifs::Verifs2>();
+  tree.v = std::make_unique<vfs::Vfs>(tree.filesystem, nullptr);
+  (void)tree.filesystem->Mkfs();
+  (void)tree.v->Mount();
+  for (int d = 0; d < 8; ++d) {
+    (void)tree.v->Mkdir("/d" + std::to_string(d), 0755);
+  }
+  for (std::int64_t i = 0; i < files; ++i) {
+    std::string path =
+        "/d" + std::to_string(i % 8) + "/f" + std::to_string(i);
+    auto fd = tree.v->Open(path, fs::kCreate | fs::kWrOnly, 0644);
+    if (fd.ok()) {
+      (void)tree.v->Write(fd.value(), 0,
+                          Bytes(static_cast<std::size_t>(file_size), 'a'));
+      (void)tree.v->Close(fd.value());
+    }
+    tree.files.push_back(std::move(path));
+  }
+  return tree;
+}
+
+// Op mixes: 0 = overwrite one file in place, 1 = create/unlink churn,
+// 2 = rename one file back and forth. All single-path mutations — the
+// case where the full recompute's O(tree) cost is pure overhead.
+core::Operation AblationOp(const AblationTree& tree, std::int64_t mix,
+                           std::uint64_t step) {
+  const std::string& target = tree.files[step % tree.files.size()];
+  core::Operation op;
+  switch (mix) {
+    case 0:
+      op.kind = core::OpKind::kWriteFile;
+      op.path = target;
+      op.size = 64;
+      op.fill = static_cast<std::uint8_t>(step);
+      break;
+    case 1:
+      op.kind = step % 2 == 0 ? core::OpKind::kCreateFile
+                              : core::OpKind::kUnlink;
+      op.path = "/churn";
+      break;
+    default:
+      op.kind = core::OpKind::kRename;
+      op.path = step % 2 == 0 ? target : target + "~";
+      op.path2 = step % 2 == 0 ? target + "~" : target;
+      break;
+  }
+  return op;
+}
+
+void BM_AbstractionStepFull(benchmark::State& state) {
+  AblationTree tree = MakeAblationTree(state.range(0), state.range(1));
+  const core::AbstractionOptions options;
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    (void)core::ExecuteOp(*tree.v, AblationOp(tree, state.range(2), step++));
+    benchmark::DoNotOptimize(core::ComputeAbstractState(*tree.v, options));
+  }
+  state.counters["paths"] = static_cast<double>(tree.files.size() + 8);
+}
+BENCHMARK(BM_AbstractionStepFull)
+    ->ArgsProduct({{16, 64, 256}, {256, 4096}, {0, 1, 2}});
+
+void BM_AbstractionStepIncremental(benchmark::State& state) {
+  AblationTree tree = MakeAblationTree(state.range(0), state.range(1));
+  const core::AbstractionOptions options;
+  core::IncrementalAbstraction inc;
+  (void)inc.FullRecompute(*tree.v, options);
+  std::uint64_t step = 0;
+  for (auto _ : state) {
+    const core::Operation op = AblationOp(tree, state.range(2), step++);
+    const core::OpOutcome outcome = core::ExecuteOp(*tree.v, op);
+    benchmark::DoNotOptimize(
+        inc.Refresh(*tree.v, options, core::TouchedPaths(op, outcome)));
+  }
+  state.counters["paths"] = static_cast<double>(tree.files.size() + 8);
+  state.counters["rehashed_per_step"] =
+      benchmark::Counter(static_cast<double>(inc.nodes_rehashed()),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_AbstractionStepIncremental)
+    ->ArgsProduct({{16, 64, 256}, {256, 4096}, {0, 1, 2}});
 
 void BM_DeviceSnapshotRestore(benchmark::State& state) {
   storage::RamDisk disk("d", static_cast<std::uint64_t>(state.range(0)),

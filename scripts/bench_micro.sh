@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the microbenchmarks with machine-readable JSON output so the
+# abstraction hot path (BM_AbstractionStep*) can be tracked across PRs.
+# Usage:
+#
+#   scripts/bench_micro.sh [out.json] [extra benchmark args...]
+#
+# e.g. `scripts/bench_micro.sh /tmp/micro.json
+#       --benchmark_filter=BM_AbstractionStep` for just the
+# incremental-vs-full ablation. Builds the default tree if needed.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${MCFS_BUILD_DIR:-${repo_root}/build}"
+out="${1:-bench_micro.json}"
+shift || true
+
+cmake -B "${build_dir}" -S "${repo_root}" > /dev/null
+cmake --build "${build_dir}" -j --target bench_micro > /dev/null
+
+"${build_dir}/bench/bench_micro" \
+    --benchmark_format=json --benchmark_out="${out}" \
+    --benchmark_out_format=json "$@"
+echo "wrote ${out}"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-command ThreadSanitizer sweep of the racy-path suite: configures a
 # separate build-tsan tree with -DMCFS_TSAN=ON, builds it, and runs every
-# test carrying the `concurrent` ctest label (the shared visited stores
-# and the work-stealing frontier). Usage:
+# test carrying the `concurrent` or `abstraction` ctest label (the shared
+# visited stores, the work-stealing frontier, and the incremental
+# abstraction caches that swarm workers keep per-instance). Usage:
 #
 #   scripts/tsan.sh [extra ctest args...]
 #
@@ -14,4 +15,5 @@ build_dir="${MCFS_TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DMCFS_TSAN=ON
 cmake --build "${build_dir}" -j
-ctest --test-dir "${build_dir}" -L concurrent --output-on-failure "$@"
+ctest --test-dir "${build_dir}" -L 'concurrent|abstraction' \
+      --output-on-failure "$@"

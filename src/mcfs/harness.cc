@@ -78,7 +78,10 @@ std::string McfsReport::Summary() const {
       << " backtracks=" << stats.backtracks << " sim_ops/s="
       << sim_ops_per_sec << " remounts=" << remounts_a + remounts_b
       << " discrepancies=" << counters.discrepancies << " corruption="
-      << counters.corruption_events;
+      << counters.corruption_events << " abs_full="
+      << counters.abstraction_full_recomputes << " abs_incr="
+      << counters.abstraction_incremental_refreshes << " abs_rehashed="
+      << counters.abstraction_nodes_rehashed;
   if (stats.violation_found) {
     out << "\nVIOLATION: " << stats.violation_report;
     if (!stats.violation_trail.empty()) {

@@ -43,6 +43,19 @@ NWaySyscallEngine::NWaySyscallEngine(std::vector<FsUnderTest*> filesystems,
   add_special(kFillFilePath);
   options_.abstraction.ignore_directory_sizes =
       options_.checker.ignore_directory_sizes;
+
+  incremental_ = options_.abstraction.incremental;
+  for (FsUnderTest* fut : filesystems_) {
+    // kMountOnce restores are incoherent by design (§3.2): the cache
+    // must not mask the corruption the full walk is meant to observe.
+    if (fut->config().strategy == StateStrategy::kMountOnce) {
+      incremental_ = false;
+    }
+  }
+  if (incremental_) {
+    inc_ = std::vector<IncrementalAbstraction>(filesystems_.size());
+  }
+
   actions_ = options_.pool.EnumerateAll(CommonFeatures(filesystems_));
 }
 
@@ -99,14 +112,31 @@ VoteResult NWaySyscallEngine::Vote(const Operation& op,
   return result;
 }
 
-Status NWaySyscallEngine::RefreshAbstractState(bool check_equality) {
+Status NWaySyscallEngine::RefreshAbstractState(
+    bool check_equality, const std::vector<TouchedPathSet>* touched) {
   std::vector<Md5Digest> hashes;
   hashes.reserve(filesystems_.size());
-  for (FsUnderTest* fut : filesystems_) {
-    if (Status s = fut->EnsureMounted(); !s.ok()) return s;
-    auto hash = ComputeAbstractState(fut->vfs(), options_.abstraction);
+  for (std::size_t i = 0; i < filesystems_.size(); ++i) {
+    FsUnderTest* fut = filesystems_[i];
+    const bool from_cache =
+        incremental_ && touched == nullptr && inc_[i].valid();
+    if (!from_cache) {
+      if (Status s = fut->EnsureMounted(); !s.ok()) return s;
+    }
+    auto hash =
+        !incremental_
+            ? ComputeAbstractState(fut->vfs(), options_.abstraction)
+            : (touched != nullptr
+                   ? inc_[i].Refresh(fut->vfs(), options_.abstraction,
+                                     (*touched)[i])
+                   : inc_[i].Current(fut->vfs(), options_.abstraction));
     if (!hash.ok()) {
       violation_ = "file system corruption detected on " + fut->name();
+      return Status::Ok();
+    }
+    if (incremental_ && inc_[i].divergence().has_value()) {
+      violation_ = "incremental abstraction divergence on " + fut->name() +
+                   ": " + *inc_[i].divergence();
       return Status::Ok();
     }
     hashes.push_back(hash.value());
@@ -154,6 +184,9 @@ Status NWaySyscallEngine::ApplyAction(std::size_t action) {
   outcomes.reserve(filesystems_.size());
   for (FsUnderTest* fut : filesystems_) {
     if (Status s = fut->BeginOp(); !s.ok()) {
+      // Earlier members already executed the operation; their caches are
+      // stale relative to it.
+      for (IncrementalAbstraction& inc : inc_) inc.Invalidate();
       violation_ = "remount failed on " + fut->name();
       return Status::Ok();
     }
@@ -173,9 +206,18 @@ Status NWaySyscallEngine::ApplyAction(std::size_t action) {
   }
 
   if (!violation_.has_value()) {
-    if (Status s = RefreshAbstractState(/*check_equality=*/true); !s.ok()) {
+    std::vector<TouchedPathSet> touched;
+    touched.reserve(outcomes.size());
+    for (const OpOutcome& outcome : outcomes) {
+      touched.push_back(TouchedPaths(op, outcome));
+    }
+    if (Status s = RefreshAbstractState(/*check_equality=*/true, &touched);
+        !s.ok()) {
       return s;
     }
+  } else if (incremental_) {
+    // Effects of this operation never reached the caches.
+    for (IncrementalAbstraction& inc : inc_) inc.Invalidate();
   }
 
   for (FsUnderTest* fut : filesystems_) {
@@ -186,7 +228,8 @@ Status NWaySyscallEngine::ApplyAction(std::size_t action) {
 
 Md5Digest NWaySyscallEngine::AbstractHash() {
   if (!cached_hash_.has_value()) {
-    if (Status s = RefreshAbstractState(/*check_equality=*/false);
+    if (Status s = RefreshAbstractState(/*check_equality=*/false,
+                                        /*touched=*/nullptr);
         !s.ok() || !cached_hash_.has_value()) {
       return Md5Digest{};
     }
@@ -207,12 +250,14 @@ Result<mc::SnapshotId> NWaySyscallEngine::SaveConcrete() {
       return s.error();
     }
   }
+  for (IncrementalAbstraction& inc : inc_) inc.SaveEpoch(id);
   return id;
 }
 
 Status NWaySyscallEngine::RestoreConcrete(mc::SnapshotId id) {
   cached_hash_.reset();
   violation_.reset();
+  for (IncrementalAbstraction& inc : inc_) (void)inc.RestoreEpoch(id);
   for (FsUnderTest* fut : filesystems_) {
     if (Status s = fut->RestoreState(id); !s.ok()) return s;
   }
@@ -221,6 +266,7 @@ Status NWaySyscallEngine::RestoreConcrete(mc::SnapshotId id) {
 
 Status NWaySyscallEngine::DiscardConcrete(mc::SnapshotId id) {
   Status last = Status::Ok();
+  for (IncrementalAbstraction& inc : inc_) inc.DiscardEpoch(id);
   for (FsUnderTest* fut : filesystems_) {
     if (Status s = fut->DiscardState(id); !s.ok()) last = s;
   }

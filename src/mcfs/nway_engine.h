@@ -75,8 +75,16 @@ class NWaySyscallEngine final : public mc::System {
                          const std::vector<OpOutcome>& outcomes,
                          const CheckerOptions& options);
 
+  // True when the incremental abstraction is active (requested via
+  // options and every member strategy restores coherently).
+  bool incremental_abstraction() const { return incremental_; }
+
  private:
-  Status RefreshAbstractState(bool check_equality);
+  // `touched` carries one TouchedPathSet per file system for the
+  // operation just executed; null means "no operation since the last
+  // refresh" (valid incremental caches then answer from memory).
+  Status RefreshAbstractState(bool check_equality,
+                              const std::vector<TouchedPathSet>* touched);
 
   std::vector<FsUnderTest*> filesystems_;
   NWayOptions options_;
@@ -86,6 +94,10 @@ class NWaySyscallEngine final : public mc::System {
   std::vector<std::uint64_t> suspicion_;
   std::uint64_t ops_executed_ = 0;
   mc::SnapshotId next_snapshot_ = 1;
+  // One digest cache per file system, epoch-tagged on the shared
+  // snapshot ids (see syscall_engine.h for the pairwise variant).
+  bool incremental_ = false;
+  std::vector<IncrementalAbstraction> inc_;
 };
 
 }  // namespace mcfs::core

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "fs/path.h"
+
 namespace mcfs::core {
 
 std::string_view OpKindName(OpKind kind) {
@@ -87,6 +89,111 @@ bool Operation::RequiresFeature(fs::FsFeature* feature) const {
     default:
       return false;
   }
+}
+
+namespace {
+
+// Adds `path`'s lexical parent unless it is the root (the root itself is
+// never part of the hashed path set).
+void DirtyParent(TouchedPathSet* touched, const std::string& path) {
+  std::string parent = fs::ParentPath(path);
+  if (parent != "/") touched->dirty.push_back(std::move(parent));
+}
+
+}  // namespace
+
+TouchedPathSet TouchedPaths(const Operation& op, const OpOutcome& outcome) {
+  TouchedPathSet touched;
+  switch (op.kind) {
+    // Read-only operations never change hashed state (atime is excluded
+    // from the digest on purpose, §3.3) — success or failure.
+    case OpKind::kReadFile:
+    case OpKind::kGetDents:
+    case OpKind::kStat:
+    case OpKind::kAccess:
+    case OpKind::kReadLink:
+      return touched;
+    default:
+      break;
+  }
+
+  if (outcome.error != Errno::kOk) {
+    // A failed mutation dirties nothing — but its targets are re-hashed
+    // anyway as a cheap guard against partially-applied meta-ops (e.g.
+    // create succeeding and the closing step failing).
+    touched.dirty.push_back(op.path);
+    if (op.kind == OpKind::kRename || op.kind == OpKind::kLink ||
+        op.kind == OpKind::kSymlink) {
+      touched.dirty.push_back(op.path2);
+    }
+    return touched;
+  }
+
+  switch (op.kind) {
+    case OpKind::kCreateFile:
+    case OpKind::kMkdir:
+      // New entry: the node plus the parent (nlink for mkdir, directory
+      // size when ignore_directory_sizes is off).
+      touched.dirty.push_back(op.path);
+      DirtyParent(&touched, op.path);
+      break;
+    case OpKind::kWriteFile:
+    case OpKind::kTruncate:
+    case OpKind::kChmod:
+    case OpKind::kSetXattr:
+    case OpKind::kRemoveXattr:
+      // In-place inode mutation; alias propagation happens in the cache.
+      touched.dirty.push_back(op.path);
+      break;
+    case OpKind::kRmdir:
+    case OpKind::kUnlink:
+      touched.evicted_subtrees.push_back(op.path);
+      DirtyParent(&touched, op.path);
+      break;
+    case OpKind::kRename:
+      if (op.path == op.path2) {
+        // POSIX no-op rename: nothing moved, just re-verify the node.
+        touched.dirty.push_back(op.path);
+        break;
+      }
+      if (fs::IsPathPrefix(op.path, op.path2) ||
+          fs::IsPathPrefix(op.path2, op.path)) {
+        // A "successful" rename into the source's own subtree (or over
+        // an ancestor) has no bounded delta; POSIX forbids it, so only a
+        // buggy file system gets here — recompute and let the state
+        // comparison call it out.
+        touched.full = true;
+        break;
+      }
+      touched.evicted_subtrees.push_back(op.path2);
+      touched.relabel = true;
+      touched.relabel_from = op.path;
+      touched.relabel_to = op.path2;
+      touched.dirty.push_back(op.path2);
+      DirtyParent(&touched, op.path);
+      DirtyParent(&touched, op.path2);
+      break;
+    case OpKind::kLink:
+      // Hard link: the shared inode's nlink changed — re-hash both names
+      // (aliases beyond these two are picked up via the inode).
+      touched.dirty.push_back(op.path);
+      touched.dirty.push_back(op.path2);
+      DirtyParent(&touched, op.path2);
+      break;
+    case OpKind::kSymlink:
+      // Creates the link node at path2; the target is untouched (and may
+      // not even exist).
+      touched.dirty.push_back(op.path2);
+      DirtyParent(&touched, op.path2);
+      break;
+    case OpKind::kReadFile:
+    case OpKind::kGetDents:
+    case OpKind::kStat:
+    case OpKind::kAccess:
+    case OpKind::kReadLink:
+      break;  // handled above
+  }
+  return touched;
 }
 
 ParameterPool ParameterPool::Default() {

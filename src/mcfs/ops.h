@@ -74,6 +74,38 @@ struct OpOutcome {
   std::string link_target;             // readlink payload
 };
 
+// The exact set of cache maintenance an operation (with its observed
+// outcome) implies for the incremental abstraction (DESIGN.md §7.4).
+// Consumed by IncrementalAbstraction::Refresh in this order: evictions,
+// relabel, then dirty re-hashes (plus hard-link alias propagation, which
+// the cache derives itself from the touched inodes).
+struct TouchedPathSet {
+  // Paths to re-stat and re-hash; a path that turns out not to exist is
+  // simply dropped from the cache. A failed operation lands its targets
+  // here too — re-verifying a handful of nodes is the "cheap check" that
+  // makes errno-classification mistakes self-correcting.
+  std::vector<std::string> dirty;
+  // Subtree roots whose cached entries are dropped outright (rmdir and
+  // unlink targets, the overwritten destination of a rename).
+  std::vector<std::string> evicted_subtrees;
+  // Successful rename: re-key cached entries under `relabel_from` to
+  // `relabel_to`, reusing their node digests (which exclude the path).
+  bool relabel = false;
+  std::string relabel_from;
+  std::string relabel_to;
+  // Degenerate case (e.g. a file system claiming success for a rename
+  // into the source's own subtree): no bounded delta exists, fall back
+  // to one full recompute.
+  bool full = false;
+};
+
+// Maps one executed operation to the set of paths whose node digests may
+// have changed. Read-only operations touch nothing (atime is excluded
+// from the digest); failed operations verify their targets cheaply;
+// mutations dirty the target, its parent where link counts or directory
+// contents change, and rename/link secondaries.
+TouchedPathSet TouchedPaths(const Operation& op, const OpOutcome& outcome);
+
 // The bounded parameter pools. EnumerateAll() produces the full action
 // set the explorer permutes; the pools are deliberately small — the
 // paper's point is exhaustiveness *within* bounds, not big bounds.

@@ -37,6 +37,14 @@ SyscallEngine::SyscallEngine(FsUnderTest& fs_a, FsUnderTest& fs_b,
   options_.abstraction.ignore_directory_sizes =
       options_.checker.ignore_directory_sizes;
 
+  // The incremental cache assumes restores reproduce the saved logical
+  // state; kMountOnce breaks that on purpose (§3.2), so it always runs
+  // the full walk — that is how its corruption gets observed.
+  incremental_ =
+      options_.abstraction.incremental &&
+      fs_a_.config().strategy != StateStrategy::kMountOnce &&
+      fs_b_.config().strategy != StateStrategy::kMountOnce;
+
   actions_ = options_.pool.EnumerateAll(CommonFeatures(fs_a_, fs_b_));
 }
 
@@ -44,14 +52,47 @@ std::string SyscallEngine::ActionName(std::size_t action) const {
   return actions_.at(action).ToString();
 }
 
-Status SyscallEngine::RefreshAbstractState(bool check_equality) {
-  // The walk needs mounted file systems; remount-per-op strategies may
-  // have them unmounted at this point.
-  if (Status s = fs_a_.EnsureMounted(); !s.ok()) return s;
-  if (Status s = fs_b_.EnsureMounted(); !s.ok()) return s;
+Result<Md5Digest> SyscallEngine::SideDigest(FsUnderTest& fut,
+                                            IncrementalAbstraction& inc,
+                                            const TouchedPathSet* touched) {
+  if (!incremental_) {
+    ++counters_.abstraction_full_recomputes;
+    return ComputeAbstractState(fut.vfs(), options_.abstraction);
+  }
+  return touched != nullptr
+             ? inc.Refresh(fut.vfs(), options_.abstraction, *touched)
+             : inc.Current(fut.vfs(), options_.abstraction);
+}
 
-  auto hash_a = ComputeAbstractState(fs_a_.vfs(), options_.abstraction);
-  auto hash_b = ComputeAbstractState(fs_b_.vfs(), options_.abstraction);
+void SyscallEngine::SyncAbstractionCounters() {
+  if (!incremental_) return;
+  counters_.abstraction_full_recomputes =
+      inc_a_.full_recomputes() + inc_b_.full_recomputes();
+  counters_.abstraction_incremental_refreshes =
+      inc_a_.incremental_refreshes() + inc_b_.incremental_refreshes();
+  counters_.abstraction_nodes_rehashed =
+      inc_a_.nodes_rehashed() + inc_b_.nodes_rehashed();
+}
+
+Status SyscallEngine::RefreshAbstractState(bool check_equality,
+                                           const TouchedPathSet* touched_a,
+                                           const TouchedPathSet* touched_b) {
+  // A valid incremental cache answers from memory with no walk at all —
+  // in that case the file systems need not even be mounted (DFS restores
+  // hit this constantly).
+  const bool from_cache = incremental_ && touched_a == nullptr &&
+                          touched_b == nullptr && inc_a_.valid() &&
+                          inc_b_.valid();
+  if (!from_cache) {
+    // The walk needs mounted file systems; remount-per-op strategies may
+    // have them unmounted at this point.
+    if (Status s = fs_a_.EnsureMounted(); !s.ok()) return s;
+    if (Status s = fs_b_.EnsureMounted(); !s.ok()) return s;
+  }
+
+  auto hash_a = SideDigest(fs_a_, inc_a_, touched_a);
+  auto hash_b = SideDigest(fs_b_, inc_b_, touched_b);
+  SyncAbstractionCounters();
   if (!hash_a.ok() || !hash_b.ok()) {
     // The walk itself failed: a §3.2-style corrupted file system (e.g.
     // dangling dcache entries after an unsynchronized restore).
@@ -62,6 +103,21 @@ Status SyscallEngine::RefreshAbstractState(bool check_equality) {
                  std::string(ErrnoName(!hash_a.ok() ? hash_a.error()
                                                     : hash_b.error()));
     return Status::Ok();  // reported as violation, not infrastructure error
+  }
+
+  // Paranoid mode (verify_every_n): an incremental digest disagreeing
+  // with its own from-scratch recompute is an infrastructure bug in the
+  // cache, not a file-system discrepancy — surface it loudly.
+  if (incremental_) {
+    for (const auto* inc : {&inc_a_, &inc_b_}) {
+      if (inc->divergence().has_value()) {
+        ++counters_.corruption_events;
+        violation_ = "incremental abstraction divergence on " +
+                     (inc == &inc_a_ ? fs_a_.name() : fs_b_.name()) + ": " +
+                     *inc->divergence();
+        return Status::Ok();
+      }
+    }
   }
 
   if (check_equality && options_.compare_states &&
@@ -95,6 +151,7 @@ Status SyscallEngine::ApplyAction(std::size_t action) {
   }
   if (Status s = fs_b_.BeginOp(); !s.ok()) {
     ++counters_.corruption_events;
+    inc_a_.Invalidate();  // BeginOp on A may have remounted after the op
     violation_ = "remount failed on " + fs_b_.name() + ": " +
                  std::string(ErrnoName(s.error()));
     return Status::Ok();
@@ -116,9 +173,19 @@ Status SyscallEngine::ApplyAction(std::size_t action) {
 
   // Full-state integrity check + abstract hash for visited matching.
   if (!violation_.has_value()) {
-    if (Status s = RefreshAbstractState(/*check_equality=*/true); !s.ok()) {
+    const TouchedPathSet touched_a = TouchedPaths(op, outcome_a);
+    const TouchedPathSet touched_b = TouchedPaths(op, outcome_b);
+    if (Status s = RefreshAbstractState(/*check_equality=*/true, &touched_a,
+                                        &touched_b);
+        !s.ok()) {
       return s;
     }
+  } else {
+    // The operation ran but its effects were never folded into the
+    // caches; if exploration continues past this violation
+    // (ClearViolation), the next digest must come from a fresh walk.
+    inc_a_.Invalidate();
+    inc_b_.Invalidate();
   }
 
   trace_.Append(op, outcome_a, outcome_b, violation_.has_value());
@@ -131,8 +198,10 @@ Status SyscallEngine::ApplyAction(std::size_t action) {
 
 Md5Digest SyscallEngine::AbstractHash() {
   if (!cached_hash_.has_value()) {
-    if (Status s = RefreshAbstractState(/*check_equality=*/false); !s.ok() ||
-        !cached_hash_.has_value()) {
+    if (Status s = RefreshAbstractState(/*check_equality=*/false,
+                                        /*touched_a=*/nullptr,
+                                        /*touched_b=*/nullptr);
+        !s.ok() || !cached_hash_.has_value()) {
       // Infrastructure failure: return a sentinel digest; the explorer
       // will already have surfaced the violation.
       return Md5Digest{};
@@ -150,17 +219,31 @@ Result<mc::SnapshotId> SyscallEngine::SaveConcrete() {
     (void)fs_a_.DiscardState(id);
     return s.error();
   }
+  if (incremental_) {
+    // Epoch-tag the digest caches alongside the concrete snapshots so a
+    // restore rolls them back instead of dropping them.
+    inc_a_.SaveEpoch(id);
+    inc_b_.SaveEpoch(id);
+  }
   return id;
 }
 
 Status SyscallEngine::RestoreConcrete(mc::SnapshotId id) {
   cached_hash_.reset();
   violation_.reset();
+  if (incremental_) {
+    // A miss (epoch unknown, or saved while invalid) invalidates, which
+    // degrades to one full recompute — never to a stale digest.
+    (void)inc_a_.RestoreEpoch(id);
+    (void)inc_b_.RestoreEpoch(id);
+  }
   if (Status s = fs_a_.RestoreState(id); !s.ok()) return s;
   return fs_b_.RestoreState(id);
 }
 
 Status SyscallEngine::DiscardConcrete(mc::SnapshotId id) {
+  inc_a_.DiscardEpoch(id);
+  inc_b_.DiscardEpoch(id);
   if (Status s = fs_a_.DiscardState(id); !s.ok()) return s;
   return fs_b_.DiscardState(id);
 }

@@ -38,6 +38,14 @@ struct EngineCounters {
   // Infrastructure-level anomalies (abstraction walk failed, remount
   // failed): the corrupted-file-system symptom of §3.2.
   std::uint64_t corruption_events = 0;
+  // Abstraction hot-path accounting, summed over both file systems. In
+  // full-recompute mode every refresh is two full walks; in incremental
+  // mode (AbstractionOptions::incremental) refreshes re-hash only the
+  // touched nodes and full recomputes stay rare (cache misses, fallback
+  // paths, paranoid cross-checks).
+  std::uint64_t abstraction_full_recomputes = 0;
+  std::uint64_t abstraction_incremental_refreshes = 0;
+  std::uint64_t abstraction_nodes_rehashed = 0;
 };
 
 class SyscallEngine final : public mc::System {
@@ -76,10 +84,23 @@ class SyscallEngine final : public mc::System {
   // suppress).
   EngineOptions& mutable_options() { return options_; }
 
+  // True when this engine runs the incremental abstraction (requested
+  // via options and both strategies restore coherently).
+  bool incremental_abstraction() const { return incremental_; }
+
  private:
   // Computes each side's abstract state (mount-state aware) and caches
-  // the combined digest; flags a violation if the states differ.
-  Status RefreshAbstractState(bool check_equality);
+  // the combined digest; flags a violation if the states differ. The
+  // touched sets carry the just-executed operation's dirty paths per
+  // file system; null means "no operation since the last refresh" (the
+  // incremental caches then answer from memory when valid).
+  Status RefreshAbstractState(bool check_equality,
+                              const TouchedPathSet* touched_a,
+                              const TouchedPathSet* touched_b);
+  // Per-side digest under the active abstraction mode.
+  Result<Md5Digest> SideDigest(FsUnderTest& fut, IncrementalAbstraction& inc,
+                               const TouchedPathSet* touched);
+  void SyncAbstractionCounters();
 
   FsUnderTest& fs_a_;
   FsUnderTest& fs_b_;
@@ -91,6 +112,11 @@ class SyscallEngine final : public mc::System {
   Trace trace_;
   SyscallCoverage coverage_;
   mc::SnapshotId next_snapshot_ = 1;
+  // Incremental abstraction state (one cache per file system, epoch-
+  // tagged against this engine's snapshot ids).
+  bool incremental_ = false;
+  IncrementalAbstraction inc_a_;
+  IncrementalAbstraction inc_b_;
 };
 
 }  // namespace mcfs::core

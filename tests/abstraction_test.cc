@@ -6,7 +6,10 @@
 // identical trees must hash identically.
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "fs/ext2/ext2fs.h"
+#include "fs/path.h"
 #include "fs/ext4/ext4fs.h"
 #include "fs/xfs/xfsfs.h"
 #include "mcfs/abstraction.h"
@@ -249,6 +252,148 @@ TEST(AbstractionTest, DeterministicAcrossRepeatedWalks) {
   // The walk itself updates atimes — which must not feed back into the
   // digest (or no state would ever match itself).
   EXPECT_EQ(h1, h2);
+}
+
+// Forwards everything to an inner file system but lets tests force a
+// specific errno out of ListXattr — the fault the walk must not swallow.
+class FaultyXattrFs final : public fs::FileSystem {
+ public:
+  explicit FaultyXattrFs(fs::FileSystemPtr inner) : inner_(std::move(inner)) {}
+
+  void set_listxattr_error(std::optional<Errno> error) {
+    listxattr_error_ = error;
+  }
+
+  Status Mkfs() override { return inner_->Mkfs(); }
+  Status Mount() override { return inner_->Mount(); }
+  Status Unmount() override { return inner_->Unmount(); }
+  bool IsMounted() const override { return inner_->IsMounted(); }
+  Result<fs::InodeAttr> GetAttr(const std::string& path) override {
+    return inner_->GetAttr(path);
+  }
+  Status Mkdir(const std::string& path, fs::Mode mode) override {
+    return inner_->Mkdir(path, mode);
+  }
+  Status Rmdir(const std::string& path) override {
+    return inner_->Rmdir(path);
+  }
+  Status Unlink(const std::string& path) override {
+    return inner_->Unlink(path);
+  }
+  Result<std::vector<fs::DirEntry>> ReadDir(
+      const std::string& path) override {
+    return inner_->ReadDir(path);
+  }
+  Result<fs::FileHandle> Open(const std::string& path, std::uint32_t flags,
+                              fs::Mode mode) override {
+    return inner_->Open(path, flags, mode);
+  }
+  Status Close(fs::FileHandle fh) override { return inner_->Close(fh); }
+  Result<Bytes> Read(fs::FileHandle fh, std::uint64_t offset,
+                     std::uint64_t size) override {
+    return inner_->Read(fh, offset, size);
+  }
+  Result<std::uint64_t> Write(fs::FileHandle fh, std::uint64_t offset,
+                              ByteView data) override {
+    return inner_->Write(fh, offset, data);
+  }
+  Status Truncate(const std::string& path, std::uint64_t size) override {
+    return inner_->Truncate(path, size);
+  }
+  Status Fsync(fs::FileHandle fh) override { return inner_->Fsync(fh); }
+  Status Chmod(const std::string& path, fs::Mode mode) override {
+    return inner_->Chmod(path, mode);
+  }
+  Status Chown(const std::string& path, std::uint32_t uid,
+               std::uint32_t gid) override {
+    return inner_->Chown(path, uid, gid);
+  }
+  Result<fs::StatVfs> StatFs() override { return inner_->StatFs(); }
+  bool Supports(fs::FsFeature feature) const override {
+    return inner_->Supports(feature);
+  }
+  Status SetXattr(const std::string& path, const std::string& name,
+                  ByteView value) override {
+    return inner_->SetXattr(path, name, value);
+  }
+  Result<Bytes> GetXattr(const std::string& path,
+                         const std::string& name) override {
+    return inner_->GetXattr(path, name);
+  }
+  Result<std::vector<std::string>> ListXattr(
+      const std::string& path) override {
+    if (listxattr_error_.has_value()) return *listxattr_error_;
+    return inner_->ListXattr(path);
+  }
+  Status RemoveXattr(const std::string& path,
+                     const std::string& name) override {
+    return inner_->RemoveXattr(path, name);
+  }
+  std::string TypeName() const override { return inner_->TypeName(); }
+
+ private:
+  fs::FileSystemPtr inner_;
+  std::optional<Errno> listxattr_error_;
+};
+
+TEST(AbstractionTest, ListXattrFailurePropagatesOutOfTheWalk) {
+  // Regression: the walk used to treat EVERY ListXattr error as "no
+  // xattrs" and hash on. An EIO mid-walk must fail the walk — silently
+  // dropping xattrs would let a corrupted state masquerade as a match.
+  auto disk = std::make_shared<storage::RamDisk>("d", 256 * 1024, nullptr);
+  auto faulty =
+      std::make_shared<FaultyXattrFs>(std::make_shared<fs::Ext2Fs>(disk));
+  vfs::Vfs v(faulty, nullptr);
+  ASSERT_TRUE(faulty->Mkfs().ok());
+  ASSERT_TRUE(v.Mount().ok());
+  Write(v, "/f", "x");
+
+  faulty->set_listxattr_error(Errno::kEIO);
+  auto digest = ComputeAbstractState(v, {});
+  ASSERT_FALSE(digest.ok());
+  EXPECT_EQ(digest.error(), Errno::kEIO);
+  auto node = HashNode(v, "/f", {});
+  ASSERT_FALSE(node.ok());
+  EXPECT_EQ(node.error(), Errno::kEIO);
+
+  faulty->set_listxattr_error(std::nullopt);
+  EXPECT_TRUE(ComputeAbstractState(v, {}).ok());
+}
+
+TEST(AbstractionTest, ListXattrNotSupportedIsQuietlySkipped) {
+  // ENOTSUP is the one benign errno: VeriFS1-class systems simply have
+  // no xattrs, which must hash like "no xattrs set" on a system that
+  // has them.
+  auto disk = std::make_shared<storage::RamDisk>("d", 256 * 1024, nullptr);
+  auto faulty =
+      std::make_shared<FaultyXattrFs>(std::make_shared<fs::Ext2Fs>(disk));
+  vfs::Vfs v(faulty, nullptr);
+  ASSERT_TRUE(faulty->Mkfs().ok());
+  ASSERT_TRUE(v.Mount().ok());
+  Write(v, "/f", "x");
+
+  const Md5Digest with_support = HashOf(v);
+  faulty->set_listxattr_error(Errno::kENOTSUP);
+  EXPECT_EQ(HashOf(v), with_support);
+}
+
+TEST(AbstractionTest, DeepTreeWalkDoesNotOverflowTheStack) {
+  // The walk is iterative (explicit stack): a mkdir chain bounded only
+  // by kPathMax must not translate tree depth into call-stack depth.
+  Stack stack = MakeVerifs2();
+  std::string path;
+  std::size_t depth = 0;
+  while (path.size() + 2 <= fs::kPathMax - 2) {
+    path += "/d";
+    ASSERT_TRUE(stack.v->Mkdir(path, 0755).ok()) << path.size();
+    ++depth;
+  }
+  ASSERT_GT(depth, 1500u);
+
+  auto paths = ListTreePaths(*stack.v, {});
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths.value().size(), depth);
+  EXPECT_TRUE(ComputeAbstractState(*stack.v, {}).ok());
 }
 
 }  // namespace
