@@ -27,7 +27,10 @@ struct BugRow {
   const char* paper;
   bool found = false;
   std::uint64_t ops_to_detect = 0;
-  bool replayed = false;
+  std::size_t raw_ops = 0;   // records in the raw violating trace
+  std::size_t min_ops = 0;   // records after TraceMinimizer
+  bool replayed = false;     // minimized trace reproduced on a fresh pair
+  bool one_minimal = false;
 };
 
 std::vector<BugRow> g_rows;
@@ -52,6 +55,9 @@ void RunBugCase(benchmark::State& state, const std::string& name,
       config.fs_b.strategy = StateStrategy::kIoctl;
       config.fs_b.bugs = bugs;
       config.engine.pool = pool;
+      // Keep the whole linear history (ops + snapshot records): the raw
+      // trace is the shrink fallback for restore-dependent bugs.
+      config.engine.trace_cap = 200'000;
       config.explore.max_operations = 50'000;
       config.explore.max_depth = 8;
       config.explore.seed = seed;
@@ -65,49 +71,54 @@ void RunBugCase(benchmark::State& state, const std::string& name,
       if (report.stats.violation_found) {
         row.found = true;
         row.ops_to_detect = total_ops;
-        // Replay the violation TRAIL on a fresh buggy pair: the paper's
+        // Shrink the violating trace to a 1-minimal reproducer and
+        // replay-confirm it on a fresh buggy pair: the paper's
         // reproducibility claim ("Spin logs the precise sequence of
-        // operations... simplifying reproducibility", §2).
-        auto fresh = Mcfs::Create(config);
-        if (fresh.ok()) {
-          SyscallEngine& engine = fresh.value()->engine();
-          auto index_of = [&engine](const std::string& name) {
-            for (std::size_t i = 0; i < engine.ActionCount(); ++i) {
-              if (engine.ActionName(i) == name) return i;
-            }
-            return engine.ActionCount();  // not found
-          };
-          bool ok = true;
-          for (const auto& step : report.stats.violation_trail) {
-            const std::size_t action = index_of(step);
-            if (action == engine.ActionCount() ||
-                !engine.ApplyAction(action).ok()) {
-              ok = false;
-              break;
-            }
-            if (engine.violation_detected()) break;
-          }
-          row.replayed = ok && engine.violation_detected();
+        // operations... simplifying reproducibility", §2), sharpened.
+        SyscallEngine& engine = mcfs.value()->engine();
+        row.raw_ops = engine.trace().size();
+        const EngineOptions& eff = engine.options();
+        ShrinkOptions shrink;
+        shrink.replay.checker = eff.checker;
+        shrink.replay.compare_states = eff.compare_states;
+        shrink.replay.abstraction = eff.abstraction;
+        shrink.max_replays = 4'000;
+        TraceMinimizer minimizer(MakeMcfsReplayFactory(config), shrink);
+        ShrinkReport sr;
+        bool shrunk = false;
+        // Trail first (tiny, snapshot-free); raw linear history as the
+        // fallback for bugs that only manifest across a rollback.
+        auto trail =
+            TraceFromTrail(engine, report.stats.violation_trail);
+        if (trail.ok() && minimizer.Minimize(trail.value(), &sr).ok()) {
+          shrunk = true;
         }
+        if (!shrunk) (void)minimizer.Minimize(engine.trace(), &sr);
+        row.min_ops = sr.final_ops;
+        row.replayed = sr.replay_confirmed;
+        row.one_minimal = sr.one_minimal;
       }
     }
     g_rows.push_back(row);
     state.counters["ops_to_detect"] =
         static_cast<double>(row.ops_to_detect);
     state.counters["found"] = row.found ? 1 : 0;
+    state.counters["min_ops"] = static_cast<double>(row.min_ops);
   }
 }
 
 void PrintSummary() {
   std::printf("\n=== Bug detection: operations until MCFS reports the "
               "discrepancy ===\n");
-  std::printf("%-44s %10s %12s %8s  %s\n", "bug", "found", "ops", "replay",
-              "paper");
+  std::printf("%-44s %6s %12s %9s %8s %8s  %s\n", "bug", "found", "ops",
+              "raw_trace", "min_ops", "replay", "paper");
   for (const auto& row : g_rows) {
-    std::printf("%-44s %10s %12llu %8s  %s\n", row.name.c_str(),
+    std::printf("%-44s %6s %12llu %9zu %8zu %8s  %s\n", row.name.c_str(),
                 row.found ? "yes" : "NO",
                 static_cast<unsigned long long>(row.ops_to_detect),
-                row.replayed ? "yes" : "-", row.paper);
+                row.raw_ops, row.min_ops,
+                row.replayed ? (row.one_minimal ? "1-min" : "yes") : "-",
+                row.paper);
   }
   if (g_rows.size() == 4 && g_rows[0].found && g_rows[2].found) {
     std::printf("\nshape check: VeriFS2 data bugs take %s ops than the "

@@ -16,6 +16,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "mcfs/harness.h"
@@ -34,6 +35,11 @@ struct SeriesRow {
 
 std::vector<SeriesRow> g_series;
 
+// Incremental abstraction (on by default for this coherent ioctl pair;
+// --no-incremental falls back to a full recompute per step for A/B
+// comparison of the long-run rate).
+bool g_incremental = true;
+
 void RunLongRun(benchmark::State& state, std::uint64_t total_ops) {
   for (auto _ : state) {
     McfsConfig config;
@@ -41,6 +47,7 @@ void RunLongRun(benchmark::State& state, std::uint64_t total_ops) {
     config.fs_a.strategy = StateStrategy::kIoctl;
     config.fs_b.kind = FsKind::kVerifs1;  // paper: "checking VeriFS1"
     config.fs_b.strategy = StateStrategy::kIoctl;
+    config.engine.abstraction.incremental = g_incremental;
     config.engine.pool = ParameterPool::Default();
     config.explore.mode = mc::SearchMode::kRandomWalk;
     config.explore.max_operations = total_ops;
@@ -91,6 +98,10 @@ void RunLongRun(benchmark::State& state, std::uint64_t total_ops) {
     state.counters["unique_states"] =
         static_cast<double>(stats.unique_states);
     state.counters["sim_hours"] = stats.sim_seconds / 3600.0;
+    state.counters["abs_full"] = static_cast<double>(
+        m.engine().counters().abstraction_full_recomputes);
+    state.counters["abs_incr"] = static_cast<double>(
+        m.engine().counters().abstraction_incremental_refreshes);
     if (stats.violation_found) {
       state.SkipWithError("unexpected violation");
       return;
@@ -137,6 +148,15 @@ void PrintSeries() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--no-incremental") {
+      g_incremental = false;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
   benchmark::RegisterBenchmark("fig3-longrun-verifs1",
                                [](benchmark::State& state) {
                                  RunLongRun(state, 120'000);

@@ -21,6 +21,7 @@
 //                   [independent|cooperative|stealing]
 //                   [--visited-server host:port|unix:/path]
 //                   [--frontier-server host:port|unix:/path]
+//                   [--no-incremental]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
 
   const char* visited_server = nullptr;
   const char* frontier_server = nullptr;
+  bool incremental = true;
   const char* positional[3] = {nullptr, nullptr, nullptr};
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
@@ -45,6 +47,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--frontier-server") == 0 &&
                i + 1 < argc) {
       frontier_server = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-incremental") == 0) {
+      incremental = false;
     } else if (npos < 3) {
       positional[npos++] = argv[i];
     }
@@ -104,6 +108,11 @@ int main(int argc, char** argv) {
   config.fs_b.kind = FsKind::kVerifs2;
   config.fs_b.strategy = StateStrategy::kIoctl;
   config.engine.pool = ParameterPool::Default();
+  // Incremental abstraction is on by default for this coherent ioctl
+  // pair — every worker keeps its own epoch-tagged digest caches —
+  // which matters double under a shared store: each visited probe is an
+  // AbstractHash() call. --no-incremental reverts to full recomputes.
+  config.engine.abstraction.incremental = incremental;
 
   mc::Swarm swarm(options);
   std::printf("launching %d %s workers x %llu ops over "

@@ -50,12 +50,15 @@ struct AbstractionOptions {
   // state explosion the paper describes when noise enters the state.
   bool include_timestamps = false;
   // Use the IncrementalAbstraction cache in the engines instead of a full
-  // recompute per step. Off by default: the cache assumes coherent
-  // concrete-state restores, which the deliberately-broken kMountOnce
-  // strategy (§3.2) violates on purpose — the engines additionally
-  // refuse to use the cache for that strategy. The differential suite
-  // (ctest -L abstraction) proves incremental == full per step.
-  bool incremental = false;
+  // recompute per step. On by default: the differential suite (ctest -L
+  // abstraction) proves incremental == full per step, and the engines
+  // refuse the cache for the deliberately-broken kMountOnce strategy
+  // (§3.2), whose incoherent restores are the one assumption the cache
+  // cannot survive — so kMountOnce corruption stays observable. Set to
+  // false for a full recompute per step (the reference oracle; the
+  // mutation campaign does this so restore bugs cannot hide behind the
+  // cache's rolled-back digests).
+  bool incremental = true;
   // Paranoid mode: every n-th incremental refresh is cross-checked
   // against a from-scratch recompute; a mismatch reports the first
   // divergent path and repairs the cache. 0 = off.

@@ -1,5 +1,6 @@
 #include "mcfs/harness.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -59,6 +60,59 @@ McfsReport Mcfs::Run() {
   return report;
 }
 
+namespace {
+
+// ReplayPair over a full Mcfs stack; snapshot records go through both
+// sides' FsUnderTest strategies with the recorded keys.
+class McfsReplayPair final : public ReplayPair {
+ public:
+  explicit McfsReplayPair(std::unique_ptr<Mcfs> mcfs)
+      : mcfs_(std::move(mcfs)) {}
+
+  vfs::Vfs& a() override { return mcfs_->fs_a().vfs(); }
+  vfs::Vfs& b() override { return mcfs_->fs_b().vfs(); }
+
+  Status Save(std::uint64_t key) override {
+    if (Status s = mcfs_->fs_a().SaveState(key); !s.ok()) return s;
+    return mcfs_->fs_b().SaveState(key);
+  }
+  Status Restore(std::uint64_t key) override {
+    if (Status s = mcfs_->fs_a().RestoreState(key); !s.ok()) return s;
+    return mcfs_->fs_b().RestoreState(key);
+  }
+
+ private:
+  std::unique_ptr<Mcfs> mcfs_;
+};
+
+}  // namespace
+
+ReplayPairFactory MakeMcfsReplayFactory(McfsConfig config) {
+  return [config]() -> std::unique_ptr<ReplayPair> {
+    auto mcfs = Mcfs::Create(config);
+    if (!mcfs.ok()) return nullptr;
+    return std::make_unique<McfsReplayPair>(std::move(mcfs).value());
+  };
+}
+
+Result<Trace> TraceFromTrail(const SyscallEngine& engine,
+                             const std::vector<std::string>& trail) {
+  Trace trace;
+  for (const std::string& name : trail) {
+    const Operation* match = nullptr;
+    for (const Operation& op : engine.actions()) {
+      if (op.ToString() == name) {
+        match = &op;
+        break;
+      }
+    }
+    if (match == nullptr) return Errno::kEINVAL;
+    trace.mutable_records().push_back(
+        Trace::Record{*match, Errno::kOk, Errno::kOk, false});
+  }
+  return trace;
+}
+
 mc::SwarmFactory MakeMcfsSwarmFactory(McfsConfig config) {
   return [config](int worker) -> std::unique_ptr<mc::SwarmInstance> {
     auto mcfs = Mcfs::Create(config);
@@ -90,6 +144,233 @@ std::string McfsReport::Summary() const {
         out << "\n  " << step;
       }
     }
+  }
+  return out.str();
+}
+
+McfsConfig MutantCampaignConfig(const verifs::Mutant& mutant,
+                                const MutationCampaignOptions& options,
+                                std::uint64_t seed) {
+  McfsConfig config;
+  const FsKind kind = mutant.verifs2 ? FsKind::kVerifs2 : FsKind::kVerifs1;
+  config.fs_a.kind = kind;
+  config.fs_a.strategy = StateStrategy::kIoctl;
+  config.fs_a.fuse_transport = options.fuse_transport;
+  config.fs_b = config.fs_a;   // pristine twin as the reference oracle
+  config.fs_b.bugs = mutant.bugs;
+  config.engine.pool = options.pool;
+  config.engine.trace_cap = options.trace_cap;
+  // Reference oracle: full recompute. The incremental cache rolls its
+  // digests back on restore — the exact assumption the restore mutants
+  // break — so it must not mediate the campaign's verdicts.
+  config.engine.abstraction.incremental = false;
+  config.explore.mode = mc::SearchMode::kDfs;
+  config.explore.max_operations = options.max_operations;
+  config.explore.max_depth = options.max_depth;
+  config.explore.seed = seed;
+  return config;
+}
+
+MutationCampaignReport RunMutationCampaign(
+    const MutationCampaignOptions& options) {
+  MutationCampaignReport report;
+  for (const verifs::Mutant& mutant : verifs::MutationCorpus()) {
+    if (!options.only.empty() &&
+        std::find(options.only.begin(), options.only.end(), mutant.name) ==
+            options.only.end()) {
+      continue;
+    }
+    MutantOutcome outcome;
+    outcome.name = mutant.name;
+    outcome.hint = mutant.hint;
+    outcome.historical = mutant.historical;
+    outcome.expect_detected = mutant.expect_detected;
+
+    for (std::uint64_t seed : options.seeds) {
+      McfsConfig config = MutantCampaignConfig(mutant, options, seed);
+      auto mcfs = Mcfs::Create(config);
+      if (!mcfs.ok()) {
+        outcome.violation = "Mcfs::Create failed: " +
+                            std::string(ErrnoName(mcfs.error()));
+        break;
+      }
+      McfsReport run = mcfs.value()->Run();
+      if (!run.stats.violation_found) continue;
+
+      outcome.detected = true;
+      outcome.seed = seed;
+      outcome.ops_to_detect = run.stats.operations;
+      outcome.violation = run.stats.violation_report;
+      const Trace& raw = mcfs.value()->engine().trace();
+      outcome.raw_trace_ops = raw.size();
+      outcome.minimized_ops = raw.size();
+
+      if (options.minimize) {
+        // Replay with the engine's *effective* options (special-path
+        // exception lists included) so the shrink judges candidates by
+        // the same rules the detecting run used.
+        const EngineOptions& eff = mcfs.value()->engine().options();
+        ShrinkOptions shrink;
+        shrink.replay.checker = eff.checker;
+        shrink.replay.compare_states = eff.compare_states;
+        shrink.replay.abstraction = eff.abstraction;
+        shrink.max_replays = options.max_replays;
+        TraceMinimizer minimizer(MakeMcfsReplayFactory(config), shrink);
+        auto adopt = [&outcome](const Trace& t, const ShrinkReport& sr) {
+          outcome.minimized_ops = sr.final_ops;
+          outcome.replay_confirmed = sr.replay_confirmed;
+          outcome.one_minimal = sr.one_minimal;
+          outcome.minimized_trace = t.ToText();
+        };
+        // Shrink seed 1: the explorer's violation trail — the semantic
+        // root-to-violation path, at most depth+1 ops and free of
+        // snapshot records. It reproduces whenever restores are
+        // faithful; the restore mutants are exactly the case where it
+        // does not, and they fall through to the raw linear history.
+        ShrinkReport sr;
+        bool shrunk = false;
+        auto trail = TraceFromTrail(mcfs.value()->engine(),
+                                    run.stats.violation_trail);
+        if (trail.ok()) {
+          auto minimized = minimizer.Minimize(trail.value(), &sr);
+          outcome.shrink_replays += sr.replays;
+          if (minimized.ok()) {
+            adopt(minimized.value(), sr);
+            shrunk = true;
+          }
+        }
+        if (!shrunk) {
+          auto minimized = minimizer.Minimize(raw, &sr);
+          outcome.shrink_replays += sr.replays;
+          if (minimized.ok()) adopt(minimized.value(), sr);
+        }
+      }
+      break;
+    }
+    report.outcomes.push_back(std::move(outcome));
+  }
+
+  for (const MutantOutcome& o : report.outcomes) {
+    if (o.expect_detected) {
+      ++report.expected_detections;
+      if (o.detected) {
+        ++report.detections;
+      } else {
+        report.missed.push_back(o.name);
+      }
+    } else if (o.detected) {
+      report.unexpected.push_back(o.name);
+    }
+  }
+  if (report.expected_detections > 0) {
+    report.kill_rate = static_cast<double>(report.detections) /
+                       static_cast<double>(report.expected_detections);
+  }
+  return report;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const char* JsonBool(bool b) { return b ? "true" : "false"; }
+
+}  // namespace
+
+std::string MutationCampaignReport::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"mutants\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const MutantOutcome& o = outcomes[i];
+    out << "    {\"name\": \"" << JsonEscape(o.name) << "\","
+        << " \"historical\": " << JsonBool(o.historical) << ","
+        << " \"expect_detected\": " << JsonBool(o.expect_detected) << ","
+        << " \"detected\": " << JsonBool(o.detected) << ","
+        << " \"seed\": " << o.seed << ","
+        << " \"ops_to_detect\": " << o.ops_to_detect << ","
+        << " \"raw_trace_ops\": " << o.raw_trace_ops << ","
+        << " \"minimized_ops\": " << o.minimized_ops << ","
+        << " \"replay_confirmed\": " << JsonBool(o.replay_confirmed) << ","
+        << " \"one_minimal\": " << JsonBool(o.one_minimal) << ","
+        << " \"shrink_replays\": " << o.shrink_replays << ","
+        << " \"violation\": \"" << JsonEscape(o.violation) << "\","
+        << " \"hint\": \"" << JsonEscape(o.hint) << "\","
+        << " \"minimized_trace\": \"" << JsonEscape(o.minimized_trace)
+        << "\"}" << (i + 1 < outcomes.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"expected_detections\": " << expected_detections << ",\n";
+  out << "  \"detections\": " << detections << ",\n";
+  out << "  \"kill_rate\": " << kill_rate << ",\n";
+  auto name_list = [&out](const std::vector<std::string>& names) {
+    out << "[";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      out << "\"" << JsonEscape(names[i]) << "\""
+          << (i + 1 < names.size() ? ", " : "");
+    }
+    out << "]";
+  };
+  out << "  \"missed\": ";
+  name_list(missed);
+  out << ",\n  \"unexpected_detections\": ";
+  name_list(unexpected);
+  out << "\n}\n";
+  return out.str();
+}
+
+std::string MutationCampaignReport::Summary() const {
+  std::ostringstream out;
+  for (const MutantOutcome& o : outcomes) {
+    out << (o.detected ? "KILLED   " : o.expect_detected ? "MISSED   "
+                                                         : "SURVIVED ")
+        << o.name;
+    if (o.detected) {
+      out << "  (seed " << o.seed << ", " << o.ops_to_detect
+          << " ops to detect, trace " << o.raw_trace_ops << " -> "
+          << o.minimized_ops << " ops";
+      if (o.replay_confirmed) out << ", replay-confirmed";
+      if (o.one_minimal) out << ", 1-minimal";
+      out << ")";
+    } else {
+      out << "  (" << o.hint << ")";
+    }
+    out << "\n";
+  }
+  out << "kill rate: " << detections << "/" << expected_detections;
+  if (expected_detections > 0) {
+    out << " (" << static_cast<int>(kill_rate * 100.0 + 0.5) << "%)";
+  }
+  out << "\n";
+  if (!missed.empty()) {
+    out << "missed:";
+    for (const auto& name : missed) out << " " << name;
+    out << "\n";
+  }
+  if (!unexpected.empty()) {
+    out << "unexpected detections:";
+    for (const auto& name : unexpected) out << " " << name;
+    out << "\n";
   }
   return out.str();
 }

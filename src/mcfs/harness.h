@@ -6,12 +6,15 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "mc/explorer.h"
 #include "mc/memory_model.h"
 #include "mc/swarm.h"
 #include "mcfs/equalize.h"
+#include "mcfs/shrink.h"
 #include "mcfs/syscall_engine.h"
+#include "verifs/mutations.h"
 
 namespace mcfs::core {
 
@@ -86,5 +89,89 @@ class McfsSwarmInstance final : public mc::SwarmInstance {
 // state is the visited store the Swarm itself injects. Aborts if a
 // worker's stack cannot be built — swarm workers have no error channel.
 mc::SwarmFactory MakeMcfsSwarmFactory(McfsConfig config);
+
+// ---------------------------------------------------------------------
+// Violation-trace replay + the mutation self-verification campaign.
+// ---------------------------------------------------------------------
+
+// ReplayPairFactory backed by full Mcfs stacks: each call builds a fresh
+// pair per `config` (FUSE transport and all), and snapshot records
+// (kCheckpoint/kRestore) replay through FsUnderTest::SaveState /
+// RestoreState on both sides. This is what lets a raw engine trace —
+// which interleaves operations with the explorer's own save/restore
+// calls — replay faithfully, including bugs that only manifest across a
+// rollback.
+ReplayPairFactory MakeMcfsReplayFactory(McfsConfig config);
+
+// Rebuilds a replayable Trace from an explorer violation trail (action
+// names from the initial state, as in ExploreStats::violation_trail).
+// The result is the semantic root-to-violation path — no snapshot
+// records — which is a far smaller shrink seed than the raw linear
+// history whenever the file systems restore faithfully. Fails with
+// kEINVAL on a name that is not in the engine's action set.
+Result<Trace> TraceFromTrail(const SyscallEngine& engine,
+                             const std::vector<std::string>& trail);
+
+struct MutationCampaignOptions {
+  ParameterPool pool = ParameterPool::Default();
+  std::uint64_t max_operations = 40'000;
+  std::uint32_t max_depth = 6;
+  // Tried in order until one run detects the mutant.
+  std::vector<std::uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+  bool fuse_transport = true;   // the §3.2 cache mutants need it
+  bool minimize = true;         // shrink each detecting trace
+  std::size_t max_replays = 5'000;  // shrink budget per mutant
+  // Raw-trace cap for the detecting run. Must exceed the operation count
+  // (plus interleaved snapshot records) or the trace loses its prefix
+  // and stops being a faithful linear history.
+  std::size_t trace_cap = 500'000;
+  std::vector<std::string> only;  // restrict to these mutant names
+};
+
+struct MutantOutcome {
+  std::string name;
+  std::string hint;
+  bool historical = false;
+  bool expect_detected = true;
+  bool detected = false;
+  std::uint64_t seed = 0;           // seed of the detecting run
+  std::uint64_t ops_to_detect = 0;  // operations explored by that run
+  std::size_t raw_trace_ops = 0;    // records in the raw trace
+  std::size_t minimized_ops = 0;    // records after shrinking
+  bool replay_confirmed = false;    // minimized trace re-reproduced
+  bool one_minimal = false;
+  std::size_t shrink_replays = 0;
+  std::string violation;        // explorer's violation report
+  std::string minimized_trace;  // ToText() of the shrunk trace
+};
+
+struct MutationCampaignReport {
+  std::vector<MutantOutcome> outcomes;
+  std::size_t expected_detections = 0;  // mutants with expect_detected
+  std::size_t detections = 0;           // of those, how many were caught
+  double kill_rate = 0;                 // detections / expected_detections
+  std::vector<std::string> missed;      // expected but undetected
+  std::vector<std::string> unexpected;  // detected despite expect_detected=false
+
+  // Machine-readable artifact (one self-contained JSON object).
+  std::string ToJson() const;
+  // Human-readable table + kill-rate line.
+  std::string Summary() const;
+};
+
+// Mutant-vs-reference pairing for one corpus entry: the mutant's own
+// family (VeriFS1 or VeriFS2) with the bug flags applied on side B and a
+// pristine twin on side A, both under the ioctl strategy. The campaign
+// always runs the full-recompute abstraction: the incremental cache
+// deliberately trusts restores, which is exactly what the restore
+// mutants violate.
+McfsConfig MutantCampaignConfig(const verifs::Mutant& mutant,
+                                const MutationCampaignOptions& options,
+                                std::uint64_t seed);
+
+// Runs every corpus mutant (or `options.only`) through explore → detect
+// → minimize → replay-confirm and aggregates the kill rate.
+MutationCampaignReport RunMutationCampaign(
+    const MutationCampaignOptions& options);
 
 }  // namespace mcfs::core

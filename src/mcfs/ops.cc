@@ -26,12 +26,18 @@ std::string_view OpKindName(OpKind kind) {
     case OpKind::kAccess: return "access";
     case OpKind::kSetXattr: return "setxattr";
     case OpKind::kRemoveXattr: return "removexattr";
+    case OpKind::kCheckpoint: return "checkpoint";
+    case OpKind::kRestore: return "restore";
   }
   return "?";
 }
 
 std::string Operation::ToString() const {
   std::ostringstream out;
+  if (kind == OpKind::kCheckpoint || kind == OpKind::kRestore) {
+    out << OpKindName(kind) << "(key=" << offset << ")";
+    return out.str();
+  }
   out << OpKindName(kind) << "(" << path;
   switch (kind) {
     case OpKind::kWriteFile:
@@ -112,6 +118,13 @@ TouchedPathSet TouchedPaths(const Operation& op, const OpOutcome& outcome) {
     case OpKind::kStat:
     case OpKind::kAccess:
     case OpKind::kReadLink:
+    case OpKind::kCheckpoint:
+      return touched;
+    case OpKind::kRestore:
+      // A rollback invalidates any bounded delta (the incremental cache
+      // handles engine-driven restores via epochs; a restore *record*
+      // replayed outside the engine needs the full recompute).
+      touched.full = true;
       return touched;
     default:
       break;
@@ -191,6 +204,8 @@ TouchedPathSet TouchedPaths(const Operation& op, const OpOutcome& outcome) {
     case OpKind::kStat:
     case OpKind::kAccess:
     case OpKind::kReadLink:
+    case OpKind::kCheckpoint:
+    case OpKind::kRestore:
       break;  // handled above
   }
   return touched;

@@ -39,6 +39,13 @@ enum class OpKind : std::uint8_t {
   kAccess,
   kSetXattr,
   kRemoveXattr,
+  // Snapshot meta-records (never pool-enumerated): the engine logs its
+  // own concrete save/restore calls into the trace so a raw DFS trace is
+  // a faithful *linear* execution history — replayable even for bugs
+  // that only manifest across a rollback (historical bug #2). The
+  // snapshot key rides in Operation::offset.
+  kCheckpoint,
+  kRestore,
 };
 
 std::string_view OpKindName(OpKind kind);
@@ -61,6 +68,8 @@ struct Operation {
   // Which optional feature (if any) both file systems must support for
   // this operation to be issued.
   bool RequiresFeature(fs::FsFeature* feature) const;
+
+  friend bool operator==(const Operation&, const Operation&) = default;
 };
 
 // The outcome the checker compares across file systems: error code plus

@@ -225,6 +225,12 @@ Result<mc::SnapshotId> SyscallEngine::SaveConcrete() {
     inc_a_.SaveEpoch(id);
     inc_b_.SaveEpoch(id);
   }
+  // Log the snapshot into the trace: with save/restore recorded, the raw
+  // trace is a faithful linear history and stays replayable across
+  // backtracks (see Trace::Replay's ReplayPair overload).
+  Operation op{.kind = OpKind::kCheckpoint, .offset = id};
+  trace_.Append(op, OpOutcome{}, OpOutcome{}, /*violation=*/false);
+  trace_.TrimToLast(options_.trace_cap);
   return id;
 }
 
@@ -238,7 +244,11 @@ Status SyscallEngine::RestoreConcrete(mc::SnapshotId id) {
     (void)inc_b_.RestoreEpoch(id);
   }
   if (Status s = fs_a_.RestoreState(id); !s.ok()) return s;
-  return fs_b_.RestoreState(id);
+  if (Status s = fs_b_.RestoreState(id); !s.ok()) return s;
+  Operation op{.kind = OpKind::kRestore, .offset = id};
+  trace_.Append(op, OpOutcome{}, OpOutcome{}, /*violation=*/false);
+  trace_.TrimToLast(options_.trace_cap);
+  return Status::Ok();
 }
 
 Status SyscallEngine::DiscardConcrete(mc::SnapshotId id) {

@@ -120,6 +120,11 @@ OpOutcome ExecuteOp(vfs::Vfs& v, const Operation& op) {
     case OpKind::kRemoveXattr:
       outcome.error = v.RemoveXattr(op.path, op.xattr_name).error();
       break;
+    case OpKind::kCheckpoint:
+    case OpKind::kRestore:
+      // Snapshot records are executed by the replay host (ReplayPair),
+      // not against a single VFS.
+      break;
   }
   return outcome;
 }
@@ -161,14 +166,24 @@ Bytes Trace::Serialize() const {
 }
 
 Result<Trace> Trace::Deserialize(ByteView image) {
+  // Fixed-width bytes per record (the three strings add 4 bytes of length
+  // prefix each on top). Used to reject absurd record counts before any
+  // allocation happens.
+  constexpr std::size_t kMinRecordBytes =
+      1 + 4 + 4 + 8 + 8 + 1 + 2 + 4 + 4 + 4 + 1;
   try {
     ByteReader r(image);
     Trace trace;
     const std::uint32_t count = r.GetU32();
-    trace.records_.reserve(std::min<std::uint32_t>(count, 65536));
+    if (count > r.remaining() / kMinRecordBytes) return Errno::kEINVAL;
+    trace.records_.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
       Record record;
-      record.op.kind = static_cast<OpKind>(r.GetU8());
+      const std::uint8_t kind = r.GetU8();
+      if (kind > static_cast<std::uint8_t>(OpKind::kRestore)) {
+        return Errno::kEINVAL;
+      }
+      record.op.kind = static_cast<OpKind>(kind);
       record.op.path = r.GetString();
       record.op.path2 = r.GetString();
       record.op.offset = r.GetU64();
@@ -178,9 +193,20 @@ Result<Trace> Trace::Deserialize(ByteView image) {
       record.op.xattr_name = r.GetString();
       record.error_a = static_cast<Errno>(r.GetU32());
       record.error_b = static_cast<Errno>(r.GetU32());
-      record.violation = r.GetU8() != 0;
+      // The Errno enum is closed; anything ErrnoName can't print never
+      // came from Serialize.
+      if (ErrnoName(record.error_a) == "E???" ||
+          ErrnoName(record.error_b) == "E???") {
+        return Errno::kEINVAL;
+      }
+      const std::uint8_t violation = r.GetU8();
+      if (violation > 1) return Errno::kEINVAL;
+      record.violation = violation != 0;
       trace.records_.push_back(std::move(record));
     }
+    // Trailing garbage means the image was not produced by Serialize;
+    // poison it rather than silently accept a prefix.
+    if (!r.AtEnd()) return Errno::kEINVAL;
     return trace;
   } catch (const std::out_of_range&) {
     return Errno::kEINVAL;
@@ -194,19 +220,87 @@ void Trace::TrimToLast(std::size_t n) {
   }
 }
 
+void Trace::TrimToFirst(std::size_t n) {
+  if (records_.size() > n) {
+    records_.resize(n);
+  }
+}
+
 Trace::ReplayResult Trace::Replay(vfs::Vfs& a, vfs::Vfs& b,
                                   const CheckerOptions& options) const {
+  ReplayOptions replay;
+  replay.checker = options;
+  return Replay(a, b, replay);
+}
+
+namespace {
+
+// Adapts two bare VFS stacks to the ReplayPair interface (no snapshot
+// support: snapshot records fail the replay).
+class VfsOnlyPair final : public ReplayPair {
+ public:
+  VfsOnlyPair(vfs::Vfs& a, vfs::Vfs& b) : a_(a), b_(b) {}
+  vfs::Vfs& a() override { return a_; }
+  vfs::Vfs& b() override { return b_; }
+
+ private:
+  vfs::Vfs& a_;
+  vfs::Vfs& b_;
+};
+
+}  // namespace
+
+Trace::ReplayResult Trace::Replay(vfs::Vfs& a, vfs::Vfs& b,
+                                  const ReplayOptions& options) const {
+  VfsOnlyPair pair(a, b);
+  return Replay(pair, options);
+}
+
+Trace::ReplayResult Trace::Replay(ReplayPair& pair,
+                                  const ReplayOptions& options) const {
   ReplayResult result;
   for (std::size_t i = 0; i < records_.size(); ++i) {
-    const OpOutcome oa = ExecuteOp(a, records_[i].op);
-    const OpOutcome ob = ExecuteOp(b, records_[i].op);
+    const Operation& op = records_[i].op;
+    if (op.kind == OpKind::kCheckpoint || op.kind == OpKind::kRestore) {
+      const Status s = op.kind == OpKind::kCheckpoint
+                           ? pair.Save(op.offset)
+                           : pair.Restore(op.offset);
+      if (!s.ok()) {
+        // Infrastructure failure (unknown key after ddmin dropped the
+        // matching checkpoint, or a host without snapshot support): the
+        // candidate does not reproduce.
+        result.detail = "snapshot replay failed at record " +
+                        std::to_string(i);
+        return result;
+      }
+      continue;  // nothing to compare
+    }
+    const OpOutcome oa = ExecuteOp(pair.a(), records_[i].op);
+    const OpOutcome ob = ExecuteOp(pair.b(), records_[i].op);
     const CheckVerdict verdict =
-        CompareOutcomes(records_[i].op, oa, ob, options);
+        CompareOutcomes(records_[i].op, oa, ob, options.checker);
     if (!verdict.ok) {
       result.reproduced = true;
       result.violation_index = i;
       result.detail = verdict.detail;
       return result;
+    }
+    if (options.compare_states) {
+      auto da = ComputeAbstractState(pair.a(), options.abstraction);
+      auto db = ComputeAbstractState(pair.b(), options.abstraction);
+      if (!da.ok() || !db.ok()) {
+        result.reproduced = true;
+        result.violation_index = i;
+        result.detail = "abstraction walk failed during replay";
+        return result;
+      }
+      if (da.value() != db.value()) {
+        result.reproduced = true;
+        result.violation_index = i;
+        result.detail = "abstract states diverge after " +
+                        records_[i].op.ToString();
+        return result;
+      }
     }
   }
   return result;

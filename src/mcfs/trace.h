@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "mcfs/abstraction.h"
 #include "mcfs/checker.h"
 #include "mcfs/ops.h"
 #include "vfs/vfs.h"
@@ -19,7 +20,31 @@ namespace mcfs::core {
 
 // Executes one operation (meta-ops included) against a mounted VFS.
 // Exposed here because both the engine and trace replay need it.
+// Snapshot records (kCheckpoint/kRestore) are no-ops here — they need a
+// ReplayPair with snapshot support.
 OpOutcome ExecuteOp(vfs::Vfs& v, const Operation& op);
+
+// A freshly built, mounted pair of file systems for one replay attempt.
+// Every replay gets its own pair so earlier attempts cannot leak state.
+class ReplayPair {
+ public:
+  virtual ~ReplayPair() = default;
+  virtual vfs::Vfs& a() = 0;
+  virtual vfs::Vfs& b() = 0;
+
+  // Snapshot hooks for kCheckpoint/kRestore records (keys are the
+  // recorded Operation::offset), applied to BOTH file systems. Default:
+  // unsupported — a trace containing snapshot records then fails to
+  // reproduce instead of silently skipping them.
+  virtual Status Save(std::uint64_t key) {
+    (void)key;
+    return Errno::kENOTSUP;
+  }
+  virtual Status Restore(std::uint64_t key) {
+    (void)key;
+    return Errno::kENOTSUP;
+  }
+};
 
 class Trace {
  public:
@@ -28,6 +53,8 @@ class Trace {
     Errno error_a;
     Errno error_b;
     bool violation = false;
+
+    friend bool operator==(const Record&, const Record&) = default;
   };
 
   void Append(const Operation& op, const OpOutcome& a, const OpOutcome& b,
@@ -41,12 +68,19 @@ class Trace {
   std::string ToText() const;
 
   // Binary round trip, so a trace can be saved alongside a bug report
-  // and replayed later (paper §2's reproducibility story).
+  // and replayed later (paper §2's reproducibility story). Deserialize
+  // treats the image as hostile: record counts are validated against the
+  // remaining byte budget before any allocation, operation kinds, errno
+  // values, and the violation flag must decode to legal values, and
+  // trailing bytes after the last record poison the whole image.
   Bytes Serialize() const;
   static Result<Trace> Deserialize(ByteView image);
 
   // Keeps only the last `n` records (long runs cap their trace memory).
   void TrimToLast(std::size_t n);
+  // Keeps only the first `n` records (minimization truncates at the
+  // first reproducing violation).
+  void TrimToFirst(std::size_t n);
 
   struct ReplayResult {
     bool reproduced = false;     // a violation occurred during replay
@@ -54,10 +88,27 @@ class Trace {
     std::string detail;
   };
 
+  struct ReplayOptions {
+    CheckerOptions checker;
+    // Also compare the two sides' abstract states after every operation —
+    // the §2 "identical states" check. Catches divergence (e.g. a chmod
+    // that silently ignores its mode argument) that never surfaces in any
+    // single operation's outcome.
+    bool compare_states = false;
+    AbstractionOptions abstraction;
+  };
+
   // Re-executes the recorded operations against a fresh pair of mounted
-  // file systems and reports whether a discrepancy reappears.
+  // file systems and reports whether a discrepancy reappears. The
+  // vfs-level overloads cannot honor snapshot records; use the
+  // ReplayPair overload for traces that contain them.
   ReplayResult Replay(vfs::Vfs& a, vfs::Vfs& b,
                       const CheckerOptions& options) const;
+  ReplayResult Replay(vfs::Vfs& a, vfs::Vfs& b,
+                      const ReplayOptions& options) const;
+  ReplayResult Replay(ReplayPair& pair, const ReplayOptions& options) const;
+
+  std::vector<Record>& mutable_records() { return records_; }
 
  private:
   std::vector<Record> records_;

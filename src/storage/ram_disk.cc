@@ -40,7 +40,9 @@ void RamDisk::ChargeSnapshotPass(std::uint64_t bytes) const {
 Status RamDisk::Read(std::uint64_t offset, std::span<std::uint8_t> out) {
   if (ConsumeInjectedError()) return Errno::kEIO;
   if (offset + out.size() > data_.size()) return Errno::kEIO;
-  std::memcpy(out.data(), data_.data() + offset, out.size());
+  if (!out.empty()) {
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+  }
   ++stats_.reads;
   stats_.bytes_read += out.size();
   Charge(out.size());
@@ -50,7 +52,9 @@ Status RamDisk::Read(std::uint64_t offset, std::span<std::uint8_t> out) {
 Status RamDisk::Write(std::uint64_t offset, ByteView data) {
   if (ConsumeInjectedError()) return Errno::kEIO;
   if (offset + data.size() > data_.size()) return Errno::kEIO;
-  std::memcpy(data_.data() + offset, data.data(), data.size());
+  if (!data.empty()) {
+    std::memcpy(data_.data() + offset, data.data(), data.size());
+  }
   ++stats_.writes;
   stats_.bytes_written += data.size();
   Charge(data.size());

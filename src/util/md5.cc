@@ -69,6 +69,7 @@ Md5::Md5() {
 
 void Md5::Update(ByteView data) {
   assert(!finalized_);
+  if (data.empty()) return;  // empty spans have a null data()
   bit_count_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t offset = 0;
   // Fill any partially buffered block first.

@@ -1,12 +1,17 @@
-// The four historical VeriFS bugs the paper reports MCFS finding (§6),
-// reproducible on demand. Each flag re-introduces one bug so the bench
-// suite can measure operations-to-detection and tests can verify both the
-// buggy and the fixed behaviour.
+// Seeded VeriFS bugs: the four historical bugs the paper reports MCFS
+// finding (§6), plus a mutation corpus used to measure the checker's
+// kill rate (see src/verifs/mutations.h). Each flag re-introduces one
+// bug so the bench suite can measure operations-to-detection, tests can
+// verify both the buggy and the fixed behaviour, and the mutation
+// campaign can assert the checker actually detects each class of fault.
 #pragma once
 
 namespace mcfs::verifs {
 
 struct VerifsBugs {
+  // -------------------------------------------------------------------
+  // The four historical bugs (paper §6).
+
   // VeriFS1 bug #1 (caught after ~9K ops vs Ext4): truncate failed to
   // clear newly allocated space when expanding a file — stale bytes from
   // a previous, longer incarnation of the file become visible.
@@ -26,6 +31,50 @@ struct VerifsBugs {
   // file size only when the file grew beyond its buffer capacity, not
   // whenever it was appended to — files came out short.
   bool size_update_only_on_capacity_growth = false;
+
+  // -------------------------------------------------------------------
+  // Mutation corpus, VeriFS1 (see mutations.h for the registry).
+
+  // stat reports file sizes one byte large.
+  bool stat_size_off_by_one = false;
+  // mkdir over an existing name reports ENOENT instead of EEXIST.
+  bool mkdir_eexist_as_enoent = false;
+  // rmdir removes non-empty directories instead of failing ENOTEMPTY
+  // (the orphaned children leak).
+  bool rmdir_ignores_nonempty = false;
+  // chmod returns success but never stores the new mode.
+  bool chmod_ignores_mode = false;
+  // truncate to a smaller size silently does nothing.
+  bool truncate_shrink_noop = false;
+  // ioctl restore drops the highest-numbered non-root inode from the
+  // restored image — one file or directory vanishes per rollback.
+  bool restore_skips_one_inode = false;
+
+  // -------------------------------------------------------------------
+  // Mutation corpus, VeriFS2.
+
+  // rename moves the inode but drops its extended attributes.
+  bool rename_drops_xattrs = false;
+  // unlink of a missing file reports EPERM instead of ENOENT.
+  bool unlink_enoent_as_eperm = false;
+  // symlink creation truncates the stored target by one character.
+  bool symlink_truncates_target = false;
+  // removexattr of an absent name reports success instead of ENODATA.
+  bool removexattr_ok_when_missing = false;
+  // write that grows a file within capacity records one byte too few.
+  bool write_grow_size_off_by_one = false;
+  // stat over-reports nlink by one for regular files.
+  bool getattr_nlink_off_by_one = false;
+  // truncate expansion exposes stale buffer bytes (VeriFS2 variant of
+  // historical bug #1).
+  bool truncate_expand_stale = false;
+  // link silently overwrites an existing destination instead of EEXIST.
+  bool link_allows_overwrite = false;
+  // readdir returns entries in reverse insertion order. The checker
+  // sorts dirents before comparison (§3.4 workaround 2), so this mutant
+  // is *expected to survive* — it documents a blind spot the paper
+  // accepts by design.
+  bool readdir_reverse_order = false;
 
   static VerifsBugs None() { return {}; }
 };

@@ -1,0 +1,148 @@
+#include "verifs/mutations.h"
+
+namespace mcfs::verifs {
+namespace {
+
+Mutant Make(std::string name, std::string hint, bool verifs2,
+            bool historical, bool expect_detected,
+            bool VerifsBugs::*flag) {
+  Mutant m;
+  m.name = std::move(name);
+  m.hint = std::move(hint);
+  m.verifs2 = verifs2;
+  m.historical = historical;
+  m.expect_detected = expect_detected;
+  m.bugs.*flag = true;
+  return m;
+}
+
+std::vector<Mutant> BuildCorpus() {
+  std::vector<Mutant> corpus;
+  // ----- The four historical paper bugs (§6). -----
+  corpus.push_back(Make(
+      "truncate_no_zero_on_expand",
+      "read after truncate-expand returns stale bytes from a longer "
+      "incarnation of the file",
+      /*verifs2=*/false, /*historical=*/true, /*expect_detected=*/true,
+      &VerifsBugs::truncate_no_zero_on_expand));
+  corpus.push_back(Make(
+      "skip_cache_invalidation_on_restore",
+      "stale kernel dentry/inode cache after rollback: mkdir EEXIST for a "
+      "directory that does not exist (needs the FUSE transport and a "
+      "restore-based strategy)",
+      /*verifs2=*/false, /*historical=*/true, /*expect_detected=*/true,
+      &VerifsBugs::skip_cache_invalidation_on_restore));
+  corpus.push_back(Make(
+      "write_hole_no_zero",
+      "read across a hole created by a write beyond EOF returns garbage "
+      "instead of zeros",
+      /*verifs2=*/true, /*historical=*/true, /*expect_detected=*/true,
+      &VerifsBugs::write_hole_no_zero));
+  corpus.push_back(Make(
+      "size_update_only_on_capacity_growth",
+      "stat/read after an in-capacity append sees the old, short size",
+      /*verifs2=*/true, /*historical=*/true, /*expect_detected=*/true,
+      &VerifsBugs::size_update_only_on_capacity_growth));
+  // ----- Synthetic VeriFS1 mutants. -----
+  corpus.push_back(Make(
+      "stat_size_off_by_one",
+      "stat reports every regular file one byte larger than its content",
+      /*verifs2=*/false, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::stat_size_off_by_one));
+  corpus.push_back(Make(
+      "mkdir_eexist_as_enoent",
+      "mkdir over an existing name returns ENOENT instead of EEXIST",
+      /*verifs2=*/false, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::mkdir_eexist_as_enoent));
+  corpus.push_back(Make(
+      "rmdir_ignores_nonempty",
+      "rmdir of a non-empty directory succeeds and the children vanish",
+      /*verifs2=*/false, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::rmdir_ignores_nonempty));
+  corpus.push_back(Make(
+      "chmod_ignores_mode",
+      "chmod returns OK but a later stat still shows the old mode",
+      /*verifs2=*/false, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::chmod_ignores_mode));
+  corpus.push_back(Make(
+      "truncate_shrink_noop",
+      "truncate to a smaller size is silently ignored; stat/read see the "
+      "old length",
+      /*verifs2=*/false, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::truncate_shrink_noop));
+  corpus.push_back(Make(
+      "restore_skips_one_inode",
+      "one file or directory vanishes per ioctl rollback (needs a "
+      "restore-based strategy and exploration deep enough to backtrack)",
+      /*verifs2=*/false, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::restore_skips_one_inode));
+  // ----- Synthetic VeriFS2 mutants. -----
+  corpus.push_back(Make(
+      "rename_drops_xattrs",
+      "getxattr after rename returns ENODATA for attributes set before "
+      "the move",
+      /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::rename_drops_xattrs));
+  corpus.push_back(Make(
+      "unlink_enoent_as_eperm",
+      "unlink of a missing file returns EPERM instead of ENOENT",
+      /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::unlink_enoent_as_eperm));
+  corpus.push_back(Make(
+      "symlink_truncates_target",
+      "readlink returns the target minus its last character",
+      /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::symlink_truncates_target));
+  corpus.push_back(Make(
+      "removexattr_ok_when_missing",
+      "removexattr of an absent name returns OK instead of ENODATA",
+      /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::removexattr_ok_when_missing));
+  corpus.push_back(Make(
+      "write_grow_size_off_by_one",
+      "stat/read after an in-capacity growing write see one byte too few",
+      /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::write_grow_size_off_by_one));
+  corpus.push_back(Make(
+      "getattr_nlink_off_by_one",
+      "stat reports nlink one too high for regular files",
+      /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::getattr_nlink_off_by_one));
+  corpus.push_back(Make(
+      "truncate_expand_stale",
+      "read after truncate-expand returns stale buffer bytes (VeriFS2 "
+      "re-introduction of historical bug #1)",
+      /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::truncate_expand_stale));
+  corpus.push_back(Make(
+      "link_allows_overwrite",
+      "link over an existing destination succeeds instead of EEXIST",
+      /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::link_allows_overwrite));
+  corpus.push_back(Make(
+      "readdir_reverse_order",
+      "directory listing comes back in reverse order; the checker sorts "
+      "dirents (§3.4 workaround 2), so this mutant survives BY DESIGN — "
+      "it documents an accepted blind spot (without FUSE it can still be "
+      "caught incidentally via a restore/dcache side channel)",
+      /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/false,
+      &VerifsBugs::readdir_reverse_order));
+  return corpus;
+}
+
+}  // namespace
+
+const std::vector<Mutant>& MutationCorpus() {
+  static const std::vector<Mutant>* corpus =
+      new std::vector<Mutant>(BuildCorpus());
+  return *corpus;
+}
+
+const Mutant* FindMutant(const std::string& name) {
+  for (const Mutant& m : MutationCorpus()) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace mcfs::verifs

@@ -1,0 +1,42 @@
+// The registered mutation corpus: every seeded fault the checker is
+// expected to catch (or, for documented blind spots, to miss), each a
+// single VerifsBugs flag with a name and a detection hint.
+//
+// This is the checker's self-verification surface (the paper's checker —
+// like the Augsburg VFS formal model it cites — is itself unverified):
+// the mutation campaign (mcfs::core::RunMutationCampaign) explores every
+// mutant against a fixed reference twin and measures the kill rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verifs/bugs.h"
+
+namespace mcfs::verifs {
+
+struct Mutant {
+  // Stable identifier, used in reports and --mutant selectors; matches
+  // the VerifsBugs field name.
+  std::string name;
+  // How the fault should surface (for humans reading the report).
+  std::string hint;
+  // Mutated file system: VeriFS2 when true, else VeriFS1.
+  bool verifs2 = false;
+  // Historical paper bug (§6) rather than a synthetic mutant.
+  bool historical = false;
+  // Whether the checker is expected to catch it. The only current
+  // exception is readdir_reverse_order: the §3.4 dirent-sorting
+  // workaround makes entry order unobservable by design.
+  bool expect_detected = true;
+  // The flag set that arms exactly this mutant.
+  VerifsBugs bugs;
+};
+
+// The full corpus: 4 historical bugs + 15 synthetic mutants.
+const std::vector<Mutant>& MutationCorpus();
+
+// Corpus lookup by name; nullptr when unknown.
+const Mutant* FindMutant(const std::string& name);
+
+}  // namespace mcfs::verifs

@@ -103,7 +103,7 @@ fs::InodeAttr Verifs1::ToAttr(std::uint32_t index, const Inode& inode) const {
   attr.gid = inode.gid;
   attr.size = inode.type == fs::FileType::kDirectory
                   ? inode.children.size() * 32
-                  : inode.size;
+                  : inode.size + (options_.bugs.stat_size_off_by_one ? 1 : 0);
   attr.atime_ns = inode.atime_ns;
   attr.mtime_ns = inode.mtime_ns;
   attr.ctime_ns = inode.ctime_ns;
@@ -147,7 +147,11 @@ Status Verifs1::Mkdir(const std::string& path, fs::Mode mode) {
                              options_.identity, fs::kWOk)) {
     return Errno::kEACCES;
   }
-  if (pnode.children.contains(parent.value().name)) return Errno::kEEXIST;
+  if (pnode.children.contains(parent.value().name)) {
+    // Mutant: the "already exists" case mapped to the wrong errno.
+    return options_.bugs.mkdir_eexist_as_enoent ? Errno::kENOENT
+                                                : Errno::kEEXIST;
+  }
   auto slot = AllocInode();
   if (!slot.ok()) return slot.error();
   Inode& child = inodes_[slot.value()];
@@ -177,7 +181,10 @@ Status Verifs1::Rmdir(const std::string& path) {
   if (it == pnode.children.end()) return Errno::kENOENT;
   Inode& victim = inodes_[it->second];
   if (victim.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
-  if (!victim.children.empty()) return Errno::kENOTEMPTY;
+  // Mutant: skip the emptiness check; the orphaned children leak.
+  if (!victim.children.empty() && !options_.bugs.rmdir_ignores_nonempty) {
+    return Errno::kENOTEMPTY;
+  }
   victim = Inode{};  // marks the slot unused
   pnode.children.erase(it);
   pnode.mtime_ns = NowNs();
@@ -323,7 +330,11 @@ Result<std::uint64_t> Verifs1::Write(fs::FileHandle fh, std::uint64_t offset,
   if (offset + data.size() > inode.buf.size()) {
     inode.buf.resize(offset + data.size(), 0);
   }
-  std::memcpy(inode.buf.data() + offset, data.data(), data.size());
+  // data.data() is null for a zero-length span; memcpy requires
+  // non-null pointers even when the count is 0.
+  if (!data.empty()) {
+    std::memcpy(inode.buf.data() + offset, data.data(), data.size());
+  }
   if (offset + data.size() > inode.size) inode.size = offset + data.size();
   inode.mtime_ns = NowNs();
   inode.ctime_ns = inode.mtime_ns;
@@ -338,6 +349,10 @@ Status Verifs1::Truncate(const std::string& path, std::uint64_t size) {
   if (!fs::PermissionGranted(ToAttr(index.value(), inode),
                              options_.identity, fs::kWOk)) {
     return Errno::kEACCES;
+  }
+  // Mutant: shrinking truncate silently does nothing.
+  if (options_.bugs.truncate_shrink_noop && size < inode.size) {
+    return Status::Ok();
   }
   // Historical bug #1: expansion without zeroing the reclaimed region.
   SetFileSize(inode, size,
@@ -362,7 +377,10 @@ Status Verifs1::Chmod(const std::string& path, fs::Mode mode) {
   if (!options_.identity.IsRoot() && options_.identity.uid != inode.uid) {
     return Errno::kEPERM;
   }
-  inode.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
+  // Mutant: report success but never store the new mode.
+  if (!options_.bugs.chmod_ignores_mode) {
+    inode.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
+  }
   inode.ctime_ns = NowNs();
   return Status::Ok();
 }
@@ -474,6 +492,25 @@ void Verifs1::DeserializeState(ByteView state) {
   op_counter_ = r.GetU64();
 }
 
+void Verifs1::DropOneInodeAfterRestore() {
+  for (std::uint32_t i = static_cast<std::uint32_t>(inodes_.size()); i > 1;) {
+    --i;
+    if (!inodes_[i].used) continue;
+    // Detach from the parent's namespace, then free the slot (children of
+    // a dropped directory leak, like a lost inode would).
+    Inode& parent = inodes_[inodes_[i].parent];
+    for (auto it = parent.children.begin(); it != parent.children.end();
+         ++it) {
+      if (it->second == i) {
+        parent.children.erase(it);
+        break;
+      }
+    }
+    inodes_[i] = Inode{};
+    return;
+  }
+}
+
 void Verifs1::CollectPathsRec(std::uint32_t index, const std::string& prefix,
                               std::vector<std::string>* out) const {
   const Inode& inode = inodes_[index];
@@ -537,6 +574,7 @@ Status Verifs1::IoctlRestore(std::uint64_t key) {
   std::vector<std::string> pre_restore_paths = CollectAllPaths();
   std::vector<fs::InodeNum> pre_restore_inos = CollectUsedInos();
   DeserializeState(snapshot.value());
+  if (options_.bugs.restore_skips_one_inode) DropOneInodeAfterRestore();
   open_files_.clear();  // handles do not survive a state rollback
   if (!options_.bugs.skip_cache_invalidation_on_restore) {
     // The fix for historical bug #2: notify the kernel so its dentry and

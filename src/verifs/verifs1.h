@@ -131,6 +131,9 @@ class Verifs1 : public fs::FileSystem, public fs::CheckpointableFs {
   // Full-state serialization for the snapshot pool.
   Bytes SerializeState() const;
   void DeserializeState(ByteView state);
+  // Mutant restore_skips_one_inode: unlinks the highest-numbered
+  // non-root inode from the just-restored image.
+  void DropOneInodeAfterRestore();
   // Emits InvalEntry/InvalInode for everything in the current namespace
   // plus the pre-restore paths/inodes handed in (entries from the
   // abandoned timeline must be dropped too, or slot reuse resurrects

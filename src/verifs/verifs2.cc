@@ -113,7 +113,8 @@ fs::InodeAttr Verifs2::ToAttr(std::uint32_t index, const Inode& inode) const {
     attr.size = inode.children.size() * 32;
   } else {
     const std::uint32_t links = CountLinks(index);
-    attr.nlink = links == 0 ? 1 : links;
+    attr.nlink = (links == 0 ? 1 : links) +
+                 (options_.bugs.getattr_nlink_off_by_one ? 1 : 0);
     attr.size = inode.size;
   }
   attr.uid = inode.uid;
@@ -218,7 +219,11 @@ Status Verifs2::Unlink(const std::string& path) {
     return Errno::kEACCES;
   }
   auto it = pnode.children.find(parent.value().name);
-  if (it == pnode.children.end()) return Errno::kENOENT;
+  if (it == pnode.children.end()) {
+    // Mutant: the "no such file" case mapped to the wrong errno.
+    return options_.bugs.unlink_enoent_as_eperm ? Errno::kEPERM
+                                                : Errno::kENOENT;
+  }
   const std::uint32_t victim = it->second;
   if (inodes_[victim].type == fs::FileType::kDirectory) {
     return Errno::kEISDIR;
@@ -244,6 +249,11 @@ Result<std::vector<fs::DirEntry>> Verifs2::ReadDir(const std::string& path) {
   for (const auto& [name, child] : inode.children) {
     out.push_back({name, static_cast<fs::InodeNum>(child + 1),
                    inodes_[child].type});
+  }
+  // Mutant: reversed listing order. The checker sorts dirents before
+  // comparing (§3.4 workaround 2), so this one survives by design.
+  if (options_.bugs.readdir_reverse_order) {
+    std::reverse(out.begin(), out.end());
   }
   return out;
 }
@@ -359,11 +369,19 @@ Result<std::uint64_t> Verifs2::Write(fs::FileHandle fh, std::uint64_t offset,
     inode.size = required;
   } else if (!options_.bugs.size_update_only_on_capacity_growth) {
     // ...but historical bug #4 forgot to update it on the in-capacity
-    // path, leaving appended files short (paper §6).
-    inode.size = std::max(inode.size, required);
+    // path, leaving appended files short (paper §6). The off-by-one
+    // mutant records one byte too few on that same path.
+    std::uint64_t new_size = required;
+    if (options_.bugs.write_grow_size_off_by_one && required > inode.size) {
+      new_size = required - 1;
+    }
+    inode.size = std::max(inode.size, new_size);
   }
 
-  std::memcpy(inode.buf.data() + offset, data.data(), data.size());
+  // Zero-length spans carry a null data() that memcpy must not see.
+  if (!data.empty()) {
+    std::memcpy(inode.buf.data() + offset, data.data(), data.size());
+  }
   inode.mtime_ns = NowNs();
   inode.ctime_ns = inode.mtime_ns;
   return data.size();
@@ -382,10 +400,11 @@ Status Verifs2::Truncate(const std::string& path, std::uint64_t size) {
     if (Status s = CheckQuota(size - inode.size); !s.ok()) return s;
     // VeriFS2 learned this zeroing from VeriFS1's bug #1: the whole
     // reclaimed region must be cleared, including stale capacity bytes
-    // below the old buffer end when the buffer also grows.
+    // below the old buffer end when the buffer also grows. The
+    // truncate_expand_stale mutant re-introduces exactly that bug.
     const std::uint64_t zero_end =
         std::min<std::uint64_t>(size, inode.buf.size());
-    if (zero_end > inode.size) {
+    if (zero_end > inode.size && !options_.bugs.truncate_expand_stale) {
       std::memset(inode.buf.data() + inode.size, 0, zero_end - inode.size);
     }
     if (size > inode.buf.size()) {
@@ -502,6 +521,8 @@ Status Verifs2::Rename(const std::string& from, const std::string& to) {
 
   src_parent.children.erase(src.value().name);
   dst_parent.children[dst.value().name] = moving;
+  // Mutant: the move loses the inode's extended attributes.
+  if (options_.bugs.rename_drops_xattrs) inodes_[moving].xattrs.clear();
   const std::uint64_t t = NowNs();
   src_parent.mtime_ns = t;
   dst_parent.mtime_ns = t;
@@ -521,7 +542,12 @@ Status Verifs2::Link(const std::string& existing, const std::string& link) {
                              options_.identity, fs::kWOk)) {
     return Errno::kEACCES;
   }
-  if (parent.children.contains(dst.value().name)) return Errno::kEEXIST;
+  // Mutant: silently overwrite an existing destination (the displaced
+  // inode leaks) instead of failing EEXIST.
+  if (parent.children.contains(dst.value().name) &&
+      !options_.bugs.link_allows_overwrite) {
+    return Errno::kEEXIST;
+  }
   parent.children[dst.value().name] = src.value();
   parent.mtime_ns = NowNs();
   inodes_[src.value()].ctime_ns = NowNs();
@@ -532,8 +558,13 @@ Status Verifs2::Symlink(const std::string& target, const std::string& link) {
   if (target.empty() || target.size() > fs::kPathMax) return Errno::kEINVAL;
   auto parent = ResolveParentRef(link);
   if (!parent.ok()) return parent.error();
+  // Mutant: the stored target loses its last character.
+  const std::string stored =
+      options_.bugs.symlink_truncates_target
+          ? target.substr(0, target.size() - 1)
+          : target;
   auto child =
-      CreateChild(parent.value(), fs::FileType::kSymlink, 0777, target);
+      CreateChild(parent.value(), fs::FileType::kSymlink, 0777, stored);
   return child.ok() ? Status::Ok() : Status(child.error());
 }
 
@@ -593,7 +624,12 @@ Status Verifs2::RemoveXattr(const std::string& path,
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
   Inode& inode = inodes_[index.value()];
-  if (inode.xattrs.erase(name) == 0) return Errno::kENODATA;
+  if (inode.xattrs.erase(name) == 0) {
+    // Mutant: removing an absent attribute claims success.
+    return options_.bugs.removexattr_ok_when_missing
+               ? Status::Ok()
+               : Status(Errno::kENODATA);
+  }
   inode.ctime_ns = NowNs();
   return Status::Ok();
 }

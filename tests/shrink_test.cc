@@ -1,0 +1,181 @@
+// TraceMinimizer: ddmin deletion, parameter simplification, budget and
+// failure behavior — all against real (in-process) VeriFS1 pairs.
+#include <gtest/gtest.h>
+
+#include "mcfs/harness.h"
+#include "mcfs/shrink.h"
+
+namespace mcfs::core {
+namespace {
+
+// Same-kind ioctl pair, direct in-process calls (no FUSE): fast enough
+// for the hundreds of fresh pairs a shrink builds.
+McfsConfig PairConfig(verifs::VerifsBugs bugs) {
+  McfsConfig config;
+  config.fs_a.kind = FsKind::kVerifs1;
+  config.fs_a.strategy = StateStrategy::kIoctl;
+  config.fs_a.fuse_transport = false;
+  config.fs_b = config.fs_a;
+  config.fs_b.bugs = bugs;
+  return config;
+}
+
+Trace MakeTrace(const std::vector<Operation>& ops) {
+  Trace trace;
+  OpOutcome none;
+  for (const Operation& op : ops) trace.Append(op, none, none, false);
+  return trace;
+}
+
+Operation Op(OpKind kind, const std::string& path, std::uint64_t size = 0) {
+  Operation op;
+  op.kind = kind;
+  op.path = path;
+  op.size = size;
+  return op;
+}
+
+// create f0, grow it, shrink-truncate (the bug: silently ignored), stat
+// (where the sizes visibly differ) — buried in unrelated noise.
+std::vector<Operation> NoisyShrinkTrigger() {
+  return {
+      Op(OpKind::kMkdir, "/d0"),
+      Op(OpKind::kCreateFile, "/f1"),
+      Op(OpKind::kCreateFile, "/f0"),
+      Op(OpKind::kStat, "/f1"),
+      Op(OpKind::kWriteFile, "/f0", 64),
+      Op(OpKind::kGetDents, "/"),
+      Op(OpKind::kMkdir, "/d0/sub"),
+      Op(OpKind::kTruncate, "/f0", 1),
+      Op(OpKind::kStat, "/d0"),
+      Op(OpKind::kStat, "/f0"),  // sizes diverge here
+      Op(OpKind::kGetDents, "/d0"),
+  };
+}
+
+TEST(ShrinkTest, DdminFindsTheMinimalShrinkTruncateReproducer) {
+  verifs::VerifsBugs bugs;
+  bugs.truncate_shrink_noop = true;
+  TraceMinimizer minimizer(MakeMcfsReplayFactory(PairConfig(bugs)), {});
+  ShrinkReport report;
+  auto minimized = minimizer.Minimize(MakeTrace(NoisyShrinkTrigger()),
+                                      &report);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_TRUE(report.input_reproduced);
+  EXPECT_TRUE(report.replay_confirmed);
+  EXPECT_TRUE(report.one_minimal);
+  EXPECT_EQ(report.original_ops, 11u);
+  // create + write + truncate + stat: nothing else is load-bearing.
+  EXPECT_EQ(report.final_ops, 4u);
+  EXPECT_EQ(minimized.value().size(), 4u);
+  EXPECT_GT(report.replays, 1u);
+}
+
+TEST(ShrinkTest, ParameterPassSimplifiesSurvivingSizes) {
+  verifs::VerifsBugs bugs;
+  bugs.truncate_shrink_noop = true;
+  TraceMinimizer minimizer(MakeMcfsReplayFactory(PairConfig(bugs)), {});
+  ShrinkReport report;
+  auto minimized = minimizer.Minimize(MakeTrace(NoisyShrinkTrigger()),
+                                      &report);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_GT(report.param_simplifications, 0u);
+  for (const auto& record : minimized.value().records()) {
+    if (record.op.kind == OpKind::kWriteFile) {
+      // 64 bytes was never necessary; the pass halves it down.
+      EXPECT_LT(record.op.size, 64u);
+      EXPECT_GT(record.op.size, 0u);  // size 0 kills the reproduction
+    }
+  }
+}
+
+TEST(ShrinkTest, NonReproducingInputIsEinval) {
+  // Same trace, no bug: nothing to reproduce.
+  TraceMinimizer minimizer(MakeMcfsReplayFactory(PairConfig({})), {});
+  ShrinkReport report;
+  auto minimized = minimizer.Minimize(MakeTrace(NoisyShrinkTrigger()),
+                                      &report);
+  ASSERT_FALSE(minimized.ok());
+  EXPECT_EQ(minimized.error(), Errno::kEINVAL);
+  EXPECT_FALSE(report.input_reproduced);
+}
+
+TEST(ShrinkTest, FactoryFailureIsEio) {
+  TraceMinimizer minimizer([]() { return std::unique_ptr<ReplayPair>(); },
+                           {});
+  auto minimized = minimizer.Minimize(MakeTrace(NoisyShrinkTrigger()));
+  ASSERT_FALSE(minimized.ok());
+  EXPECT_EQ(minimized.error(), Errno::kEIO);
+}
+
+TEST(ShrinkTest, ExhaustedBudgetStillReplayConfirmsTheResult) {
+  verifs::VerifsBugs bugs;
+  bugs.truncate_shrink_noop = true;
+  ShrinkOptions options;
+  options.max_replays = 2;  // input check + barely one candidate
+  TraceMinimizer minimizer(MakeMcfsReplayFactory(PairConfig(bugs)),
+                           options);
+  ShrinkReport report;
+  auto minimized = minimizer.Minimize(MakeTrace(NoisyShrinkTrigger()),
+                                      &report);
+  ASSERT_TRUE(minimized.ok());
+  // The budget died mid-ddmin, so no 1-minimality certificate — but the
+  // returned trace must still have been replay-confirmed.
+  EXPECT_FALSE(report.one_minimal);
+  EXPECT_TRUE(report.replay_confirmed);
+}
+
+TEST(ShrinkTest, RestoreWithoutMatchingSaveDoesNotReproduce) {
+  // A lone kRestore record (its checkpoint was never taken) must fail
+  // the replay — this is how ddmin candidates that delete a checkpoint
+  // but keep its restore get rejected.
+  verifs::VerifsBugs bugs;
+  bugs.truncate_shrink_noop = true;
+  std::vector<Operation> ops = NoisyShrinkTrigger();
+  Operation restore;
+  restore.kind = OpKind::kRestore;
+  restore.offset = 42;  // snapshot key nobody saved
+  ops.insert(ops.begin(), restore);
+  TraceMinimizer minimizer(MakeMcfsReplayFactory(PairConfig(bugs)), {});
+  ShrinkReport report;
+  auto minimized = minimizer.Minimize(MakeTrace(ops), &report);
+  ASSERT_FALSE(minimized.ok());
+  EXPECT_EQ(minimized.error(), Errno::kEINVAL);
+  EXPECT_FALSE(report.input_reproduced);
+}
+
+TEST(ShrinkTest, CheckpointRestorePairSurvivesWhenLoadBearing) {
+  // Save a state, grow the file, roll back, then hit the restore bug:
+  // VeriFS1's restore_skips_one_inode drops an inode per rollback, so
+  // the trace reproduces ONLY if the checkpoint/restore pair survives
+  // the shrink.
+  verifs::VerifsBugs bugs;
+  bugs.restore_skips_one_inode = true;
+  Operation save;
+  save.kind = OpKind::kCheckpoint;
+  save.offset = 1;
+  Operation restore;
+  restore.kind = OpKind::kRestore;
+  restore.offset = 1;
+  std::vector<Operation> ops = {
+      Op(OpKind::kCreateFile, "/f0"),
+      Op(OpKind::kCreateFile, "/f1"),
+      save,
+      Op(OpKind::kMkdir, "/d0"),
+      restore,
+      Op(OpKind::kGetDents, "/"),  // one side lost an inode
+  };
+  TraceMinimizer minimizer(MakeMcfsReplayFactory(PairConfig(bugs)), {});
+  ShrinkReport report;
+  auto minimized = minimizer.Minimize(MakeTrace(ops), &report);
+  ASSERT_TRUE(minimized.ok());
+  EXPECT_TRUE(report.replay_confirmed);
+  bool has_restore = false;
+  for (const auto& record : minimized.value().records()) {
+    has_restore |= record.op.kind == OpKind::kRestore;
+  }
+  EXPECT_TRUE(has_restore);
+}
+
+}  // namespace
+}  // namespace mcfs::core

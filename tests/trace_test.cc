@@ -1,0 +1,140 @@
+// Trace serialization round trips and hostile-image hardening: every
+// OpKind (snapshot meta-records included) must survive a byte round
+// trip record-identically, and Deserialize must reject every way an
+// image can lie — truncation at any byte, trailing garbage, absurd
+// record counts, and out-of-range kind/errno/violation encodings.
+#include <gtest/gtest.h>
+
+#include "mcfs/trace.h"
+
+namespace mcfs::core {
+namespace {
+
+constexpr OpKind kAllKinds[] = {
+    OpKind::kCreateFile, OpKind::kWriteFile,   OpKind::kReadFile,
+    OpKind::kTruncate,   OpKind::kMkdir,       OpKind::kRmdir,
+    OpKind::kUnlink,     OpKind::kGetDents,    OpKind::kStat,
+    OpKind::kRename,     OpKind::kLink,        OpKind::kSymlink,
+    OpKind::kReadLink,   OpKind::kChmod,       OpKind::kAccess,
+    OpKind::kSetXattr,   OpKind::kRemoveXattr, OpKind::kCheckpoint,
+    OpKind::kRestore,
+};
+
+// One record per OpKind, every field populated, alternating outcomes and
+// a violation marker on the last record.
+Trace FullCorpusTrace() {
+  Trace trace;
+  std::size_t i = 0;
+  for (OpKind kind : kAllKinds) {
+    Operation op;
+    op.kind = kind;
+    op.path = "/dir" + std::to_string(i) + "/file";
+    op.path2 = "/other" + std::to_string(i);
+    op.offset = 1000 + i;   // snapshot key for kCheckpoint/kRestore
+    op.size = 17 * (i + 1);
+    op.fill = static_cast<std::uint8_t>(0x40 + i);
+    op.mode = static_cast<fs::Mode>(0600 + i);
+    op.xattr_name = "user.attr" + std::to_string(i);
+    OpOutcome a;
+    OpOutcome b;
+    a.error = (i % 3 == 0) ? Errno::kOk : Errno::kENOENT;
+    b.error = (i % 3 == 1) ? Errno::kENOSPC : a.error;
+    trace.Append(op, a, b, /*violation=*/i + 1 == std::size(kAllKinds));
+    ++i;
+  }
+  return trace;
+}
+
+TEST(TraceSerializationTest, EveryOpKindRoundTripsRecordIdentically) {
+  const Trace trace = FullCorpusTrace();
+  auto restored = Trace::Deserialize(trace.Serialize());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored.value().size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(restored.value().records()[i], trace.records()[i])
+        << "record " << i << " ("
+        << OpKindName(trace.records()[i].op.kind) << ")";
+  }
+}
+
+TEST(TraceSerializationTest, ReserializationIsByteIdentical) {
+  const Trace trace = FullCorpusTrace();
+  const Bytes image = trace.Serialize();
+  auto restored = Trace::Deserialize(image);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value().Serialize(), image);
+}
+
+TEST(TraceSerializationTest, ViolationAndErrnoPairsSurvive) {
+  Trace trace;
+  OpOutcome ok;
+  OpOutcome enospc;
+  enospc.error = Errno::kENOSPC;
+  trace.Append(Operation{.kind = OpKind::kMkdir, .path = "/d"}, ok, ok,
+               false);
+  trace.Append(Operation{.kind = OpKind::kWriteFile, .path = "/f"}, ok,
+               enospc, true);
+  auto restored = Trace::Deserialize(trace.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_FALSE(restored.value().records()[0].violation);
+  EXPECT_TRUE(restored.value().records()[1].violation);
+  EXPECT_EQ(restored.value().records()[1].error_a, Errno::kOk);
+  EXPECT_EQ(restored.value().records()[1].error_b, Errno::kENOSPC);
+}
+
+TEST(TraceHardeningTest, EveryTruncationIsRejected) {
+  const Bytes image = FullCorpusTrace().Serialize();
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    const Bytes prefix(image.begin(),
+                       image.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_FALSE(Trace::Deserialize(prefix).ok())
+        << "prefix of " << len << " bytes accepted";
+  }
+}
+
+TEST(TraceHardeningTest, TrailingGarbageIsRejected) {
+  Bytes image = FullCorpusTrace().Serialize();
+  image.push_back(0);
+  EXPECT_FALSE(Trace::Deserialize(image).ok());
+}
+
+TEST(TraceHardeningTest, AbsurdRecordCountIsRejectedBeforeAllocation) {
+  // A count far beyond what the remaining bytes could hold must be
+  // rejected up front (no multi-gigabyte reserve on a 10-byte image).
+  ByteWriter w;
+  w.PutU32(0xFFFFFFFFu);
+  for (int i = 0; i < 10; ++i) w.PutU8(0);
+  EXPECT_FALSE(Trace::Deserialize(w.Take()).ok());
+}
+
+TEST(TraceHardeningTest, UnknownOpKindIsRejected) {
+  Bytes image = FullCorpusTrace().Serialize();
+  // First record's kind byte sits right after the 4-byte count.
+  image[4] = 0xC8;
+  EXPECT_FALSE(Trace::Deserialize(image).ok());
+}
+
+TEST(TraceHardeningTest, UnknownErrnoIsRejected) {
+  Bytes image = FullCorpusTrace().Serialize();
+  // The last record ends with errno_a(4) errno_b(4) violation(1).
+  for (std::size_t i = image.size() - 9; i < image.size() - 5; ++i) {
+    image[i] = 0xFF;
+  }
+  EXPECT_FALSE(Trace::Deserialize(image).ok());
+}
+
+TEST(TraceHardeningTest, NonBooleanViolationByteIsRejected) {
+  Bytes image = FullCorpusTrace().Serialize();
+  image.back() = 7;
+  EXPECT_FALSE(Trace::Deserialize(image).ok());
+}
+
+TEST(TraceHardeningTest, EmptyTraceRoundTripsAndBareImageFails) {
+  auto empty = Trace::Deserialize(Trace{}.Serialize());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().size(), 0u);
+  EXPECT_FALSE(Trace::Deserialize(Bytes{}).ok());
+}
+
+}  // namespace
+}  // namespace mcfs::core
