@@ -32,13 +32,15 @@ struct Row {
   double sim_ops_per_sec = 0;
   double wall_ops_per_sec = 0;
   std::uint64_t operations = 0;
+  std::uint64_t unique_states = 0;
   std::uint64_t swap_used_mb = 0;
+  std::uint64_t por_pruned = 0;
 };
 
 std::map<std::string, Row> g_rows;
 
 McfsConfig PairConfig(FsKind a, FsKind b, Backend backend,
-                      std::uint64_t max_ops, bool incremental) {
+                      std::uint64_t max_ops, bool incremental, bool por) {
   McfsConfig config;
   config.fs_a.kind = a;
   config.fs_b.kind = b;
@@ -68,14 +70,18 @@ McfsConfig PairConfig(FsKind a, FsKind b, Backend backend,
   // The §7.4 rows: same pair, abstraction digests maintained
   // incrementally instead of re-walked per step.
   config.engine.abstraction.incremental = incremental;
+  // The §7.6 rows: sleep-set partial-order reduction. Off for the
+  // baseline rows so the lift is measured against a plain DFS.
+  config.explore.por = por;
   return config;
 }
 
 void RunPair(benchmark::State& state, const std::string& name, FsKind a,
              FsKind b, Backend backend, std::uint64_t max_ops,
-             bool incremental) {
+             bool incremental, bool por) {
   for (auto _ : state) {
-    auto mcfs = Mcfs::Create(PairConfig(a, b, backend, max_ops, incremental));
+    auto mcfs =
+        Mcfs::Create(PairConfig(a, b, backend, max_ops, incremental, por));
     if (!mcfs.ok()) {
       state.SkipWithError("setup failed");
       return;
@@ -86,9 +92,11 @@ void RunPair(benchmark::State& state, const std::string& name, FsKind a,
     row.sim_ops_per_sec = report.sim_ops_per_sec;
     row.wall_ops_per_sec = report.wall_ops_per_sec;
     row.operations = report.stats.operations;
+    row.unique_states = report.stats.unique_states;
     row.swap_used_mb = mcfs.value()->memory() != nullptr
                            ? mcfs.value()->memory()->swap_used() >> 20
                            : 0;
+    row.por_pruned = report.stats.por_pruned_transitions;
     g_rows[name] = row;
     state.counters["sim_ops_per_s"] = report.sim_ops_per_sec;
     state.counters["swap_MB"] = static_cast<double>(row.swap_used_mb);
@@ -133,17 +141,35 @@ void PrintSummary() {
               ratio("verifs1-vs-verifs2(incr)", "verifs1-vs-verifs2"));
   std::printf("  ext2-vs-ext4(ram,incr) / ext2-vs-ext4(ram)    = %.2fx\n",
               ratio("ext2-vs-ext4(ram,incr)", "ext2-vs-ext4(ram)"));
+  // POR's dividend is coverage, not per-op speed: pruned commutations
+  // let the same op budget reach more distinct states (the exhaustion
+  // comparison lives in bench_swarm's swarm_por rows).
+  const auto incr = g_rows.find("verifs1-vs-verifs2(incr)");
+  const auto por = g_rows.find("verifs1-vs-verifs2(incr,por)");
+  if (incr != g_rows.end() && por != g_rows.end() &&
+      incr->second.unique_states > 0) {
+    std::printf("\npartial-order reduction (DESIGN.md §7.6):\n");
+    std::printf("  unique states per %llu-op budget: %llu with sleep sets "
+                "vs %llu without (%.2fx), %llu transitions pruned\n",
+                static_cast<unsigned long long>(por->second.operations),
+                static_cast<unsigned long long>(por->second.unique_states),
+                static_cast<unsigned long long>(incr->second.unique_states),
+                static_cast<double>(por->second.unique_states) /
+                    static_cast<double>(incr->second.unique_states),
+                static_cast<unsigned long long>(por->second.por_pruned));
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto reg = [](const char* name, FsKind a, FsKind b, Backend backend,
-                std::uint64_t ops, bool incremental = false) {
+                std::uint64_t ops, bool incremental = false,
+                bool por = false) {
     benchmark::RegisterBenchmark(
         name,
         [=](benchmark::State& state) {
-          RunPair(state, name, a, b, backend, ops, incremental);
+          RunPair(state, name, a, b, backend, ops, incremental, por);
         })
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);
@@ -164,6 +190,8 @@ int main(int argc, char** argv) {
       Backend::kRam, 2000, /*incremental=*/true);
   reg("verifs1-vs-verifs2(incr)", FsKind::kVerifs1, FsKind::kVerifs2,
       Backend::kRam, 2000, /*incremental=*/true);
+  reg("verifs1-vs-verifs2(incr,por)", FsKind::kVerifs1, FsKind::kVerifs2,
+      Backend::kRam, 2000, /*incremental=*/true, /*por=*/true);
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -430,6 +430,50 @@ void RunDistributedPair(benchmark::State& state) {
 }
 
 // ---------------------------------------------------------------------------
+// Part 3b: solo-DFS partial-order reduction on the same closed ball —
+// ops to exhaust the space with sleep sets on vs off (DESIGN.md §7.6).
+// The depth bound is far above the state count so the closure, not the
+// bound, ends both runs and the explored state sets are identical.
+
+struct PorRow {
+  std::uint64_t total_ops = 0;
+  std::uint64_t unique_states = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t awakened = 0;
+};
+
+std::map<std::string, PorRow> g_por;
+
+void RunPorAblation(benchmark::State& state, const std::string& label,
+                    bool por) {
+  for (auto _ : state) {
+    McfsConfig config = ClosedBallConfig();
+    config.engine.abstraction.incremental = true;
+    config.explore.mode = mc::SearchMode::kDfs;
+    config.explore.max_operations = 200'000;
+    config.explore.max_depth = 100'000;
+    config.explore.seed = 7;
+    config.explore.por = por;
+    auto mcfs = Mcfs::Create(config);
+    if (!mcfs.ok()) {
+      state.SkipWithError("setup failed");
+      return;
+    }
+    McfsReport report = mcfs.value()->Run();
+    PorRow row;
+    row.total_ops = report.stats.operations;
+    row.unique_states = report.stats.unique_states;
+    row.pruned = report.stats.por_pruned_transitions;
+    row.awakened = report.stats.por_sleep_awakened;
+    g_por[label] = row;
+    state.counters["ops_to_exhaustion"] = static_cast<double>(row.total_ops);
+    state.counters["unique_states"] = static_cast<double>(row.unique_states);
+    state.counters["por_pruned"] = static_cast<double>(row.pruned);
+    state.counters["por_awakened"] = static_cast<double>(row.awakened);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Part 4: a seeded violation cancels all cooperative workers promptly.
 
 void RunCancelOnViolation(benchmark::State& state) {
@@ -578,6 +622,33 @@ void PrintSummary() {
                 steal->second.contributing_workers, kCompareWorkers);
   }
 
+  const auto full = g_por.find("dfs-full");
+  const auto sleep = g_por.find("dfs-por");
+  if (full != g_por.end() && sleep != g_por.end() &&
+      full->second.total_ops > 0) {
+    const bool same_states =
+        full->second.unique_states == sleep->second.unique_states;
+    std::printf("\n=== Partial-order reduction, solo DFS to exhaustion "
+                "(DESIGN.md §7.6) ===\n");
+    std::printf("%-10s %12s %14s %10s %10s\n", "mode", "total ops",
+                "unique states", "pruned", "awakened");
+    std::printf("%-10s %12llu %14llu %10s %10s\n", "full",
+                static_cast<unsigned long long>(full->second.total_ops),
+                static_cast<unsigned long long>(full->second.unique_states),
+                "-", "-");
+    std::printf("%-10s %12llu %14llu %10llu %10llu\n", "por",
+                static_cast<unsigned long long>(sleep->second.total_ops),
+                static_cast<unsigned long long>(sleep->second.unique_states),
+                static_cast<unsigned long long>(sleep->second.pruned),
+                static_cast<unsigned long long>(sleep->second.awakened));
+    std::printf("shape check: sleep sets exhausted the space with %.3fx "
+                "the operations of the full DFS, identical state count: "
+                "%s.\n",
+                static_cast<double>(sleep->second.total_ops) /
+                    static_cast<double>(full->second.total_ops),
+                same_states ? "yes" : "NO — soundness regression");
+  }
+
   std::printf("\n=== Distributed swarm over loopback (DESIGN.md §7.3) "
               "===\n");
   const auto scalar = g_remote_insert.find(1);
@@ -678,6 +749,18 @@ int main(int argc, char** argv) {
         RunStealCompare(state, "coop-dfs+steal", mc::SearchMode::kDfs,
                         true);
       })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "swarm_por/dfs_full",
+      [](benchmark::State& state) {
+        RunPorAblation(state, "dfs-full", false);
+      })
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  benchmark::RegisterBenchmark(
+      "swarm_por/dfs_por",
+      [](benchmark::State& state) { RunPorAblation(state, "dfs-por", true); })
       ->Iterations(1)
       ->Unit(benchmark::kMillisecond);
   for (int batch : {1, 64}) {

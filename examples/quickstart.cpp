@@ -56,6 +56,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(report.stats.revisits));
   std::printf("  backtracks          %llu\n",
               static_cast<unsigned long long>(report.stats.backtracks));
+  if (report.stats.por_active) {
+    std::printf("  POR pruned          %llu transitions (%llu awakened)\n",
+                static_cast<unsigned long long>(
+                    report.stats.por_pruned_transitions),
+                static_cast<unsigned long long>(
+                    report.stats.por_sleep_awakened));
+  }
   std::printf("  simulated ops/s     %.0f\n", report.sim_ops_per_sec);
   std::printf("  wall-clock ops/s    %.0f\n", report.wall_ops_per_sec);
 

@@ -220,6 +220,7 @@ void Explorer::MaybeSample() {
   sample.table_resizes = options_.shared_store != nullptr
                              ? options_.shared_store->resize_count()
                              : visited_.resize_count();
+  sample.por_pruned_transitions = stats_.por_pruned_transitions;
   options_.progress_callback(sample);
 }
 
@@ -227,6 +228,13 @@ ExploreStats Explorer::Run() {
   stats_ = ExploreStats{};
   stored_state_bytes_ = 0;
   credit_buffer_.clear();
+  sleep_map_.clear();
+  // A zero batch size reads as "no batching", and the flush paths guard
+  // on a non-empty buffer anyway — but clamping to 1 makes the
+  // invariant ("every locally-new digest's credit is resolved within
+  // batch_size insertions") hold by construction instead of by the
+  // accident of `size() >= 0` always being true.
+  if (options_.store_batch_size == 0) options_.store_batch_size = 1;
   if (!resume_status_.ok()) {
     stats_.violation_report =
         "resume_visited checkpoint rejected: " +
@@ -265,17 +273,47 @@ ExploreStats Explorer::RunDfs() {
     // True while the system's live state equals this frame's state, so
     // the first child needs no restore.
     bool state_current = true;
+    // POR sleep set at this node (sorted action indices; empty when POR
+    // is inactive). An action in it was already explored by an earlier
+    // sibling branch it commutes with, so re-running it here would only
+    // rebuild an interleaving whose representative is covered.
+    std::vector<std::uint32_t> sleep;
   };
 
   Frontier* frontier = options_.shared_frontier;
   if (frontier != nullptr) frontier->WorkerStarted();
 
+  // POR activates only for a solo exact DFS (see ExplorerOptions::por).
+  // Shared-store/frontier runs prune by peer claims and donate pending
+  // branches — a peer cannot know what this worker's sleep sets covered;
+  // bitstate cannot key the sleep map (false positives would mistake a
+  // fresh state for a revisit with stored sleep ∅); a resumed image
+  // carries visited digests but not their sleep sets.
+  por_active_ = options_.por && options_.shared_store == nullptr &&
+                frontier == nullptr && !options_.use_bitstate &&
+                options_.resume_visited == nullptr;
+  if (por_active_) {
+    dependence_ = DependenceMatrix::Build(system_);
+    // A fully-dependent matrix makes every sleep set empty forever; skip
+    // the bookkeeping instead of paying it for nothing.
+    if (dependence_.reducible_actions() == 0) por_active_ = false;
+  }
+  stats_.por_active = por_active_;
+
   const Md5Digest root_digest = system_.AbstractHash();
   RecordState(root_digest);
 
-  auto make_order = [this]() {
-    std::vector<std::size_t> order(system_.ActionCount());
-    std::iota(order.begin(), order.end(), 0);
+  auto make_order = [this](const std::vector<std::uint32_t>& sleep) {
+    std::vector<std::size_t> order;
+    order.reserve(system_.ActionCount() - sleep.size());
+    for (std::size_t a = 0; a < system_.ActionCount(); ++a) {
+      if (!sleep.empty() &&
+          std::binary_search(sleep.begin(), sleep.end(),
+                             static_cast<std::uint32_t>(a))) {
+        continue;
+      }
+      order.push_back(a);
+    }
     // Fisher-Yates with the seeded RNG: different seeds diversify the
     // exploration order (the lever swarm verification pulls).
     for (std::size_t i = order.size(); i > 1; --i) {
@@ -320,7 +358,7 @@ ExploreStats Explorer::RunDfs() {
     } else {
       ++stats_.snapshots_taken;
       stack.push_back(
-          Frame{root_snap.value(), root_digest, make_order(), 0, 0, true});
+          Frame{root_snap.value(), root_digest, make_order({}), 0, 0, true});
     }
   }
 
@@ -496,6 +534,26 @@ ExploreStats Explorer::RunDfs() {
         break;
       }
 
+      // Sleep-set bookkeeping (Godefroid). The child inherits the slept
+      // transitions that commute with `action` — their interleavings
+      // with it are covered on the sibling branch that ran them first —
+      // and `action` itself then joins this frame's sleep set so the
+      // remaining siblings skip re-running its commuting interleavings.
+      // Both updates must land before the push below invalidates the
+      // `frame` reference.
+      std::vector<std::uint32_t> child_sleep;
+      if (por_active_) {
+        for (const std::uint32_t slept : frame.sleep) {
+          if (dependence_.independent(action, slept)) {
+            child_sleep.push_back(slept);  // stays sorted
+          }
+        }
+        const auto a32 = static_cast<std::uint32_t>(action);
+        frame.sleep.insert(
+            std::lower_bound(frame.sleep.begin(), frame.sleep.end(), a32),
+            a32);
+      }
+
       // Descend only below globally-new states: under a shared store
       // this prunes subtrees a peer already claimed, partitioning the
       // tree across the swarm.
@@ -511,12 +569,65 @@ ExploreStats Explorer::RunDfs() {
         ++stats_.snapshots_taken;
         stats_.max_depth_reached =
             std::max<std::uint64_t>(stats_.max_depth_reached, child_depth);
-        stack.push_back(Frame{snap.value(), child_digest, make_order(), 0,
-                              child_depth, true});
+        Frame child{snap.value(), child_digest, make_order(child_sleep), 0,
+                    child_depth, true};
+        if (por_active_) {
+          stats_.por_pruned_transitions += child_sleep.size();
+          if (!child_sleep.empty()) {
+            // Remember what this (first) visit left asleep: a later
+            // visit arriving with a smaller sleep set must re-awaken the
+            // difference, or its interleavings would be silently lost.
+            sleep_map_[child_digest] = child_sleep;
+          }
+          child.sleep = std::move(child_sleep);
+        }
+        stack.push_back(std::move(child));
         if (frontier != nullptr && frontier->Hungry()) donate();
+      } else if (por_active_ && !is_new && child_depth < options_.max_depth) {
+        // Revisit under POR: sound only if everything the first visit
+        // slept is also asleep now. Transitions slept then but awake now
+        // were never explored from this state on any path — re-expand
+        // the node on exactly those, and shrink the stored sleep set to
+        // the intersection so the state never owes them again.
+        const auto it = sleep_map_.find(child_digest);
+        if (it != sleep_map_.end()) {
+          std::vector<std::uint32_t> awake;
+          std::vector<std::uint32_t> still_asleep;
+          for (const std::uint32_t slept : it->second) {
+            if (std::binary_search(child_sleep.begin(), child_sleep.end(),
+                                   slept)) {
+              still_asleep.push_back(slept);
+            } else {
+              awake.push_back(slept);
+            }
+          }
+          if (!awake.empty()) {
+            if (still_asleep.empty()) {
+              sleep_map_.erase(it);
+            } else {
+              it->second = std::move(still_asleep);
+            }
+            auto snap = system_.SaveConcrete();
+            if (!snap.ok()) {
+              fail("SaveConcrete failed mid-search");
+              break;
+            }
+            ++stats_.snapshots_taken;
+            ++stats_.por_sleep_awakened;
+            stats_.max_depth_reached =
+                std::max<std::uint64_t>(stats_.max_depth_reached, child_depth);
+            Frame child{snap.value(), child_digest, {}, 0, child_depth, true};
+            child.order.assign(awake.begin(), awake.end());
+            for (std::size_t i = child.order.size(); i > 1; --i) {
+              std::swap(child.order[i - 1], child.order[rng_.Below(i)]);
+            }
+            child.sleep = std::move(child_sleep);
+            stack.push_back(std::move(child));
+          }
+        }
       }
-      // On a revisit (or at the depth bound) the loop simply continues;
-      // the next iteration restores this frame's snapshot.
+      // On a plain revisit (or at the depth bound) the loop simply
+      // continues; the next iteration restores this frame's snapshot.
     }
 
     if (halt == Halt::kBudget && frontier != nullptr) publish_stack();

@@ -19,11 +19,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "mc/bitstate.h"
 #include "mc/frontier.h"
 #include "mc/hash_table.h"
 #include "mc/memory_model.h"
+#include "mc/por.h"
 #include "mc/state.h"
 #include "mc/visited_store.h"
 #include "util/rng.h"
@@ -40,6 +42,9 @@ struct ProgressSample {
   std::uint64_t unique_states = 0;
   std::uint64_t swap_used_bytes = 0;
   std::uint64_t table_resizes = 0;
+  // Transitions skipped so far by partial-order reduction (0 when POR
+  // is off or gated off for this run).
+  std::uint64_t por_pruned_transitions = 0;
 };
 
 struct ExplorerOptions {
@@ -101,6 +106,17 @@ struct ExplorerOptions {
   // insert gates subtree descent, so it must stay synchronous. 1
   // effectively disables batching.
   std::size_t store_batch_size = 64;
+  // Partial-order reduction (sleep sets over the System's static action
+  // footprints, DESIGN.md §7.6): skip interleavings of provably
+  // commuting actions, keeping the reachable state set and violation
+  // set intact while expanding fewer transitions. Default on, but it
+  // only *activates* for a solo exact DFS — it is gated off (flag
+  // ignored) for random walk, bitstate mode, shared-store/frontier
+  // swarms, and resumed runs, where the sleep bookkeeping is not yet
+  // proven sound: a peer (or a previous run) may have slept transitions
+  // this worker would need to re-awaken, and a bitstate filter cannot
+  // key the sleep map. ExploreStats::por_active reports the outcome.
+  bool por = true;
 };
 
 class Explorer {
@@ -162,6 +178,15 @@ class Explorer {
   // Locally-new digests whose shared-store credit is pending (walk mode
   // batching; see ExplorerOptions::store_batch_size).
   std::vector<Md5Digest> credit_buffer_;
+  // Partial-order reduction state (solo exact DFS only; see
+  // ExplorerOptions::por). sleep_map_ remembers, per first-visited
+  // abstract state, which transitions that visit left asleep — the set
+  // a later visit with a smaller sleep set must re-awaken (Godefroid's
+  // state-matching rule). States whose first visit slept nothing carry
+  // no entry.
+  bool por_active_ = false;
+  DependenceMatrix dependence_;
+  std::unordered_map<Md5Digest, std::vector<std::uint32_t>> sleep_map_;
 };
 
 }  // namespace mcfs::mc

@@ -1,0 +1,48 @@
+#include "mc/por.h"
+
+namespace mcfs::mc {
+
+bool PathCovers(std::string_view prefix, std::string_view path) {
+  if (prefix == "/") return !path.empty() && path.front() == '/';
+  if (path.size() < prefix.size()) return false;
+  if (path.compare(0, prefix.size(), prefix) != 0) return false;
+  return path.size() == prefix.size() || path[prefix.size()] == '/';
+}
+
+bool FootprintsIndependent(const ActionFootprint& a,
+                           const ActionFootprint& b) {
+  // Two pure observers commute whatever they look at: neither changes
+  // the state the other's outcome is a function of.
+  if (a.reads_only && b.reads_only) return true;
+  if (a.full || b.full) return false;
+  for (const std::string& pa : a.paths) {
+    for (const std::string& pb : b.paths) {
+      // Ancestor containment counts both ways: an op on /d0 (evicting
+      // the subtree, changing link counts) does not commute with an op
+      // on /d0/f2, and vice versa.
+      if (PathCovers(pa, pb) || PathCovers(pb, pa)) return false;
+    }
+  }
+  return true;
+}
+
+DependenceMatrix DependenceMatrix::Build(const System& system) {
+  DependenceMatrix m;
+  m.count_ = system.ActionCount();
+  std::vector<ActionFootprint> footprints(m.count_);
+  for (std::size_t i = 0; i < m.count_; ++i) {
+    footprints[i] = system.StaticActionFootprint(i);
+    if (!footprints[i].full) ++m.reducible_;
+  }
+  m.independent_.assign(m.count_ * m.count_, false);
+  for (std::size_t i = 0; i < m.count_; ++i) {
+    for (std::size_t j = i; j < m.count_; ++j) {
+      const bool ind = FootprintsIndependent(footprints[i], footprints[j]);
+      m.independent_[i * m.count_ + j] = ind;
+      m.independent_[j * m.count_ + i] = ind;
+    }
+  }
+  return m;
+}
+
+}  // namespace mcfs::mc

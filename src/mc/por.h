@@ -1,0 +1,65 @@
+// Partial-order reduction: the static dependence relation over a
+// System's bounded action set (DESIGN.md §7.6).
+//
+// Two actions are *independent* when, from any reachable state, running
+// them in either order reaches the same state and gives each action the
+// same outcome — a commuting pair needs only one explored interleaving.
+// The explorer cannot decide that semantically, so it approximates from
+// ActionFootprints: disjoint footprints (no shared path, no
+// ancestor/descendant pair across the sets) cannot influence each
+// other, and a pair of read-only actions commutes regardless of paths.
+// Anything else — including every pair involving a `full` footprint —
+// is conservatively dependent. Dependence is symmetric and reflexive
+// for non-read-only actions (an action's footprint overlaps itself).
+//
+// The relation is fixed for a whole run (footprints are static and the
+// action set is bounded), so it is computed once into a dense N x N
+// matrix that the DFS sleep-set machinery queries in O(1).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "mc/state.h"
+
+namespace mcfs::mc {
+
+// Lexical ancestor-or-self test over absolute '/'-separated paths:
+// "/a" covers "/a" and "/a/b" but not "/ab". "/" covers everything.
+// (A local twin of fs::IsPathPrefix — the checker layer is
+// domain-agnostic and does not link against the file-system library.)
+bool PathCovers(std::string_view prefix, std::string_view path);
+
+// The footprint-level independence predicate described above.
+bool FootprintsIndependent(const ActionFootprint& a,
+                           const ActionFootprint& b);
+
+// Dense symmetric dependence matrix over [0, action_count).
+class DependenceMatrix {
+ public:
+  DependenceMatrix() = default;
+
+  // Queries system.StaticActionFootprint for every action. O(N^2) pairs
+  // of footprint comparisons at construction; bounded pools keep N in
+  // the low hundreds.
+  static DependenceMatrix Build(const System& system);
+
+  std::size_t action_count() const { return count_; }
+
+  bool independent(std::size_t a, std::size_t b) const {
+    return independent_[a * count_ + b];
+  }
+
+  // Actions with a bounded (non-full) footprint — the ones POR can ever
+  // prune. Zero means the matrix is fully dependent and sleep sets
+  // cannot help.
+  std::size_t reducible_actions() const { return reducible_; }
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t reducible_ = 0;
+  std::vector<bool> independent_;  // row-major, symmetric
+};
+
+}  // namespace mcfs::mc

@@ -24,6 +24,29 @@ namespace mcfs::mc {
 // Identifier of a saved concrete state (System-internal meaning).
 using SnapshotId = std::uint64_t;
 
+// A static, outcome-independent over-approximation of the state an
+// action can read or write, expressed as absolute '/'-separated paths.
+// This is the raw material of the partial-order-reduction dependence
+// relation (DESIGN.md §7.6): two actions whose footprints are disjoint
+// (no shared path, no ancestor/descendant pair across the two sets)
+// commute, so the explorer needs only one interleaving of them.
+//
+// Soundness contract: the footprint must cover every path whose hashed
+// node state the action could change OR whose state the action's
+// observable outcome depends on, in ANY reachable state — including
+// through aliasing (hard links). Under-approximating here silently
+// drops interleavings; over-approximating only costs reduction.
+struct ActionFootprint {
+  std::vector<std::string> paths;
+  // The action never mutates hashed state (its outcome may still depend
+  // on `paths`). Two read-only actions always commute, whatever their
+  // footprints: neither changes the state the other's outcome reads.
+  bool reads_only = false;
+  // No bounded footprint exists (e.g. a whole-state restore): the
+  // action is dependent on everything, including itself.
+  bool full = false;
+};
+
 class System {
  public:
   virtual ~System() = default;
@@ -61,6 +84,16 @@ class System {
 
   // Bytes held by one saved concrete state (for the memory model).
   virtual std::uint64_t ConcreteStateBytes() const = 0;
+
+  // Partial-order-reduction support. The default — a full footprint —
+  // makes every action dependent on every other, which turns POR into a
+  // no-op for Systems that do not (or cannot soundly) describe their
+  // actions' footprints.
+  virtual ActionFootprint StaticActionFootprint(std::size_t /*action*/) const {
+    ActionFootprint fp;
+    fp.full = true;
+    return fp;
+  }
 };
 
 // Counters every exploration produces (benches print these).
@@ -77,6 +110,17 @@ struct ExploreStats {
   std::uint64_t steal_digest_mismatches = 0;  // replays that failed verify
   std::uint64_t frontier_published = 0;       // entries this worker donated
   double steal_wait_seconds = 0;        // wall time blocked on the frontier
+  // Partial-order reduction (sleep sets over the static dependence
+  // relation, DESIGN.md §7.6). por_active records whether the run
+  // actually reduced (the flag can be on but gated off — bitstate,
+  // shared store/frontier, resume); por_pruned_transitions counts
+  // enabled transitions skipped at expanded nodes because a commuting
+  // representative was explored elsewhere; por_sleep_awakened counts
+  // revisited states re-expanded because they were reached with a
+  // smaller sleep set than their first visit.
+  bool por_active = false;
+  std::uint64_t por_pruned_transitions = 0;
+  std::uint64_t por_sleep_awakened = 0;
   // Search halted early: a swarm peer raised the cancel flag or the
   // unique-state target was reached (neither is a violation here).
   bool cancelled = false;

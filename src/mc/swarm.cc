@@ -28,6 +28,7 @@ class ProgressMerger {
       merged.operations += s.operations;
       merged.unique_states += s.unique_states;
       merged.swap_used_bytes += s.swap_used_bytes;
+      merged.por_pruned_transitions += s.por_pruned_transitions;
       merged.sim_seconds = std::max(merged.sim_seconds, s.sim_seconds);
     }
     if (store_ != nullptr) {
@@ -51,6 +52,8 @@ class ProgressMerger {
         std::max(merged.swap_used_bytes, floor_.swap_used_bytes);
     merged.table_resizes =
         std::max(merged.table_resizes, floor_.table_resizes);
+    merged.por_pruned_transitions =
+        std::max(merged.por_pruned_transitions, floor_.por_pruned_transitions);
     merged.sim_seconds = std::max(merged.sim_seconds, floor_.sim_seconds);
     floor_ = merged;
     series_.push_back(merged);
@@ -206,6 +209,8 @@ SwarmResult Swarm::Run(const SwarmFactory& factory) {
     result.steal_digest_mismatches += stats[i].steal_digest_mismatches;
     result.frontier_published += stats[i].frontier_published;
     result.steal_wait_seconds += stats[i].steal_wait_seconds;
+    result.por_pruned_transitions += stats[i].por_pruned_transitions;
+    result.por_sleep_awakened += stats[i].por_sleep_awakened;
     if (shared_store == nullptr) {
       explorers[i]->visited().ForEach(
           [&merged](const Md5Digest& digest) { merged.insert(digest); });

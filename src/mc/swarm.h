@@ -119,6 +119,13 @@ struct SwarmResult {
   std::uint64_t frontier_unconsumed = 0;
   // Total wall time workers spent blocked waiting to steal.
   double steal_wait_seconds = 0;
+  // Partial-order reduction, summed over workers. Swarm modes gate POR
+  // off (see ExplorerOptions::por), so these are nonzero only for the
+  // degenerate one-worker/no-sharing configurations that run the solo
+  // DFS path; they are surfaced so benches can print one schema for
+  // solo and swarm rows.
+  std::uint64_t por_pruned_transitions = 0;
+  std::uint64_t por_sleep_awakened = 0;
   // Distributed-swarm health (zero for in-process swarms): times the
   // external shared store / frontier fell back to local structures after
   // losing its server, and total failed RPC attempts underneath.

@@ -42,6 +42,21 @@ std::string_view BackendName(Backend backend) {
   return "?";
 }
 
+// In-process transport: the daemon's fuse_lowlevel_notify_inval_* calls
+// land directly on the VFS, with no message channel in between.
+class DirectVfsNotifier : public fs::KernelNotifier {
+ public:
+  explicit DirectVfsNotifier(vfs::Vfs* v) : vfs_(v) {}
+  void InvalEntry(const std::string& parent_path,
+                  const std::string& name) override {
+    vfs_->NotifyInvalEntry(parent_path, name);
+  }
+  void InvalInode(fs::InodeNum ino) override { vfs_->NotifyInvalInode(ino); }
+
+ private:
+  vfs::Vfs* vfs_;
+};
+
 }  // namespace
 
 std::string_view FsKindName(FsKind kind) {
@@ -201,6 +216,22 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
         });
     fut->client_->SetInvalInodeHandler(
         [v](fs::InodeNum ino) { v->NotifyInvalInode(ino); });
+  }
+  if (is_verifs && fut->client_ == nullptr) {
+    // In-process deployment: there is no transport to carry the restore-
+    // time invalidation notifications, so hand the daemon a notifier
+    // that calls straight into the VFS. Without this the dcache/icache
+    // keep serving the abandoned timeline after every ioctl restore —
+    // the §3.2 incoherency the bug-#2 fix exists to eliminate — and the
+    // abstract-state walk reads stale attributes through them.
+    fut->direct_notifier_ =
+        std::make_unique<DirectVfsNotifier>(fut->vfs_.get());
+    if (auto* v1 = dynamic_cast<verifs::Verifs1*>(fut->hosted_fs_.get())) {
+      v1->SetNotifier(fut->direct_notifier_.get());
+    }
+    if (auto* v2 = dynamic_cast<verifs::Verifs2*>(fut->hosted_fs_.get())) {
+      v2->SetNotifier(fut->direct_notifier_.get());
+    }
   }
 
   // ---- VM snapshotter ------------------------------------------------------

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "fs/filesystem.h"
+#include "fs/kernel_notifier.h"
 #include "fs/mount_state.h"
 #include "fs/perms.h"
 #include "fuse/fuse_host.h"
@@ -145,6 +146,10 @@ class FsUnderTest {
   fs::MountStateCapture* mount_capture_ = nullptr;
 
   std::unique_ptr<vfs::Vfs> vfs_;
+  // In-process deployments: carries the file system's cache-invalidation
+  // notifications straight to the VFS (the FUSE transport ships them over
+  // its message channel instead).
+  std::unique_ptr<fs::KernelNotifier> direct_notifier_;
   std::unique_ptr<snapshot::VmSnapshotter> vm_;
   std::unique_ptr<nfs::GaneshaServer> ganesha_;
   std::unique_ptr<snapshot::CriuSnapshotter> criu_;

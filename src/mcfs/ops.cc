@@ -133,11 +133,18 @@ TouchedPathSet TouchedPaths(const Operation& op, const OpOutcome& outcome) {
   if (outcome.error != Errno::kOk) {
     // A failed mutation dirties nothing — but its targets are re-hashed
     // anyway as a cheap guard against partially-applied meta-ops (e.g.
-    // create succeeding and the closing step failing).
+    // create succeeding and the closing step failing). The guard must
+    // reach the lexical parents too: a half-applied namespace op leaves
+    // its first trace in the parent (nlink, directory size), and a buggy
+    // file system that mutates the parent before reporting failure
+    // (e.g. mkdir's EEXIST path) would otherwise leave the incremental
+    // cache stale exactly where the comparison needs it fresh.
     touched.dirty.push_back(op.path);
+    DirtyParent(&touched, op.path);
     if (op.kind == OpKind::kRename || op.kind == OpKind::kLink ||
         op.kind == OpKind::kSymlink) {
       touched.dirty.push_back(op.path2);
+      DirtyParent(&touched, op.path2);
     }
     return touched;
   }
@@ -209,6 +216,93 @@ TouchedPathSet TouchedPaths(const Operation& op, const OpOutcome& outcome) {
       break;  // handled above
   }
   return touched;
+}
+
+namespace {
+
+// Footprint helper: the path plus its lexical parent (skipped at the
+// root — "/" in a footprint would cover every path via the ancestor
+// rule and zero out the reduction; the runtime guard's DirtyParent
+// skips the root too, so the superset contract is preserved).
+void FootprintAddWithParent(mc::ActionFootprint* fp, const std::string& path) {
+  fp->paths.push_back(path);
+  std::string parent = fs::ParentPath(path);
+  if (parent != "/" && parent != path) fp->paths.push_back(std::move(parent));
+}
+
+}  // namespace
+
+mc::ActionFootprint StaticTouchedPaths(const Operation& op) {
+  mc::ActionFootprint fp;
+  switch (op.kind) {
+    case OpKind::kReadFile:
+    case OpKind::kStat:
+    case OpKind::kAccess:
+    case OpKind::kReadLink:
+      // Pure observers of one node. The path still matters: the outcome
+      // is a function of that node's state, so the pair (read x, write
+      // x) stays dependent.
+      fp.paths.push_back(op.path);
+      fp.reads_only = true;
+      return fp;
+    case OpKind::kGetDents:
+      // Reads the listing, which every namespace op on a child changes —
+      // and every namespace op's footprint includes its parent, so
+      // {path} suffices. getdents("/") yields {"/"}: the root covers
+      // everything via the ancestor rule, which is exactly right — any
+      // top-level namespace change edits its listing.
+      fp.paths.push_back(op.path);
+      fp.reads_only = true;
+      return fp;
+    case OpKind::kCheckpoint:
+      // Pure snapshot record: reads the whole state but mutates nothing,
+      // and commutes with nothing observable. Never pool-enumerated.
+      fp.reads_only = true;
+      return fp;
+    case OpKind::kRestore:
+      // Whole-state rollback: no bounded footprint exists.
+      fp.full = true;
+      return fp;
+    case OpKind::kCreateFile:
+    case OpKind::kMkdir:
+    case OpKind::kWriteFile:
+    case OpKind::kTruncate:
+    case OpKind::kChmod:
+    case OpKind::kSetXattr:
+    case OpKind::kRemoveXattr:
+    case OpKind::kRmdir:
+    case OpKind::kUnlink:
+      // Target plus parent: namespace ops change the parent's link count
+      // and listing on success, and even in-place mutations reach the
+      // parent through the failed-mutation guard. (rmdir/unlink subtree
+      // eviction needs no extra paths — `path` covers its descendants
+      // via the ancestor rule.)
+      FootprintAddWithParent(&fp, op.path);
+      return fp;
+    case OpKind::kRename:
+      if (op.path == op.path2 || fs::IsPathPrefix(op.path, op.path2) ||
+          fs::IsPathPrefix(op.path2, op.path)) {
+        // The degenerate cases TouchedPaths maps to a full recompute
+        // (self-rename, rename into own subtree): mirror that here —
+        // no bounded static superset is worth claiming.
+        fp.full = true;
+        return fp;
+      }
+      FootprintAddWithParent(&fp, op.path);
+      FootprintAddWithParent(&fp, op.path2);
+      return fp;
+    case OpKind::kLink:
+    case OpKind::kSymlink:
+      // BOTH parents, the source's too: a failed link/symlink re-hashes
+      // the source's parent through the guard, and link's outcome reads
+      // the source node (ENOENT vs success), so the static set must
+      // cover everything any outcome of TouchedPaths can dirty.
+      FootprintAddWithParent(&fp, op.path);
+      FootprintAddWithParent(&fp, op.path2);
+      return fp;
+  }
+  fp.full = true;  // unreachable; stay sound if a kind is ever added
+  return fp;
 }
 
 ParameterPool ParameterPool::Default() {

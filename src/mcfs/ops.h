@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "fs/filesystem.h"
+#include "mc/state.h"
 
 namespace mcfs::core {
 
@@ -114,6 +115,16 @@ struct TouchedPathSet {
 // mutations dirty the target, its parent where link counts or directory
 // contents change, and rename/link secondaries.
 TouchedPathSet TouchedPaths(const Operation& op, const OpOutcome& outcome);
+
+// Static, outcome-independent footprint for the partial-order-reduction
+// dependence relation (DESIGN.md §7.6): a superset of every path
+// TouchedPaths(op, outcome) can dirty or evict under ANY outcome, plus
+// the paths the op's observable outcome reads (so read-vs-write
+// dependence is caught too). Parents ride along wherever link counts,
+// directory sizes, or the failed-mutation guard can reach them. Aliasing
+// (hard links) is NOT resolved here — the engine layers alias-class
+// expansion on top, since only it knows the enumerated action set.
+mc::ActionFootprint StaticTouchedPaths(const Operation& op);
 
 // The bounded parameter pools. EnumerateAll() produces the full action
 // set the explorer permutes; the pools are deliberately small — the

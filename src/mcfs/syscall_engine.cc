@@ -1,6 +1,7 @@
 #include "mcfs/syscall_engine.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "fs/path.h"
 #include "mcfs/equalize.h"
@@ -46,10 +47,103 @@ SyscallEngine::SyscallEngine(FsUnderTest& fs_a, FsUnderTest& fs_b,
       fs_b_.config().strategy != StateStrategy::kMountOnce;
 
   actions_ = options_.pool.EnumerateAll(CommonFeatures(fs_a_, fs_b_));
+  ComputeStaticFootprints();
 }
 
 std::string SyscallEngine::ActionName(std::size_t action) const {
   return actions_.at(action).ToString();
+}
+
+void SyscallEngine::ComputeStaticFootprints() {
+  footprints_.clear();
+  footprints_.reserve(actions_.size());
+  for (const Operation& op : actions_) {
+    footprints_.push_back(StaticTouchedPaths(op));
+  }
+
+  // Hard-link alias classes. link(a, b) makes two pool paths name one
+  // inode, so an op whose footprint holds one name can mutate (or read)
+  // node state hashed under the other — a purely lexical dependence
+  // relation would wrongly commute write(a) with stat(b). Classes are
+  // seeded from every enumerated kLink pair, then grown along rename
+  // edges to a fixpoint: rename can carry an aliased *name* to a new
+  // path (link(a,b); rename(a,c) leaves c and b aliased), but a rename
+  // only matters once one of its endpoints' classes is already
+  // nontrivial — unconditional rename unioning would fuse nearly the
+  // whole pool and zero out the reduction. Symlinks seed nothing: the
+  // digest hashes the link node itself (lstat-shaped), and no enumerated
+  // action resolves through a symlink component; revisit if
+  // follow-the-link operations are ever added to the pool.
+  std::unordered_map<std::string, std::size_t> index;
+  std::vector<std::size_t> uf;
+  auto node = [&index, &uf](const std::string& path) {
+    const auto [it, inserted] = index.emplace(path, uf.size());
+    if (inserted) uf.push_back(it->second);
+    return it->second;
+  };
+  auto find = [&uf](std::size_t x) {
+    while (uf[x] != x) x = uf[x] = uf[uf[x]];
+    return x;
+  };
+  auto unite = [&uf, &find](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) uf[a] = b;
+  };
+
+  bool any_link = false;
+  for (const Operation& op : actions_) {
+    if (op.kind == OpKind::kLink) {
+      unite(node(op.path), node(op.path2));
+      any_link = true;
+    }
+  }
+  if (!any_link) return;
+
+  auto nontrivial = [&uf, &find](std::size_t x) {
+    x = find(x);
+    std::size_t members = 0;
+    for (std::size_t i = 0; i < uf.size(); ++i) {
+      if (find(i) == x && ++members >= 2) return true;
+    }
+    return false;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Operation& op : actions_) {
+      if (op.kind != OpKind::kRename || op.path == op.path2) continue;
+      const std::size_t a = node(op.path);
+      const std::size_t b = node(op.path2);
+      if (find(a) == find(b)) continue;
+      if (nontrivial(a) || nontrivial(b)) {
+        unite(a, b);
+        changed = true;
+      }
+    }
+  }
+
+  std::unordered_map<std::size_t, std::vector<std::string>> classes;
+  for (const auto& [path, idx] : index) {
+    classes[find(idx)].push_back(path);
+  }
+  for (mc::ActionFootprint& fp : footprints_) {
+    if (fp.full || fp.paths.empty()) continue;
+    std::vector<std::string> expanded = fp.paths;
+    for (const std::string& path : fp.paths) {
+      const auto it = index.find(path);
+      if (it == index.end()) continue;
+      const std::vector<std::string>& cls = classes[find(it->second)];
+      if (cls.size() < 2) continue;
+      for (const std::string& alias : cls) {
+        if (std::find(expanded.begin(), expanded.end(), alias) ==
+            expanded.end()) {
+          expanded.push_back(alias);
+        }
+      }
+    }
+    fp.paths = std::move(expanded);
+  }
 }
 
 Result<Md5Digest> SyscallEngine::SideDigest(FsUnderTest& fut,

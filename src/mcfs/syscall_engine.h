@@ -68,6 +68,12 @@ class SyscallEngine final : public mc::System {
   Status RestoreConcrete(mc::SnapshotId id) override;
   Status DiscardConcrete(mc::SnapshotId id) override;
   std::uint64_t ConcreteStateBytes() const override;
+  // POR footprints: StaticTouchedPaths per action, expanded with
+  // hard-link alias classes (computed once at construction; see
+  // ComputeStaticFootprints).
+  mc::ActionFootprint StaticActionFootprint(std::size_t action) const override {
+    return footprints_.at(action);
+  }
 
   // Clears a pending violation so exploration can continue past a known
   // discrepancy (used when cataloguing multiple differences).
@@ -101,11 +107,16 @@ class SyscallEngine final : public mc::System {
   Result<Md5Digest> SideDigest(FsUnderTest& fut, IncrementalAbstraction& inc,
                                const TouchedPathSet* touched);
   void SyncAbstractionCounters();
+  // Fills footprints_ from StaticTouchedPaths over actions_, then
+  // expands each path with its hard-link alias class so the dependence
+  // relation stays sound when two pool paths can name one inode.
+  void ComputeStaticFootprints();
 
   FsUnderTest& fs_a_;
   FsUnderTest& fs_b_;
   EngineOptions options_;
   std::vector<Operation> actions_;
+  std::vector<mc::ActionFootprint> footprints_;
   std::optional<std::string> violation_;
   std::optional<Md5Digest> cached_hash_;
   EngineCounters counters_;

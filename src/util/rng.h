@@ -65,8 +65,13 @@ class Rng {
     return lo + Below(span + 1);
   }
 
-  // Bernoulli draw with probability num/den.
+  // Bernoulli draw with probability num/den. A zero denominator is a
+  // checked no-draw: it returns false WITHOUT consuming generator state
+  // (Below(0) short-circuits too), so a caller probing a degenerate
+  // ratio does not perturb replay determinism — and num/0 must not read
+  // as "certain" the way `Below(0) < num` (0 < num) would.
   bool Chance(std::uint64_t num, std::uint64_t den) {
+    if (den == 0) return false;
     return Below(den) < num;
   }
 

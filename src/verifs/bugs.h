@@ -39,6 +39,14 @@ struct VerifsBugs {
   bool stat_size_off_by_one = false;
   // mkdir over an existing name reports ENOENT instead of EEXIST.
   bool mkdir_eexist_as_enoent = false;
+  // mkdir over an existing name correctly fails EEXIST but first
+  // bumps the PARENT directory's group id — a failed operation with a
+  // real side effect one hop from its target. (gid, unlike mode, is
+  // never otherwise written by any pool op, so the corruption is
+  // observable in the digest.) Detecting it requires the incremental
+  // abstraction's failed-mutation guard to re-hash the parent, not just
+  // the named path.
+  bool mkdir_eexist_chowns_parent = false;
   // rmdir removes non-empty directories instead of failing ENOTEMPTY
   // (the orphaned children leak).
   bool rmdir_ignores_nonempty = false;

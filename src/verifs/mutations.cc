@@ -55,6 +55,12 @@ std::vector<Mutant> BuildCorpus() {
       /*verifs2=*/false, /*historical=*/false, /*expect_detected=*/true,
       &VerifsBugs::mkdir_eexist_as_enoent));
   corpus.push_back(Make(
+      "mkdir_eexist_chowns_parent",
+      "mkdir's EEXIST path bumps the parent directory's gid — a failed "
+      "op mutating state one hop from its target",
+      /*verifs2=*/false, /*historical=*/false, /*expect_detected=*/true,
+      &VerifsBugs::mkdir_eexist_chowns_parent));
+  corpus.push_back(Make(
       "rmdir_ignores_nonempty",
       "rmdir of a non-empty directory succeeds and the children vanish",
       /*verifs2=*/false, /*historical=*/false, /*expect_detected=*/true,

@@ -33,7 +33,7 @@ struct Mutant {
   VerifsBugs bugs;
 };
 
-// The full corpus: 4 historical bugs + 15 synthetic mutants.
+// The full corpus: 4 historical bugs + 16 synthetic mutants.
 const std::vector<Mutant>& MutationCorpus();
 
 // Corpus lookup by name; nullptr when unknown.

@@ -148,6 +148,11 @@ Status Verifs1::Mkdir(const std::string& path, fs::Mode mode) {
     return Errno::kEACCES;
   }
   if (pnode.children.contains(parent.value().name)) {
+    // Mutant: the error path scribbles on the PARENT before reporting —
+    // the errno is right, the state one hop up is not.
+    if (options_.bugs.mkdir_eexist_chowns_parent) {
+      pnode.gid += 1;
+    }
     // Mutant: the "already exists" case mapped to the wrong errno.
     return options_.bugs.mkdir_eexist_as_enoent ? Errno::kENOENT
                                                 : Errno::kEEXIST;

@@ -71,7 +71,7 @@ TEST(Bug1TruncateNoZero, McfsDetectsIt) {
   // is one reason the paper leans on seed-diversified swarm runs) — so
   // try a few seeds and require that diversification finds it.
   bool found = false;
-  for (std::uint64_t seed = 1; seed <= 8 && !found; ++seed) {
+  for (std::uint64_t seed = 1; seed <= 16 && !found; ++seed) {
     McfsConfig config;
     config.fs_a.kind = FsKind::kVerifs1;
     config.fs_a.strategy = StateStrategy::kIoctl;

@@ -60,6 +60,61 @@ TEST(MutationCampaignTest, FastMutantsAreKilledAndMinimized) {
   }
 }
 
+TEST(MutationCampaignTest, FailedMkdirParentMutantIsCaughtIncrementally) {
+  // Regression for the failed-mutation dirty-set guard: this mutant
+  // bumps the PARENT directory's gid before reporting EEXIST, i.e.
+  // one lexical hop away from the op's named target. Detection with the
+  // incremental cache enabled depends on the failure branch re-hashing
+  // parents too — before that fix the stale parent hash made the buggy
+  // twin's digest match the clean one and the violation vanished.
+  const verifs::Mutant* mutant =
+      verifs::FindMutant("mkdir_eexist_chowns_parent");
+  ASSERT_NE(mutant, nullptr);
+  EXPECT_TRUE(mutant->expect_detected);
+
+  // A namespace-only pool over a nested dir pair: the space closes well
+  // inside the budget, so DFS is guaranteed to expand the state where
+  // /d0/d2 already exists and re-run its mkdir (the EEXIST branch).
+  // With the full Default pool, reaching that state depends on the
+  // shuffled order of an 82-way tree — detection by luck, not by test.
+  ParameterPool pool;
+  pool.file_paths = {};
+  pool.dir_paths = {"/d0", "/d0/d2"};
+  pool.include_data_ops = false;
+  pool.include_metadata_ops = false;
+  pool.include_link_ops = false;
+
+  McfsConfig config;
+  config.fs_a.kind = FsKind::kVerifs1;
+  config.fs_a.strategy = StateStrategy::kIoctl;
+  config.fs_a.fuse_transport = false;
+  config.fs_b = config.fs_a;
+  config.fs_b.bugs = mutant->bugs;
+  config.engine.pool = pool;
+  config.engine.abstraction.incremental = true;  // the cache under test
+  config.explore.mode = mc::SearchMode::kDfs;
+  config.explore.max_operations = 40'000;
+  config.explore.max_depth = 6;
+  config.explore.seed = 1;
+  auto mcfs = Mcfs::Create(config);
+  ASSERT_TRUE(mcfs.ok());
+  McfsReport run = mcfs.value()->Run();
+  EXPECT_TRUE(run.stats.violation_found)
+      << "incremental cache missed the parent mutation";
+
+  // The campaign proper (full-recompute oracle) kills it as well.
+  MutationCampaignOptions options;
+  options.fuse_transport = false;
+  options.pool = pool;
+  options.max_operations = 40'000;
+  options.seeds = {1, 2, 3};
+  options.only = {"mkdir_eexist_chowns_parent"};
+  MutationCampaignReport report = RunMutationCampaign(options);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_TRUE(report.outcomes[0].detected);
+  EXPECT_TRUE(report.outcomes[0].replay_confirmed);
+}
+
 TEST(MutationCampaignTest, RestoreBugIsCaughtThroughTheFuseTransport) {
   // Historical bug #2 needs the full stack: FUSE kernel caches + an
   // ioctl restore that (buggily) skips invalidating them.

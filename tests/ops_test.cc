@@ -3,6 +3,7 @@
 // stable human-readable names.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "mcfs/ops.h"
@@ -113,6 +114,133 @@ TEST(OpsTest, TinyPoolIsTiny) {
   const auto ops = ParameterPool::Tiny().EnumerateAll(AllFeatures());
   EXPECT_LT(ops.size(), 20u);
   EXPECT_GT(ops.size(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// TouchedPaths / StaticTouchedPaths (the POR footprint contract)
+
+bool Dirties(const TouchedPathSet& touched, const std::string& path) {
+  return std::find(touched.dirty.begin(), touched.dirty.end(), path) !=
+         touched.dirty.end();
+}
+
+TEST(TouchedPathsTest, FailedMutationsReVerifyLexicalParentsToo) {
+  // Regression: the failed-mutation guard used to re-hash only the named
+  // targets. A buggy file system that mutates the PARENT before
+  // reporting failure (mkdir's EEXIST path scribbling on the parent,
+  // as the mkdir_eexist_chowns_parent mutant does) left the incremental
+  // cache stale exactly where the comparison needed it fresh.
+  OpOutcome failed;
+  failed.error = Errno::kEEXIST;
+
+  const Operation mkdir{.kind = OpKind::kMkdir, .path = "/d0/d2"};
+  const TouchedPathSet touched = TouchedPaths(mkdir, failed);
+  EXPECT_TRUE(Dirties(touched, "/d0/d2"));
+  EXPECT_TRUE(Dirties(touched, "/d0"));
+
+  const Operation rename{.kind = OpKind::kRename,
+                         .path = "/d0/f2",
+                         .path2 = "/d1/x"};
+  const TouchedPathSet both = TouchedPaths(rename, failed);
+  EXPECT_TRUE(Dirties(both, "/d0/f2"));
+  EXPECT_TRUE(Dirties(both, "/d0"));
+  EXPECT_TRUE(Dirties(both, "/d1/x"));
+  EXPECT_TRUE(Dirties(both, "/d1"));
+
+  // The root is never part of the hashed path set: a top-level target
+  // contributes only itself.
+  const Operation top{.kind = OpKind::kUnlink, .path = "/f0"};
+  const TouchedPathSet top_touched = TouchedPaths(top, failed);
+  EXPECT_TRUE(Dirties(top_touched, "/f0"));
+  EXPECT_EQ(top_touched.dirty.size(), 1u);
+}
+
+TEST(StaticTouchedPathsTest, LinkFootprintIncludesBothParents) {
+  // Regression: the static footprint for link must cover the SOURCE
+  // parent as well as the destination's — the failed-link guard re-
+  // hashes it, and the static set must be a superset of every runtime
+  // outcome's dirty set.
+  const Operation link{.kind = OpKind::kLink,
+                       .path = "/d0/f2",
+                       .path2 = "/d1/h"};
+  const mc::ActionFootprint fp = StaticTouchedPaths(link);
+  EXPECT_FALSE(fp.full);
+  EXPECT_FALSE(fp.reads_only);
+  for (const std::string& path : {"/d0/f2", "/d0", "/d1/h", "/d1"}) {
+    EXPECT_NE(std::find(fp.paths.begin(), fp.paths.end(), path),
+              fp.paths.end())
+        << path;
+  }
+}
+
+TEST(StaticTouchedPathsTest, ReadsAndDegenerateRenamesAreClassified) {
+  const Operation stat{.kind = OpKind::kStat, .path = "/f0"};
+  EXPECT_TRUE(StaticTouchedPaths(stat).reads_only);
+
+  const Operation getdents{.kind = OpKind::kGetDents, .path = "/"};
+  const mc::ActionFootprint root = StaticTouchedPaths(getdents);
+  EXPECT_TRUE(root.reads_only);
+  ASSERT_EQ(root.paths.size(), 1u);
+  EXPECT_EQ(root.paths[0], "/");
+
+  // Self-rename and rename-into-own-subtree have no bounded footprint
+  // (they mirror TouchedPaths' full-recompute fallback).
+  const Operation self{.kind = OpKind::kRename, .path = "/a", .path2 = "/a"};
+  EXPECT_TRUE(StaticTouchedPaths(self).full);
+  const Operation nested{.kind = OpKind::kRename,
+                         .path = "/a",
+                         .path2 = "/a/b"};
+  EXPECT_TRUE(StaticTouchedPaths(nested).full);
+  const Operation restore{.kind = OpKind::kRestore};
+  EXPECT_TRUE(StaticTouchedPaths(restore).full);
+}
+
+TEST(StaticTouchedPathsTest, StaticFootprintCoversEveryRuntimeOutcome) {
+  // The soundness contract the dependence relation rests on: for every
+  // enumerable operation and every outcome class (success and failure),
+  // each path TouchedPaths dirties or evicts is covered by some static
+  // footprint path (equal or an ancestor).
+  const auto covers = [](const mc::ActionFootprint& fp,
+                         const std::string& path) {
+    if (fp.full) return true;
+    for (const std::string& p : fp.paths) {
+      if (p == path) return true;
+      // Lexical ancestor: p + '/' prefixes path.
+      if (path.size() > p.size() && path.compare(0, p.size(), p) == 0 &&
+          path[p.size()] == '/') {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const auto ops = ParameterPool::Default().EnumerateAll(AllFeatures());
+  for (const auto& op : ops) {
+    const mc::ActionFootprint fp = StaticTouchedPaths(op);
+    for (const Errno error : {Errno::kOk, Errno::kENOENT, Errno::kEEXIST}) {
+      OpOutcome outcome;
+      outcome.error = error;
+      const TouchedPathSet touched = TouchedPaths(op, outcome);
+      if (touched.full) {
+        EXPECT_TRUE(fp.full) << op.ToString();
+        continue;
+      }
+      for (const std::string& path : touched.dirty) {
+        EXPECT_TRUE(covers(fp, path))
+            << op.ToString() << " -> " << ErrnoName(error) << " dirties "
+            << path << " outside its static footprint";
+      }
+      for (const std::string& path : touched.evicted_subtrees) {
+        EXPECT_TRUE(covers(fp, path))
+            << op.ToString() << " evicts " << path
+            << " outside its static footprint";
+      }
+      if (touched.relabel) {
+        EXPECT_TRUE(covers(fp, touched.relabel_from)) << op.ToString();
+        EXPECT_TRUE(covers(fp, touched.relabel_to)) << op.ToString();
+      }
+    }
+  }
 }
 
 }  // namespace

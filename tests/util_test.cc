@@ -215,6 +215,36 @@ TEST(RngTest, BetweenFullRangeDoesNotCollapse) {
   EXPECT_EQ(rng.Between(kMax, kMax), kMax);
 }
 
+TEST(RngTest, ChanceZeroDenominatorIsACheckedNoDraw) {
+  // Regression: Chance(num, 0) used to reduce to Below(0) < num, i.e.
+  // 0 < num — "certain" for any nonzero numerator. A zero-denominator
+  // ratio is degenerate and must be a no-draw `false`, and it must not
+  // consume generator state (replay determinism).
+  Rng rng(77);
+  EXPECT_FALSE(rng.Chance(1, 0));
+  EXPECT_FALSE(rng.Chance(1000, 0));
+  EXPECT_FALSE(rng.Chance(0, 0));
+  // State untouched by the degenerate draws: a twin generator that never
+  // made them produces the same stream.
+  Rng twin(77);
+  EXPECT_EQ(rng.Next(), twin.Next());
+  // Sane denominators still behave.
+  Rng draws(78);
+  EXPECT_FALSE(draws.Chance(0, 10));
+  bool any_true = false;
+  bool any_false = false;
+  for (int i = 0; i < 200; ++i) {
+    if (draws.Chance(1, 2)) {
+      any_true = true;
+    } else {
+      any_false = true;
+    }
+  }
+  EXPECT_TRUE(any_true);
+  EXPECT_TRUE(any_false);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(draws.Chance(10, 10));
+}
+
 TEST(RngTest, BelowCoversAllResidues) {
   Rng rng(42);
   std::array<int, 5> histogram{};
