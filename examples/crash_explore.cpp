@@ -1,0 +1,109 @@
+// Crash-consistency exploration quickstart (DESIGN.md §7.7): explore a
+// pair of kernel file systems on crashable devices, and after every
+// operation enumerate the legal crash states of the device, remount
+// each on a fresh recovery probe (jffs2f log replay / ext4f journal
+// recovery), and validate the recovered tree against the persistence
+// oracle — durable-at-sync survives exactly, un-synced effects are
+// atomically absent, never torn.
+//
+//   ./crash_explore [--a=ext2|ext4|jffs2] [--b=ext2|ext4|jffs2]
+//                   [--ops=N] [--depth=N] [--seed=N]
+//                   [--ordered] [--max-states=N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "mcfs/harness.h"
+
+using namespace mcfs;
+using namespace mcfs::core;
+
+namespace {
+
+bool ParseKind(const std::string& name, FsKind* kind) {
+  if (name == "ext2") return *kind = FsKind::kExt2, true;
+  if (name == "ext4") return *kind = FsKind::kExt4, true;
+  if (name == "jffs2") return *kind = FsKind::kJffs2, true;
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FsKind kind_a = FsKind::kExt2;
+  FsKind kind_b = FsKind::kJffs2;
+  std::uint64_t ops = 4'000;
+  std::uint32_t depth = 3;
+  std::uint64_t seed = 1;
+  storage::CrashStateOptions states;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--a=", 0) == 0 && ParseKind(value("--a="), &kind_a)) {
+    } else if (arg.rfind("--b=", 0) == 0 && ParseKind(value("--b="), &kind_b)) {
+    } else if (arg.rfind("--ops=", 0) == 0) {
+      ops = std::strtoull(value("--ops=").c_str(), nullptr, 10);
+    } else if (arg.rfind("--depth=", 0) == 0) {
+      depth = static_cast<std::uint32_t>(
+          std::strtoul(value("--depth=").c_str(), nullptr, 10));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(value("--seed=").c_str(), nullptr, 10);
+    } else if (arg == "--ordered") {
+      states.barrier_model = storage::BarrierModel::kOrdered;
+    } else if (arg.rfind("--max-states=", 0) == 0) {
+      states.max_states = std::strtoull(value("--max-states=").c_str(),
+                                        nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  McfsConfig config;
+  config.fs_a.kind = kind_a;
+  config.fs_a.strategy = StateStrategy::kVfsApi;
+  config.fs_a.fuse_transport = false;
+  // Uncached: only fsync writes reach the device, so barriers bound the
+  // in-flight journal and each op yields a handful of crash states.
+  config.fs_a.block_cache_capacity = 0;
+  config.fs_b = config.fs_a;
+  config.fs_b.kind = kind_b;
+  config.engine.pool = ParameterPool::Tiny();
+  config.engine.pool.include_fsync_ops = true;
+  config.engine.abstraction.incremental = false;
+  config.engine.crash.enabled = true;
+  config.engine.crash.states = states;
+  config.explore.mode = mc::SearchMode::kDfs;
+  config.explore.crash_mode = mc::CrashMode::kEveryOp;
+  config.explore.por = false;
+  config.explore.max_operations = ops;
+  config.explore.max_depth = depth;
+  config.explore.seed = seed;
+
+  auto mcfs = Mcfs::Create(config);
+  if (!mcfs.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 std::string(ErrnoName(mcfs.error())).c_str());
+    return 2;
+  }
+
+  McfsReport report = mcfs.value()->Run();
+  std::printf("%s\n", report.Summary().c_str());
+  std::printf("crash checks: %llu ops, %llu crash states remounted\n",
+              static_cast<unsigned long long>(report.counters.crash_checks),
+              static_cast<unsigned long long>(
+                  report.counters.crash_states_checked));
+  if (report.stats.violation_found) {
+    std::printf("VIOLATION: %s\n", report.stats.violation_report.c_str());
+    for (const auto& step : report.stats.violation_trail) {
+      std::printf("  %s\n", step.c_str());
+    }
+    return 1;
+  }
+  std::printf("every enumerated crash state recovered legally.\n");
+  return 0;
+}

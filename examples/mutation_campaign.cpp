@@ -8,8 +8,8 @@
 // plus a machine-readable JSON artifact. Exits nonzero if any mutant
 // that should be detected survived.
 //
-//   ./mutation_campaign [--list] [--mutant=NAME]... [--out=FILE]
-//                       [--ops=N] [--depth=N] [--seeds=N]
+//   ./mutation_campaign [--list] [--mutant=NAME]... [--crash-only]
+//                       [--out=FILE] [--ops=N] [--depth=N] [--seeds=N]
 //                       [--max-replays=N] [--no-minimize] [--no-fuse]
 #include <cstdio>
 #include <cstdlib>
@@ -34,14 +34,21 @@ int main(int argc, char** argv) {
     };
     if (arg == "--list") {
       for (const verifs::Mutant& m : verifs::MutationCorpus()) {
-        std::printf("%-36s %s%s(%s)\n", m.name.c_str(),
+        std::printf("%-36s %s%s%s(%s)\n", m.name.c_str(),
                     m.historical ? "[historical] " : "",
+                    m.crash ? "[crash] " : "",
                     m.expect_detected ? "" : "[expected to survive] ",
                     m.hint.c_str());
       }
       return 0;
     } else if (arg.rfind("--mutant=", 0) == 0) {
       options.only.push_back(value("--mutant="));
+    } else if (arg == "--crash-only") {
+      // The crash axis alone (scripts/crash_campaign.sh): every corpus
+      // mutant explored under the crash mode.
+      for (const verifs::Mutant& m : verifs::MutationCorpus()) {
+        if (m.crash) options.only.push_back(m.name);
+      }
     } else if (arg.rfind("--out=", 0) == 0) {
       out_path = value("--out=");
     } else if (arg.rfind("--ops=", 0) == 0) {

@@ -8,7 +8,8 @@
 #   scripts/asan.sh [extra ctest args...]
 #
 # e.g. `scripts/asan.sh -L mutation` to narrow to the shrink/campaign
-# suite.
+# suite, or `scripts/asan.sh -L crash` for the crash-exploration suite
+# (the CrashableDisk journal + recovery-probe churn is allocation-heavy).
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # One-command ThreadSanitizer sweep of the racy-path suite: configures a
 # separate build-tsan tree with -DMCFS_TSAN=ON, builds it, and runs every
-# test carrying the `concurrent`, `abstraction`, or `por` ctest label
-# (the shared visited stores, the work-stealing frontier, the incremental
-# abstraction caches that swarm workers keep per-instance, and the
-# sleep-set bookkeeping the swarm gating keeps out of shared-store
-# runs). Usage:
+# test carrying the `concurrent`, `abstraction`, `por`, or `crash` ctest
+# label (the shared visited stores, the work-stealing frontier, the
+# incremental abstraction caches that swarm workers keep per-instance,
+# the sleep-set bookkeeping the swarm gating keeps out of shared-store
+# runs, and the crash-exploration suite whose recovery probes mount
+# device images concurrently snapshotted by the explorer). Usage:
 #
 #   scripts/tsan.sh [extra ctest args...]
 #
@@ -17,5 +18,5 @@ build_dir="${MCFS_TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DMCFS_TSAN=ON
 cmake --build "${build_dir}" -j
-ctest --test-dir "${build_dir}" -L 'concurrent|abstraction|por' \
+ctest --test-dir "${build_dir}" -L 'concurrent|abstraction|por|crash' \
       --output-on-failure "$@"

@@ -50,6 +50,10 @@ struct Ext2Options {
   std::uint32_t journal_blocks = 0;
   Identity identity;
   std::string type_name = "ext2f";
+  // Crash mutant (ext4f): fsync acknowledges success without issuing the
+  // device barrier, so the journal commit (and checkpoint) never become
+  // durable. Invisible live; only a crash-recovery check can kill it.
+  bool bug_ack_before_journal_commit = false;
 };
 
 class Ext2Fs : public FileSystem, public MountStateCapture {
@@ -150,6 +154,10 @@ class Ext2Fs : public FileSystem, public MountStateCapture {
   virtual Status FinishFlush();
   // Hook for ext4f: replay/recover before reading structures at mount.
   virtual Status RecoverOnMount();
+  // Set while Fsync runs under bug_ack_before_journal_commit: barrier
+  // points (FlushCache here, WriteTransaction in ext4f) skip
+  // device_->Flush(), so the "synced" writes stay in flight.
+  bool ack_without_barrier_ = false;
 
   // ---- allocation ----
   Result<std::uint32_t> AllocBlock();

@@ -25,6 +25,8 @@ struct Ext4Options {
   std::uint32_t journal_blocks = 8;
   std::uint32_t cache_capacity_blocks = 64;
   Identity identity;
+  // Crash mutant: see Ext2Options::bug_ack_before_journal_commit.
+  bool bug_ack_before_journal_commit = false;
 };
 
 class Ext4Fs : public Ext2Fs {

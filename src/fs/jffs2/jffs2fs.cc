@@ -55,6 +55,24 @@ Bytes Jffs2Fs::SerializeDirentNode(InodeNum parent, const std::string& name,
   return w.Take();
 }
 
+Bytes Jffs2Fs::SerializeRenameNode(InodeNum src_parent,
+                                   const std::string& src_name,
+                                   InodeNum dst_parent,
+                                   const std::string& dst_name,
+                                   InodeNum target, FileType type,
+                                   InodeNum victim, bool victim_unlinked) {
+  ByteWriter w;
+  w.PutU64(src_parent);
+  w.PutString(src_name);
+  w.PutU64(dst_parent);
+  w.PutString(dst_name);
+  w.PutU64(target);
+  w.PutU8(static_cast<std::uint8_t>(type));
+  w.PutU64(victim);
+  w.PutU8(victim_unlinked ? 1 : 0);
+  return w.Take();
+}
+
 Status Jffs2Fs::AppendNode(ByteView payload, NodeType type) {
   ByteWriter w;
   w.PutU32(kNodeMagic);
@@ -204,6 +222,25 @@ Status Jffs2Fs::ReplayLog() {
       const auto ftype = static_cast<FileType>(r.GetU8());
       auto& slot = latest_dirent[{parent, std::move(name)}];
       if (seq >= slot.first) slot = {seq, {target, ftype}};
+    } else if (type == NodeType::kRename) {
+      // Both halves of the rename share one seq: the node is applied
+      // atomically or (torn tail) not at all.
+      const InodeNum src_parent = r.GetU64();
+      std::string src_name = r.GetString();
+      const InodeNum dst_parent = r.GetU64();
+      std::string dst_name = r.GetString();
+      const InodeNum target = r.GetU64();
+      const auto ftype = static_cast<FileType>(r.GetU8());
+      const InodeNum victim = r.GetU64();
+      const bool victim_unlinked = r.GetU8() != 0;
+      auto& src_slot = latest_dirent[{src_parent, std::move(src_name)}];
+      if (seq >= src_slot.first) src_slot = {seq, {kInvalidInode, ftype}};
+      auto& dst_slot = latest_dirent[{dst_parent, std::move(dst_name)}];
+      if (seq >= dst_slot.first) dst_slot = {seq, {target, ftype}};
+      if (victim_unlinked) {
+        auto& dead = inode_dead[victim];
+        if (seq >= dead.first) dead = {seq, true};
+      }
     }
     } catch (const std::out_of_range&) {
       break;  // garbage payload despite a CRC match: treat as log end
@@ -269,12 +306,30 @@ Status Jffs2Fs::Mkfs() {
   Status s = PersistInode(kRootIno);
   inodes_.clear();
   log_head_ = 0;  // forget the in-memory view; mount rebuilds it
+  if (s.ok()) s = mtd_->Flush();  // a fresh format is durable
   return s;
 }
 
 Status Jffs2Fs::Mount() {
   if (mounted_) return Errno::kEBUSY;
   if (Status s = ReplayLog(); !s.ok()) return s;
+  if (options_.bug_skip_log_replay) {
+    // MUTANT: discard the replayed index and present a fresh tree. The
+    // replay still ran so log_head_/next_seq_/next_ino_ stay correct
+    // (appends must land on erased flash); only the recovered namespace
+    // is thrown away.
+    inodes_.clear();
+    dirents_.clear();
+    InodeRec root;
+    root.type = FileType::kDirectory;
+    root.mode = 0755;
+    root.uid = options_.identity.uid;
+    root.gid = options_.identity.gid;
+    root.atime_ns = root.mtime_ns = root.ctime_ns = NowNs();
+    inodes_[kRootIno] = root;
+    mounted_ = true;
+    return Status::Ok();
+  }
   if (!inodes_.contains(kRootIno)) return Errno::kEINVAL;  // not formatted
   mounted_ = true;
   return Status::Ok();
@@ -282,6 +337,8 @@ Status Jffs2Fs::Mount() {
 
 Status Jffs2Fs::Unmount() {
   if (!mounted_) return Errno::kEINVAL;
+  // Unmount drains: everything programmed becomes durable.
+  if (Status s = mtd_->Flush(); !s.ok()) return s;
   mounted_ = false;
   inodes_.clear();
   dirents_.clear();
@@ -709,7 +766,9 @@ Status Jffs2Fs::Truncate(const std::string& path, std::uint64_t size) {
 Status Jffs2Fs::Fsync(FileHandle fh) {
   if (!mounted_) return Errno::kEINVAL;
   if (!open_files_.contains(fh)) return Errno::kEBADF;
-  return Status::Ok();  // the log is write-through
+  // The log is write-through, but "programmed" is not "persistent":
+  // fsync is the barrier that makes in-flight flash programs durable.
+  return mtd_->Flush();
 }
 
 // ---------------------------------------------------------------------------
@@ -794,9 +853,11 @@ Status Jffs2Fs::Rename(const std::string& from, const std::string& to) {
   const auto moving = src_it->second;
   const auto dst_key = std::make_pair(dst_parent.value().parent_ino,
                                       dst_parent.value().name);
+  InodeNum victim = kInvalidInode;
+  bool victim_unlinked = false;
   auto dst_it = dirents_.find(dst_key);
   if (dst_it != dirents_.end()) {
-    const InodeNum victim = dst_it->second.first;
+    victim = dst_it->second.first;
     const InodeRec& target = inodes_.at(victim);
     if (moving.second == FileType::kDirectory) {
       if (target.type != FileType::kDirectory) return Errno::kENOTDIR;
@@ -805,12 +866,6 @@ Status Jffs2Fs::Rename(const std::string& from, const std::string& to) {
       return Errno::kEISDIR;
     }
     dirents_.erase(dst_it);
-    if (Status s =
-            PersistDirent(dst_key.first, dst_key.second, kInvalidInode,
-                          target.type);
-        !s.ok()) {
-      return s;
-    }
     bool still_linked = false;
     for (const auto& [k, v] : dirents_) {
       if (v.first == victim) {
@@ -820,21 +875,20 @@ Status Jffs2Fs::Rename(const std::string& from, const std::string& to) {
     }
     if (!still_linked) {
       inodes_.erase(victim);
-      if (Status s = PersistInode(victim, /*tombstone=*/true); !s.ok()) {
-        return s;
-      }
+      victim_unlinked = true;
     }
   }
 
   dirents_.erase(src_key);
-  if (Status s = PersistDirent(src_key.first, src_key.second, kInvalidInode,
-                               moving.second);
-      !s.ok()) {
-    return s;
-  }
   dirents_[dst_key] = moving;
-  return PersistDirent(dst_key.first, dst_key.second, moving.first,
-                       moving.second);
+  // One atomic node for the whole rename (see NodeType::kRename): a
+  // tombstone+insert pair could crash between the two halves and lose
+  // the moving file from both names.
+  return AppendNode(
+      SerializeRenameNode(src_key.first, src_key.second, dst_key.first,
+                          dst_key.second, moving.first, moving.second,
+                          victim, victim_unlinked),
+      NodeType::kRename);
 }
 
 Status Jffs2Fs::Link(const std::string& existing, const std::string& link) {

@@ -32,6 +32,10 @@ namespace mcfs::fs {
 
 struct Jffs2Options {
   Identity identity;
+  // Crash mutant: mount ignores the replayed log and presents a fresh
+  // tree (the in-memory index is authoritative while mounted, so the bug
+  // is invisible live and only a crash-recovery check can kill it).
+  bool bug_skip_log_replay = false;
 };
 
 class Jffs2Fs final : public FileSystem, public MountStateCapture {
@@ -94,7 +98,13 @@ class Jffs2Fs final : public FileSystem, public MountStateCapture {
   static constexpr std::uint32_t kNodeMagic = 0x4a324653;  // "J2FS"
   static constexpr InodeNum kRootIno = 1;
 
-  enum class NodeType : std::uint8_t { kInode = 1, kDirent = 2 };
+  // kRename is a single node carrying both halves of a rename (drop the
+  // source binding, install the destination binding, optionally tombstone
+  // a replaced victim). Emitting it as one node makes rename atomic under
+  // crash: the log either contains the whole rename or none of it,
+  // whereas a tombstone+insert pair could tear between the two nodes and
+  // lose the file entirely.
+  enum class NodeType : std::uint8_t { kInode = 1, kDirent = 2, kRename = 3 };
 
   struct InodeRec {
     FileType type = FileType::kRegular;
@@ -118,6 +128,10 @@ class Jffs2Fs final : public FileSystem, public MountStateCapture {
                            bool tombstone);
   Bytes SerializeDirentNode(InodeNum parent, const std::string& name,
                             InodeNum target, FileType type);
+  Bytes SerializeRenameNode(InodeNum src_parent, const std::string& src_name,
+                            InodeNum dst_parent, const std::string& dst_name,
+                            InodeNum target, FileType type, InodeNum victim,
+                            bool victim_unlinked);
   Status AppendNode(ByteView payload, NodeType type);
   Status GarbageCollect();
   Status ReplayLog();

@@ -534,6 +534,20 @@ ExploreStats Explorer::RunDfs() {
         break;
       }
 
+      if (options_.crash_mode != CrashMode::kOff) {
+        if (Status s = system_.CrashCheck(); !s.ok()) {
+          fail("crash-check infrastructure failure");
+          break;
+        }
+        if (system_.violation_detected()) {
+          stats_.violation_found = true;
+          stats_.violation_report = system_.violation_report();
+          stats_.violation_trail = collect_trail();
+          halt = Halt::kViolation;
+          break;
+        }
+      }
+
       // Sleep-set bookkeeping (Godefroid). The child inherits the slept
       // transitions that commute with `action` — their interleavings
       // with it are covered on the sibling branch that ran them first —
@@ -695,6 +709,20 @@ ExploreStats Explorer::RunRandomWalk() {
       stats_.violation_report = system_.violation_report();
       stats_.violation_trail.assign(trail.begin(), trail.end());
       break;
+    }
+
+    if (options_.crash_mode != CrashMode::kOff) {
+      if (Status s = system_.CrashCheck(); !s.ok()) {
+        stats_.violation_found = true;
+        stats_.violation_report = "crash-check infrastructure failure";
+        break;
+      }
+      if (system_.violation_detected()) {
+        stats_.violation_found = true;
+        stats_.violation_report = system_.violation_report();
+        stats_.violation_trail.assign(trail.begin(), trail.end());
+        break;
+      }
     }
 
     // Frontier control is LOCAL even under a shared store: bouncing off

@@ -35,6 +35,9 @@ namespace mcfs::mc {
 
 enum class SearchMode { kDfs, kRandomWalk };
 
+// When to run System::CrashCheck() during the search.
+enum class CrashMode { kOff, kEveryOp };
+
 // Periodic sample for long-run instrumentation (Figure 3's time series).
 struct ProgressSample {
   std::uint64_t operations = 0;
@@ -117,6 +120,11 @@ struct ExplorerOptions {
   // this worker would need to re-awaken, and a bitstate filter cannot
   // key the sleep map. ExploreStats::por_active reports the outcome.
   bool por = true;
+  // Crash-consistency exploration (DESIGN.md §7.7): after every applied
+  // action, call System::CrashCheck() — enumerate the crash states the
+  // in-flight writes permit, remount each, and validate persistence.
+  // kEveryOp is exhaustive over the schedule; kOff costs nothing.
+  CrashMode crash_mode = CrashMode::kOff;
 };
 
 class Explorer {

@@ -85,6 +85,14 @@ class System {
   // Bytes held by one saved concrete state (for the memory model).
   virtual std::uint64_t ConcreteStateBytes() const = 0;
 
+  // Crash-consistency hook (ExplorerOptions::crash_mode): enumerate the
+  // crash states reachable from the current concrete state, remount and
+  // validate each. EIO-class errors are infrastructure failures; a
+  // persistence violation is reported through violation_detected() like
+  // any other discrepancy. Default: inert, for Systems without a
+  // crashable device.
+  virtual Status CrashCheck() { return Status::Ok(); }
+
   // Partial-order-reduction support. The default — a full footprint —
   // makes every action dependent on every other, which turns POR into a
   // no-op for Systems that do not (or cannot soundly) describe their

@@ -42,6 +42,39 @@ std::string_view BackendName(Backend backend) {
   return "?";
 }
 
+// Option builders shared by Create and BuildRecoveryProbe: a recovery
+// probe must run the SAME file-system configuration as the live stack
+// (including seeded crash bugs) or it would recover with code the test
+// subject does not have.
+fs::Ext2Options Ext2OptionsFor(const FsUnderTestConfig& config) {
+  fs::Ext2Options opts;
+  opts.identity = config.identity;
+  opts.cache_capacity_blocks = config.block_cache_capacity;
+  return opts;
+}
+
+fs::Ext4Options Ext4OptionsFor(const FsUnderTestConfig& config) {
+  fs::Ext4Options opts;
+  opts.identity = config.identity;
+  opts.cache_capacity_blocks = config.block_cache_capacity;
+  opts.bug_ack_before_journal_commit =
+      config.bugs.ext4_ack_before_journal_commit;
+  return opts;
+}
+
+fs::XfsOptions XfsOptionsFor(const FsUnderTestConfig& config) {
+  fs::XfsOptions opts;
+  opts.identity = config.identity;
+  return opts;
+}
+
+fs::Jffs2Options Jffs2OptionsFor(const FsUnderTestConfig& config) {
+  fs::Jffs2Options opts;
+  opts.identity = config.identity;
+  opts.bug_skip_log_replay = config.bugs.jffs2_skip_log_replay;
+  return opts;
+}
+
 // In-process transport: the daemon's fuse_lowlevel_notify_inval_* calls
 // land directly on the VFS, with no message channel in between.
 class DirectVfsNotifier : public fs::KernelNotifier {
@@ -79,6 +112,10 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
   const std::uint64_t device_bytes = config.device_bytes != 0
                                          ? config.device_bytes
                                          : DefaultDeviceBytes(config.kind);
+  if (config.crashable_device &&
+      (config.kind == FsKind::kVerifs1 || config.kind == FsKind::kVerifs2)) {
+    return Errno::kENOTSUP;  // no block device to crash (paper §6)
+  }
 
   // ---- storage + file system ------------------------------------------
   switch (config.kind) {
@@ -98,21 +135,21 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
         dev = std::make_shared<storage::LatencyDisk>(
             ram, storage::LatencyProfile::Ssd(), clock);
       }
+      if (config.crashable_device) {
+        auto crash = std::make_shared<storage::CrashableDisk>(dev);
+        fut->crash_disk_ = crash.get();
+        dev = crash;
+      }
       fut->device_ = dev;
       if (config.kind == FsKind::kExt2) {
-        fs::Ext2Options opts;
-        opts.identity = config.identity;
-        opts.cache_capacity_blocks = config.block_cache_capacity;
-        fut->hosted_fs_ = std::make_shared<fs::Ext2Fs>(dev, opts);
+        fut->hosted_fs_ =
+            std::make_shared<fs::Ext2Fs>(dev, Ext2OptionsFor(config));
       } else if (config.kind == FsKind::kExt4) {
-        fs::Ext4Options opts;
-        opts.identity = config.identity;
-        opts.cache_capacity_blocks = config.block_cache_capacity;
-        fut->hosted_fs_ = std::make_shared<fs::Ext4Fs>(dev, opts);
+        fut->hosted_fs_ =
+            std::make_shared<fs::Ext4Fs>(dev, Ext4OptionsFor(config));
       } else {
-        fs::XfsOptions opts;
-        opts.identity = config.identity;
-        fut->hosted_fs_ = std::make_shared<fs::XfsFs>(dev, opts);
+        fut->hosted_fs_ =
+            std::make_shared<fs::XfsFs>(dev, XfsOptionsFor(config));
       }
       fut->inner_fs_ = fut->hosted_fs_;
       break;
@@ -123,10 +160,19 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
       // like the paper's mmap-via-mtdblock trick (§4).
       fut->mtd_ = std::make_shared<storage::MtdDevice>("mtdram0",
                                                        device_bytes, clock);
-      fut->device_ = std::make_shared<storage::MtdBlockShim>(fut->mtd_);
-      fs::Jffs2Options opts;
-      opts.identity = config.identity;
-      fut->hosted_fs_ = std::make_shared<fs::Jffs2Fs>(fut->mtd_, opts);
+      storage::BlockDevicePtr dev =
+          std::make_shared<storage::MtdBlockShim>(fut->mtd_);
+      if (config.crashable_device) {
+        // jffs2f programs the MTD directly, so the recorder observes the
+        // raw flash rather than the block shim.
+        auto crash = std::make_shared<storage::CrashableDisk>(dev);
+        crash->AttachMtd(fut->mtd_);
+        fut->crash_disk_ = crash.get();
+        dev = crash;
+      }
+      fut->device_ = dev;
+      fut->hosted_fs_ =
+          std::make_shared<fs::Jffs2Fs>(fut->mtd_, Jffs2OptionsFor(config));
       fut->inner_fs_ = fut->hosted_fs_;
       break;
     }
@@ -468,6 +514,45 @@ std::vector<fs::FsFeature> FsUnderTest::SupportedFeatures() const {
 std::vector<std::string> FsUnderTest::SpecialPaths() const {
   if (config_.kind == FsKind::kExt4) return {"/lost+found"};
   return {};
+}
+
+Result<fs::FileSystemPtr> FsUnderTest::BuildRecoveryProbe(
+    ByteView image) const {
+  // No simulated clock: probe mounts are checking logic, not charged time.
+  switch (config_.kind) {
+    case FsKind::kExt2: {
+      auto dev = std::make_shared<storage::RamDisk>("ext2f-probe",
+                                                    image.size(), nullptr);
+      if (Status s = dev->RestoreContents(image); !s.ok()) return s.error();
+      return fs::FileSystemPtr(
+          std::make_shared<fs::Ext2Fs>(dev, Ext2OptionsFor(config_)));
+    }
+    case FsKind::kExt4: {
+      auto dev = std::make_shared<storage::RamDisk>("ext4f-probe",
+                                                    image.size(), nullptr);
+      if (Status s = dev->RestoreContents(image); !s.ok()) return s.error();
+      return fs::FileSystemPtr(
+          std::make_shared<fs::Ext4Fs>(dev, Ext4OptionsFor(config_)));
+    }
+    case FsKind::kXfs: {
+      auto dev = std::make_shared<storage::RamDisk>("xfsf-probe",
+                                                    image.size(), nullptr);
+      if (Status s = dev->RestoreContents(image); !s.ok()) return s.error();
+      return fs::FileSystemPtr(
+          std::make_shared<fs::XfsFs>(dev, XfsOptionsFor(config_)));
+    }
+    case FsKind::kJffs2: {
+      auto mtd = std::make_shared<storage::MtdDevice>("mtdram-probe",
+                                                      image.size(), nullptr);
+      if (Status s = mtd->RestoreContents(image); !s.ok()) return s.error();
+      return fs::FileSystemPtr(
+          std::make_shared<fs::Jffs2Fs>(mtd, Jffs2OptionsFor(config_)));
+    }
+    case FsKind::kVerifs1:
+    case FsKind::kVerifs2:
+      return Errno::kENOTSUP;
+  }
+  return Errno::kEINVAL;
 }
 
 }  // namespace mcfs::core

@@ -30,6 +30,7 @@
 #include "nfs/ganesha.h"
 #include "snapshot/criu.h"
 #include "snapshot/vm.h"
+#include "storage/crashable_disk.h"
 #include "storage/mtd_device.h"
 #include "verifs/bugs.h"
 #include "vfs/vfs.h"
@@ -72,6 +73,10 @@ struct FsUnderTestConfig {
   // (socket transport) instead of FUSE — the deployment CRIU can
   // snapshot (paper §5). Overrides fuse_transport.
   bool nfs_transport = false;
+  // Wrap the backing device in a CrashableDisk so the crash-exploration
+  // mode can journal in-flight writes and enumerate crash states.
+  // Kernel file systems only (VeriFS has no device to crash).
+  bool crashable_device = false;
   verifs::VerifsBugs bugs;
   fs::Identity identity;
 };
@@ -114,6 +119,14 @@ class FsUnderTest {
   std::uint64_t remounts() const { return remounts_; }
   storage::BlockDevice* device() { return device_.get(); }
 
+  // Crash exploration: the recording wrapper (null unless configured
+  // with crashable_device), and a factory for recovery probes — a fresh
+  // device restored to `image`, mounted by nothing, carrying the same
+  // file-system options (including seeded bugs, so a mutant's broken
+  // recovery path is the one exercised). The caller mounts it.
+  storage::CrashableDisk* crash_disk() { return crash_disk_; }
+  Result<fs::FileSystemPtr> BuildRecoveryProbe(ByteView image) const;
+
  private:
   FsUnderTest() = default;
 
@@ -131,6 +144,7 @@ class FsUnderTest {
   // Storage (kernel FSes).
   storage::BlockDevicePtr device_;                 // block view (snapshots)
   std::shared_ptr<storage::MtdDevice> mtd_;        // jffs2f only
+  storage::CrashableDisk* crash_disk_ = nullptr;   // aliases device_
 
   // The file system proper and, for FUSE transport, its plumbing.
   fs::FileSystemPtr hosted_fs_;    // the real implementation

@@ -11,6 +11,13 @@ Result<std::unique_ptr<Mcfs>> Mcfs::Create(McfsConfig config) {
   auto mcfs = std::unique_ptr<Mcfs>(new Mcfs());
   mcfs->config_ = std::move(config);
 
+  // Crash exploration needs the recording device wrapper under both
+  // file systems; turn it on implicitly so one flag configures the mode.
+  if (mcfs->config_.engine.crash.enabled) {
+    mcfs->config_.fs_a.crashable_device = true;
+    mcfs->config_.fs_b.crashable_device = true;
+  }
+
   auto fs_a = FsUnderTest::Create(mcfs->config_.fs_a, &mcfs->clock_);
   if (!fs_a.ok()) return fs_a.error();
   mcfs->fs_a_ = std::move(fs_a).value();
@@ -74,11 +81,23 @@ class McfsReplayPair final : public ReplayPair {
 
   Status Save(std::uint64_t key) override {
     if (Status s = mcfs_->fs_a().SaveState(key); !s.ok()) return s;
-    return mcfs_->fs_b().SaveState(key);
+    if (Status s = mcfs_->fs_b().SaveState(key); !s.ok()) return s;
+    mcfs_->engine().CrashSaveState(key);
+    return Status::Ok();
   }
   Status Restore(std::uint64_t key) override {
     if (Status s = mcfs_->fs_a().RestoreState(key); !s.ok()) return s;
-    return mcfs_->fs_b().RestoreState(key);
+    if (Status s = mcfs_->fs_b().RestoreState(key); !s.ok()) return s;
+    return mcfs_->engine().CrashRestoreState(key);
+  }
+
+  // Crash-mode replays feed the same oracles the live search used.
+  void ObserveOp(const Operation& op, const OpOutcome& a,
+                 const OpOutcome& b) override {
+    mcfs_->engine().CrashObserveOp(op, a, b);
+  }
+  std::string CrashCheck() override {
+    return mcfs_->engine().CrashCheckDetail();
   }
 
  private:
@@ -152,6 +171,34 @@ McfsConfig MutantCampaignConfig(const verifs::Mutant& mutant,
                                 const MutationCampaignOptions& options,
                                 std::uint64_t seed) {
   McfsConfig config;
+  if (mutant.crash) {
+    // Crash axis: one kernel family vs its pristine twin, crash mode on.
+    // kVfsApi keeps the pair mounted (no remount would ever run the
+    // broken recovery path live — only the crash probes do) and the
+    // unbounded cache makes fsync the only device-write site for the
+    // ext2f family, which is exactly the persistence contract's shape.
+    config.fs_a.kind =
+        mutant.crash_fs == "jffs2f" ? FsKind::kJffs2 : FsKind::kExt4;
+    config.fs_a.strategy = StateStrategy::kVfsApi;
+    config.fs_a.fuse_transport = false;
+    config.fs_a.block_cache_capacity = 0;
+    config.fs_b = config.fs_a;   // pristine twin as the reference oracle
+    config.fs_b.bugs = mutant.bugs;
+    config.engine.pool = options.pool;
+    config.engine.pool.include_fsync_ops = true;
+    config.engine.trace_cap = options.trace_cap;
+    config.engine.abstraction.incremental = false;
+    config.engine.crash.enabled = true;
+    config.explore.mode = mc::SearchMode::kDfs;
+    config.explore.max_operations = options.max_operations;
+    config.explore.max_depth = options.max_depth;
+    config.explore.seed = seed;
+    config.explore.crash_mode = mc::CrashMode::kEveryOp;
+    // Sleep sets reorder away schedules whose only difference is where
+    // the crash point falls; the crash axis needs them all.
+    config.explore.por = false;
+    return config;
+  }
   const FsKind kind = mutant.verifs2 ? FsKind::kVerifs2 : FsKind::kVerifs1;
   config.fs_a.kind = kind;
   config.fs_a.strategy = StateStrategy::kIoctl;
@@ -185,6 +232,7 @@ MutationCampaignReport RunMutationCampaign(
     outcome.hint = mutant.hint;
     outcome.historical = mutant.historical;
     outcome.expect_detected = mutant.expect_detected;
+    outcome.crash = mutant.crash;
 
     for (std::uint64_t seed : options.seeds) {
       McfsConfig config = MutantCampaignConfig(mutant, options, seed);
@@ -201,6 +249,10 @@ MutationCampaignReport RunMutationCampaign(
       outcome.seed = seed;
       outcome.ops_to_detect = run.stats.operations;
       outcome.violation = run.stats.violation_report;
+      // The crash axis: did the persistence oracle kill it, or did the
+      // live differential check get there first?
+      outcome.killed_by =
+          outcome.violation.rfind("crash:", 0) == 0 ? "crash" : "live";
       const Trace& raw = mcfs.value()->engine().trace();
       outcome.raw_trace_ops = raw.size();
       outcome.minimized_ops = raw.size();
@@ -214,6 +266,7 @@ MutationCampaignReport RunMutationCampaign(
         shrink.replay.checker = eff.checker;
         shrink.replay.compare_states = eff.compare_states;
         shrink.replay.abstraction = eff.abstraction;
+        shrink.replay.crash_checks = eff.crash.enabled;
         shrink.max_replays = options.max_replays;
         TraceMinimizer minimizer(MakeMcfsReplayFactory(config), shrink);
         auto adopt = [&outcome](const Trace& t, const ShrinkReport& sr) {
@@ -306,6 +359,8 @@ std::string MutationCampaignReport::ToJson() const {
     out << "    {\"name\": \"" << JsonEscape(o.name) << "\","
         << " \"historical\": " << JsonBool(o.historical) << ","
         << " \"expect_detected\": " << JsonBool(o.expect_detected) << ","
+        << " \"crash\": " << JsonBool(o.crash) << ","
+        << " \"killed_by\": \"" << JsonEscape(o.killed_by) << "\","
         << " \"detected\": " << JsonBool(o.detected) << ","
         << " \"seed\": " << o.seed << ","
         << " \"ops_to_detect\": " << o.ops_to_detect << ","
@@ -349,6 +404,7 @@ std::string MutationCampaignReport::Summary() const {
       out << "  (seed " << o.seed << ", " << o.ops_to_detect
           << " ops to detect, trace " << o.raw_trace_ops << " -> "
           << o.minimized_ops << " ops";
+      if (!o.killed_by.empty()) out << ", killed by " << o.killed_by;
       if (o.replay_confirmed) out << ", replay-confirmed";
       if (o.one_minimal) out << ", 1-minimal";
       out << ")";

@@ -133,6 +133,8 @@ struct MutantOutcome {
   std::string hint;
   bool historical = false;
   bool expect_detected = true;
+  bool crash = false;        // explored under the crash axis
+  std::string killed_by;     // "crash" (persistence oracle) or "live"
   bool detected = false;
   std::uint64_t seed = 0;           // seed of the detecting run
   std::uint64_t ops_to_detect = 0;  // operations explored by that run
@@ -165,6 +167,12 @@ struct MutationCampaignReport {
 // always runs the full-recompute abstraction: the incremental cache
 // deliberately trusts restores, which is exactly what the restore
 // mutants violate.
+//
+// Crash mutants (Mutant::crash) pair the named kernel family against its
+// pristine twin under the kVfsApi strategy with a crashable device,
+// fsync in the pool, and the explorer's crash mode on — their defects
+// are invisible to live differential checking by construction and only
+// the persistence oracle can kill them (killed_by == "crash").
 McfsConfig MutantCampaignConfig(const verifs::Mutant& mutant,
                                 const MutationCampaignOptions& options,
                                 std::uint64_t seed);

@@ -26,6 +26,7 @@ std::string_view OpKindName(OpKind kind) {
     case OpKind::kAccess: return "access";
     case OpKind::kSetXattr: return "setxattr";
     case OpKind::kRemoveXattr: return "removexattr";
+    case OpKind::kFsync: return "fsync";
     case OpKind::kCheckpoint: return "checkpoint";
     case OpKind::kRestore: return "restore";
   }
@@ -119,6 +120,8 @@ TouchedPathSet TouchedPaths(const Operation& op, const OpOutcome& outcome) {
     case OpKind::kAccess:
     case OpKind::kReadLink:
     case OpKind::kCheckpoint:
+    case OpKind::kFsync:
+      // fsync changes durability, not the hashed logical state.
       return touched;
     case OpKind::kRestore:
       // A rollback invalidates any bounded delta (the incremental cache
@@ -213,6 +216,7 @@ TouchedPathSet TouchedPaths(const Operation& op, const OpOutcome& outcome) {
     case OpKind::kReadLink:
     case OpKind::kCheckpoint:
     case OpKind::kRestore:
+    case OpKind::kFsync:
       break;  // handled above
   }
   return touched;
@@ -261,6 +265,12 @@ mc::ActionFootprint StaticTouchedPaths(const Operation& op) {
       return fp;
     case OpKind::kRestore:
       // Whole-state rollback: no bounded footprint exists.
+      fp.full = true;
+      return fp;
+    case OpKind::kFsync:
+      // A durability barrier interacts with every pending write (the
+      // crash oracle observes the ordering), so it must not commute
+      // with anything — claim the full footprint.
       fp.full = true;
       return fp;
     case OpKind::kCreateFile:
@@ -411,6 +421,12 @@ std::vector<Operation> ParameterPool::EnumerateAll(
            .size = write_sizes.front(),
            .fill = fill_bytes.empty() ? std::uint8_t{0}
                                       : fill_bytes.front()});
+    }
+  }
+
+  if (include_fsync_ops) {
+    for (const auto& path : file_paths) {
+      add({.kind = OpKind::kFsync, .path = path});
     }
   }
 

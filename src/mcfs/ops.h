@@ -40,6 +40,9 @@ enum class OpKind : std::uint8_t {
   kAccess,
   kSetXattr,
   kRemoveXattr,
+  kFsync,        // meta-op: open(O_RDONLY)+fsync+close — a durability
+                 // barrier; changes no hashed state, but moves the
+                 // crash-exploration oracle's sync point.
   // Snapshot meta-records (never pool-enumerated): the engine logs its
   // own concrete save/restore calls into the trace so a raw DFS trace is
   // a faithful *linear* execution history — replayable even for bugs
@@ -143,6 +146,9 @@ struct ParameterPool {
   bool include_data_ops = true;       // write/read/truncate
   bool include_metadata_ops = true;   // stat/chmod/access/xattr/getdents
   bool include_link_ops = true;       // link/symlink/readlink
+  // Off by default: fsync only matters to the crash-exploration mode,
+  // and the pinned pool sizes (tests) predate it.
+  bool include_fsync_ops = false;
 
   // A small default pool (~100 actions): two files, two directories, a
   // few sizes and offsets.

@@ -48,6 +48,28 @@ SyscallEngine::SyscallEngine(FsUnderTest& fs_a, FsUnderTest& fs_b,
 
   actions_ = options_.pool.EnumerateAll(CommonFeatures(fs_a_, fs_b_));
   ComputeStaticFootprints();
+
+  // Crash-exploration checkers, one per side with a recording device.
+  // The oracle ignores the same noise paths the abstraction does.
+  if (options_.crash.enabled) {
+    auto build = [this](FsUnderTest& fut) {
+      if (fut.crash_disk() == nullptr) return;
+      CrashCheckOptions side = options_.crash;
+      for (const auto& path : fut.SpecialPaths()) {
+        side.oracle.exempt_paths.push_back(path);
+      }
+      side.oracle.exempt_paths.push_back(std::string(kFillFilePath));
+      auto checker = std::make_unique<CrashConsistencyChecker>(
+          &fut, std::move(side));
+      if (Status s = checker->SeedInitial();
+          !s.ok() && crash_seed_status_.ok()) {
+        crash_seed_status_ = s;
+      }
+      (&fut == &fs_a_ ? crash_a_ : crash_b_) = std::move(checker);
+    };
+    build(fs_a_);
+    build(fs_b_);
+  }
 }
 
 std::string SyscallEngine::ActionName(std::size_t action) const {
@@ -227,6 +249,16 @@ Status SyscallEngine::RefreshAbstractState(bool check_equality,
   Md5 combined;
   combined.Update(ByteView(hash_a.value().bytes.data(), 16));
   combined.Update(ByteView(hash_b.value().bytes.data(), 16));
+  // Crash mode: two logically identical states with different in-flight
+  // write sets reach different crash states, so the journals join the
+  // visited identity — otherwise dedup would skip schedules whose only
+  // difference is what a crash can tear.
+  if (crash_a_ != nullptr && fs_a_.crash_disk() != nullptr) {
+    combined.UpdateU64(fs_a_.crash_disk()->StateDigest());
+  }
+  if (crash_b_ != nullptr && fs_b_.crash_disk() != nullptr) {
+    combined.UpdateU64(fs_b_.crash_disk()->StateDigest());
+  }
   cached_hash_ = combined.Final();
   return Status::Ok();
 }
@@ -274,6 +306,15 @@ Status SyscallEngine::ApplyAction(std::size_t action) {
         !s.ok()) {
       return s;
     }
+    // Feed the persistence oracles while the file systems are mounted.
+    if (!violation_.has_value()) {
+      if (crash_a_ != nullptr) {
+        if (Status s = crash_a_->ObserveOp(op, outcome_a); !s.ok()) return s;
+      }
+      if (crash_b_ != nullptr) {
+        if (Status s = crash_b_->ObserveOp(op, outcome_b); !s.ok()) return s;
+      }
+    }
   } else {
     // The operation ran but its effects were never folded into the
     // caches; if exploration continues past this violation
@@ -319,6 +360,9 @@ Result<mc::SnapshotId> SyscallEngine::SaveConcrete() {
     inc_a_.SaveEpoch(id);
     inc_b_.SaveEpoch(id);
   }
+  // The oracle's history must rewind with the tree it describes.
+  if (crash_a_ != nullptr) crash_a_->Save(id);
+  if (crash_b_ != nullptr) crash_b_->Save(id);
   // Log the snapshot into the trace: with save/restore recorded, the raw
   // trace is a faithful linear history and stays replayable across
   // backtracks (see Trace::Replay's ReplayPair overload).
@@ -339,6 +383,12 @@ Status SyscallEngine::RestoreConcrete(mc::SnapshotId id) {
   }
   if (Status s = fs_a_.RestoreState(id); !s.ok()) return s;
   if (Status s = fs_b_.RestoreState(id); !s.ok()) return s;
+  if (crash_a_ != nullptr) {
+    if (Status s = crash_a_->Restore(id); !s.ok()) return s;
+  }
+  if (crash_b_ != nullptr) {
+    if (Status s = crash_b_->Restore(id); !s.ok()) return s;
+  }
   Operation op{.kind = OpKind::kRestore, .offset = id};
   trace_.Append(op, OpOutcome{}, OpOutcome{}, /*violation=*/false);
   trace_.TrimToLast(options_.trace_cap);
@@ -348,12 +398,73 @@ Status SyscallEngine::RestoreConcrete(mc::SnapshotId id) {
 Status SyscallEngine::DiscardConcrete(mc::SnapshotId id) {
   inc_a_.DiscardEpoch(id);
   inc_b_.DiscardEpoch(id);
+  if (crash_a_ != nullptr) crash_a_->Discard(id);
+  if (crash_b_ != nullptr) crash_b_->Discard(id);
   if (Status s = fs_a_.DiscardState(id); !s.ok()) return s;
   return fs_b_.DiscardState(id);
 }
 
 std::uint64_t SyscallEngine::ConcreteStateBytes() const {
   return fs_a_.StateBytes() + fs_b_.StateBytes();
+}
+
+Status SyscallEngine::CrashCheck() {
+  if (!crash_enabled()) return Status::Ok();
+  if (!crash_seed_status_.ok()) return crash_seed_status_;
+  ++counters_.crash_checks;
+  for (CrashConsistencyChecker* checker : {crash_a_.get(), crash_b_.get()}) {
+    if (checker == nullptr) continue;
+    Result<std::string> r = checker->Check();
+    if (!r.ok()) return r.error();
+    if (!r.value().empty() && !violation_.has_value()) {
+      ++counters_.discrepancies;
+      violation_ = r.value();
+    }
+  }
+  counters_.crash_states_checked =
+      (crash_a_ != nullptr ? crash_a_->states_checked() : 0) +
+      (crash_b_ != nullptr ? crash_b_->states_checked() : 0);
+  return Status::Ok();
+}
+
+void SyscallEngine::CrashObserveOp(const Operation& op,
+                                   const OpOutcome& outcome_a,
+                                   const OpOutcome& outcome_b) {
+  // Replay path: an observation failure is swallowed rather than turned
+  // into a verdict — a replay must never count an infrastructure error
+  // as a reproduction, and a genuinely broken tree still surfaces
+  // through the recovered-state validation in CrashCheckDetail.
+  if (crash_a_ != nullptr) (void)crash_a_->ObserveOp(op, outcome_a);
+  if (crash_b_ != nullptr) (void)crash_b_->ObserveOp(op, outcome_b);
+}
+
+std::string SyscallEngine::CrashCheckDetail() {
+  for (CrashConsistencyChecker* checker : {crash_a_.get(), crash_b_.get()}) {
+    if (checker == nullptr) continue;
+    Result<std::string> r = checker->Check();
+    if (r.ok() && !r.value().empty()) return r.value();
+  }
+  return {};
+}
+
+void SyscallEngine::CrashSaveState(std::uint64_t key) {
+  if (crash_a_ != nullptr) crash_a_->Save(key);
+  if (crash_b_ != nullptr) crash_b_->Save(key);
+}
+
+Status SyscallEngine::CrashRestoreState(std::uint64_t key) {
+  if (crash_a_ != nullptr) {
+    if (Status s = crash_a_->Restore(key); !s.ok()) return s;
+  }
+  if (crash_b_ != nullptr) {
+    if (Status s = crash_b_->Restore(key); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+void SyscallEngine::CrashDiscardState(std::uint64_t key) {
+  if (crash_a_ != nullptr) crash_a_->Discard(key);
+  if (crash_b_ != nullptr) crash_b_->Discard(key);
 }
 
 }  // namespace mcfs::core

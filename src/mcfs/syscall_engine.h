@@ -16,6 +16,7 @@
 #include "mcfs/coverage.h"
 #include "mcfs/fs_under_test.h"
 #include "mcfs/ops.h"
+#include "mcfs/persistence_oracle.h"
 #include "mcfs/trace.h"
 
 namespace mcfs::core {
@@ -30,6 +31,10 @@ struct EngineOptions {
   bool compare_states = true;
   // Cap on trace memory for long runs.
   std::size_t trace_cap = 1024;
+  // Crash-consistency exploration (DESIGN.md §7.7). Effective only when
+  // the FsUnderTests were built with crashable_device; the explorer
+  // drives the actual checks via ExplorerOptions::crash_mode.
+  CrashCheckOptions crash;
 };
 
 struct EngineCounters {
@@ -46,6 +51,10 @@ struct EngineCounters {
   std::uint64_t abstraction_full_recomputes = 0;
   std::uint64_t abstraction_incremental_refreshes = 0;
   std::uint64_t abstraction_nodes_rehashed = 0;
+  // Crash-exploration accounting: CrashCheck() invocations and the total
+  // number of crash states mounted + validated across both sides.
+  std::uint64_t crash_checks = 0;
+  std::uint64_t crash_states_checked = 0;
 };
 
 class SyscallEngine final : public mc::System {
@@ -68,6 +77,11 @@ class SyscallEngine final : public mc::System {
   Status RestoreConcrete(mc::SnapshotId id) override;
   Status DiscardConcrete(mc::SnapshotId id) override;
   std::uint64_t ConcreteStateBytes() const override;
+  // Crash-consistency check (ExplorerOptions::crash_mode): enumerate the
+  // crash states both sides' in-flight writes permit, remount each on a
+  // recovery probe, validate against the persistence oracle. A contract
+  // breach lands in violation_detected() like any other discrepancy.
+  Status CrashCheck() override;
   // POR footprints: StaticTouchedPaths per action, expanded with
   // hard-link alias classes (computed once at construction; see
   // ComputeStaticFootprints).
@@ -93,6 +107,21 @@ class SyscallEngine final : public mc::System {
   // True when this engine runs the incremental abstraction (requested
   // via options and both strategies restore coherently).
   bool incremental_abstraction() const { return incremental_; }
+
+  // Crash-exploration hooks for trace replay (McfsReplayPair): replays
+  // route each executed operation and the post-op crash check through
+  // the same oracles the live search used. Inert when crash mode is off.
+  bool crash_enabled() const {
+    return crash_a_ != nullptr || crash_b_ != nullptr;
+  }
+  void CrashObserveOp(const Operation& op, const OpOutcome& outcome_a,
+                      const OpOutcome& outcome_b);
+  // "" = all crash states legal (or crash mode off / infra failure — a
+  // replay must not count an infrastructure error as a reproduction).
+  std::string CrashCheckDetail();
+  void CrashSaveState(std::uint64_t key);
+  Status CrashRestoreState(std::uint64_t key);
+  void CrashDiscardState(std::uint64_t key);
 
  private:
   // Computes each side's abstract state (mount-state aware) and caches
@@ -128,6 +157,11 @@ class SyscallEngine final : public mc::System {
   bool incremental_ = false;
   IncrementalAbstraction inc_a_;
   IncrementalAbstraction inc_b_;
+  // Crash-exploration state (null unless options_.crash.enabled and the
+  // corresponding FsUnderTest records into a CrashableDisk).
+  std::unique_ptr<CrashConsistencyChecker> crash_a_;
+  std::unique_ptr<CrashConsistencyChecker> crash_b_;
+  Status crash_seed_status_ = Status::Ok();
 };
 
 }  // namespace mcfs::core

@@ -120,6 +120,23 @@ OpOutcome ExecuteOp(vfs::Vfs& v, const Operation& op) {
     case OpKind::kRemoveXattr:
       outcome.error = v.RemoveXattr(op.path, op.xattr_name).error();
       break;
+    case OpKind::kFsync: {
+      // Meta-op: open, fsync, close — the durability barrier the crash
+      // oracle keys its sync points on.
+      auto fd = v.Open(op.path, fs::kRdOnly, 0);
+      if (!fd.ok()) {
+        outcome.error = fd.error();
+        break;
+      }
+      Status s = v.Fsync(fd.value());
+      if (!s.ok()) {
+        outcome.error = s.error();
+        (void)v.Close(fd.value());
+        break;
+      }
+      outcome.error = v.Close(fd.value()).error();
+      break;
+    }
     case OpKind::kCheckpoint:
     case OpKind::kRestore:
       // Snapshot records are executed by the replay host (ReplayPair),
@@ -284,6 +301,16 @@ Trace::ReplayResult Trace::Replay(ReplayPair& pair,
       result.violation_index = i;
       result.detail = verdict.detail;
       return result;
+    }
+    if (options.crash_checks) {
+      pair.ObserveOp(records_[i].op, oa, ob);
+      std::string detail = pair.CrashCheck();
+      if (!detail.empty()) {
+        result.reproduced = true;
+        result.violation_index = i;
+        result.detail = std::move(detail);
+        return result;
+      }
     }
     if (options.compare_states) {
       auto da = ComputeAbstractState(pair.a(), options.abstraction);

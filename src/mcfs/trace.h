@@ -44,6 +44,20 @@ class ReplayPair {
     (void)key;
     return Errno::kENOTSUP;
   }
+
+  // Crash-exploration hooks (ReplayOptions::crash_checks). ObserveOp
+  // feeds each replayed operation to the host's persistence oracles;
+  // CrashCheck enumerates crash states after the op and returns a
+  // non-empty violation detail if any recovered image breaks the
+  // persistence contract. Defaults: inert, so ordinary replays are
+  // unaffected.
+  virtual void ObserveOp(const Operation& op, const OpOutcome& a,
+                         const OpOutcome& b) {
+    (void)op;
+    (void)a;
+    (void)b;
+  }
+  virtual std::string CrashCheck() { return {}; }
 };
 
 class Trace {
@@ -96,6 +110,10 @@ class Trace {
     // single operation's outcome.
     bool compare_states = false;
     AbstractionOptions abstraction;
+    // Run the host's crash-consistency check after every operation (the
+    // crash-exploration mode's replay/shrink path). A crash violation
+    // counts as reproduced at that record.
+    bool crash_checks = false;
   };
 
   // Re-executes the recorded operations against a fresh pair of mounted

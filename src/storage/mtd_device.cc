@@ -30,6 +30,10 @@ Status MtdDevice::Program(std::uint64_t offset, ByteView data) {
     data_[offset + i] &= data[i];
   }
   Charge((data.size() + 1023) / 1024 * options_.write_latency_per_kb);
+  if (observer_ != nullptr) {
+    observer_->OnMtdWrite(
+        offset, ByteView(data_.data() + offset, data.size()));
+  }
   return Status::Ok();
 }
 
@@ -40,6 +44,15 @@ Status MtdDevice::EraseBlock(std::uint32_t block_index) {
   std::memset(data_.data() + start, 0xff, options_.erase_block_size);
   ++erase_counts_[block_index];
   Charge(options_.erase_latency_per_block);
+  if (observer_ != nullptr) {
+    observer_->OnMtdWrite(
+        start, ByteView(data_.data() + start, options_.erase_block_size));
+  }
+  return Status::Ok();
+}
+
+Status MtdDevice::Flush() {
+  if (observer_ != nullptr) return observer_->OnMtdBarrier();
   return Status::Ok();
 }
 

@@ -15,6 +15,19 @@
 
 namespace mcfs::storage {
 
+// Observer for raw flash mutations. JFFS2 bypasses the block shim and
+// programs the MTD directly, so a crash-state recorder (CrashableDisk)
+// cannot see those writes through the BlockDevice interface; it attaches
+// here instead. Notifications carry the post-image of the touched range.
+class MtdWriteObserver {
+ public:
+  virtual ~MtdWriteObserver() = default;
+  virtual void OnMtdWrite(std::uint64_t offset, ByteView after) = 0;
+  // A write barrier (fsync reaching the flash). Returning non-OK models
+  // an injected barrier failure: nothing is committed.
+  virtual Status OnMtdBarrier() = 0;
+};
+
 struct MtdOptions {
   std::uint32_t erase_block_size = 16 * 1024;
   std::uint32_t write_granularity = 4;   // NOR-style word writes
@@ -46,6 +59,16 @@ class MtdDevice {
   // Erases the erase-block containing `offset` back to 0xff.
   Status EraseBlock(std::uint32_t block_index);
 
+  // Write barrier. With no observer attached this is a no-op (RAM-backed
+  // flash has nothing to drain); with one, the observer decides — a
+  // crash-state recorder commits its in-flight journal here.
+  Status Flush();
+
+  // At most one observer; pass nullptr to detach.
+  void set_write_observer(MtdWriteObserver* observer) {
+    observer_ = observer;
+  }
+
   // State capture passes read/rewrite the whole flash through the
   // mtdblock view (the paper mmaps it, §4); charged at read rate.
   Bytes SnapshotContents() const;
@@ -67,6 +90,7 @@ class MtdDevice {
   SimClock* clock_;
   Bytes data_;
   std::vector<std::uint64_t> erase_counts_;
+  MtdWriteObserver* observer_ = nullptr;
 };
 
 // mtdblock-style adapter: exposes the MTD as a BlockDevice so the model
@@ -83,7 +107,13 @@ class MtdBlockShim final : public BlockDevice {
 
   Status Read(std::uint64_t offset, std::span<std::uint8_t> out) override;
   Status Write(std::uint64_t offset, ByteView data) override;
-  Status Flush() override { return Status::Ok(); }
+  // A real barrier: forwards to the MTD so an attached crash-state
+  // recorder sees fsync-driven flushes (a silent OK here would make
+  // every un-flushed write look durable and crash enumeration unsound).
+  Status Flush() override {
+    ++stats_.flushes;
+    return mtd_->Flush();
+  }
 
   Bytes SnapshotContents() const override { return mtd_->SnapshotContents(); }
   Status RestoreContents(ByteView contents) override {

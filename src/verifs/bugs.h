@@ -84,6 +84,18 @@ struct VerifsBugs {
   // accepts by design.
   bool readdir_reverse_order = false;
 
+  // -------------------------------------------------------------------
+  // Crash mutants (kernel file systems, not VeriFS): persistence bugs
+  // that are invisible to the live differential check and exist to prove
+  // the crash-exploration mode can kill what nothing else can. Routed to
+  // the jffs2f/ext4f options by FsUnderTest, not to VeriFS.
+
+  // jffs2f: mount ignores the replayed log and presents a fresh tree.
+  bool jffs2_skip_log_replay = false;
+  // ext4f: fsync acks success before the journal commit is durable (no
+  // device barrier is issued on the fsync path).
+  bool ext4_ack_before_journal_commit = false;
+
   static VerifsBugs None() { return {}; }
 };
 

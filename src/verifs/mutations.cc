@@ -16,6 +16,18 @@ Mutant Make(std::string name, std::string hint, bool verifs2,
   return m;
 }
 
+Mutant MakeCrash(std::string name, std::string hint, std::string crash_fs,
+                 bool VerifsBugs::*flag) {
+  Mutant m;
+  m.name = std::move(name);
+  m.hint = std::move(hint);
+  m.crash = true;
+  m.crash_fs = std::move(crash_fs);
+  m.expect_detected = true;
+  m.bugs.*flag = true;
+  return m;
+}
+
 std::vector<Mutant> BuildCorpus() {
   std::vector<Mutant> corpus;
   // ----- The four historical paper bugs (§6). -----
@@ -133,6 +145,19 @@ std::vector<Mutant> BuildCorpus() {
       "caught incidentally via a restore/dcache side channel)",
       /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/false,
       &VerifsBugs::readdir_reverse_order));
+  // ----- Crash mutants (kernel FS persistence bugs; need crash mode). -----
+  corpus.push_back(MakeCrash(
+      "jffs2_skip_log_replay",
+      "mount after a crash ignores the flash log and presents an empty "
+      "tree; fsync'd files vanish (live behaviour is unchanged because "
+      "the in-memory index is authoritative while mounted)",
+      "jffs2f", &VerifsBugs::jffs2_skip_log_replay));
+  corpus.push_back(MakeCrash(
+      "ext4_ack_before_journal_commit",
+      "fsync returns success without the device barrier, so a crash right "
+      "after a 'successful' fsync can drop the journal commit and the "
+      "data it covered",
+      "ext4f", &VerifsBugs::ext4_ack_before_journal_commit));
   return corpus;
 }
 

@@ -31,9 +31,17 @@ struct Mutant {
   bool expect_detected = true;
   // The flag set that arms exactly this mutant.
   VerifsBugs bugs;
+  // Crash mutant: the fault lives in a kernel file system's persistence
+  // path (not in VeriFS) and is only observable after a crash + remount,
+  // so the campaign must run it under the crash-exploration mode.
+  bool crash = false;
+  // Crash mutants only: which kernel file system carries the fault
+  // ("jffs2f" or "ext4f"); `verifs2` is meaningless for these.
+  std::string crash_fs;
 };
 
-// The full corpus: 4 historical bugs + 16 synthetic mutants.
+// The full corpus: 4 historical bugs + 16 synthetic mutants + 2 crash
+// mutants.
 const std::vector<Mutant>& MutationCorpus();
 
 // Corpus lookup by name; nullptr when unknown.

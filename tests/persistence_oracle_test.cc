@@ -1,0 +1,338 @@
+// Table tests for the persistence oracle (the BilbyFs-style contract:
+// durable-at-sync survives exactly, un-synced is atomically absent or a
+// passed-through version — never torn — renames are atomic, recovery
+// invents nothing) and for the CrashConsistencyChecker that glues it to
+// a CrashableDisk + recovery probes.
+#include <gtest/gtest.h>
+
+#include "fs/ext2/ext2fs.h"
+#include "mcfs/persistence_oracle.h"
+#include "mcfs/trace.h"
+#include "storage/ram_disk.h"
+
+namespace mcfs::core {
+namespace {
+
+storage::BlockDevicePtr MakeDisk(std::uint64_t bytes = 256 * 1024) {
+  return std::make_shared<storage::RamDisk>("d", bytes, nullptr);
+}
+
+void WriteAll(fs::FileSystem& fs, const std::string& path,
+              std::string_view data) {
+  auto fd = fs.Open(path, fs::kCreate | fs::kWrOnly, 0644);
+  ASSERT_TRUE(fd.ok()) << ErrnoName(fd.error());
+  ASSERT_TRUE(fs.Write(fd.value(), 0, AsBytes(data)).ok());
+  ASSERT_TRUE(fs.Close(fd.value()).ok());
+}
+
+// A mounted ext2f used purely as a tree container for oracle tests.
+struct Tree {
+  storage::BlockDevicePtr dev = MakeDisk();
+  fs::Ext2Fs fs{dev};
+  Tree() {
+    EXPECT_TRUE(fs.Mkfs().ok());
+    EXPECT_TRUE(fs.Mount().ok());
+  }
+};
+
+Operation FsyncOp(const std::string& path) {
+  return Operation{.kind = OpKind::kFsync, .path = path};
+}
+
+OpOutcome Ok() { return OpOutcome{}; }
+
+// --- Direct oracle table tests -------------------------------------------
+
+TEST(PersistenceOracleTest, DurableFileMustSurviveExactly) {
+  Tree live;
+  WriteAll(live.fs, "/f0", "durable-content");
+  PersistenceOracle oracle;
+  ASSERT_TRUE(oracle.SeedFromTree(live.fs).ok());  // seeded = durable
+
+  // Recovered tree identical: legal.
+  EXPECT_EQ(oracle.ValidateRecovered(live.fs), "");
+
+  // Recovered tree missing the durable file: violation.
+  Tree missing;
+  EXPECT_NE(oracle.ValidateRecovered(missing.fs).find("missing"),
+            std::string::npos);
+
+  // Recovered tree with the file torn (same path, content matching no
+  // observed version): violation.
+  Tree torn;
+  WriteAll(torn.fs, "/f0", "durable-CORRUPT");
+  EXPECT_NE(oracle.ValidateRecovered(torn.fs).find("torn"),
+            std::string::npos);
+}
+
+TEST(PersistenceOracleTest, UnsyncedFileMayBeAtomicallyAbsent) {
+  Tree live;
+  PersistenceOracle oracle;
+  ASSERT_TRUE(oracle.SeedFromTree(live.fs).ok());
+
+  // Created after the sync point: the oracle learns it via ObserveOp.
+  WriteAll(live.fs, "/new", "unsynced");
+  Operation create{.kind = OpKind::kCreateFile, .path = "/new"};
+  ASSERT_TRUE(oracle.ObserveOp(live.fs, create, Ok()).ok());
+
+  // Absent after recovery: legal (atomically lost).
+  Tree empty;
+  EXPECT_EQ(oracle.ValidateRecovered(empty.fs), "");
+  // Present and matching: legal too.
+  EXPECT_EQ(oracle.ValidateRecovered(live.fs), "");
+  // Present but torn: violation even though it was never synced.
+  Tree torn;
+  WriteAll(torn.fs, "/new", "unsyncXX");
+  EXPECT_NE(oracle.ValidateRecovered(torn.fs).find("torn"),
+            std::string::npos);
+}
+
+TEST(PersistenceOracleTest, FsyncPromotesToDurable) {
+  Tree live;
+  PersistenceOracle oracle;
+  ASSERT_TRUE(oracle.SeedFromTree(live.fs).ok());
+
+  WriteAll(live.fs, "/f0", "v1");
+  Operation create{.kind = OpKind::kCreateFile, .path = "/f0"};
+  ASSERT_TRUE(oracle.ObserveOp(live.fs, create, Ok()).ok());
+
+  // Before the fsync, losing /f0 is legal...
+  Tree empty;
+  EXPECT_EQ(oracle.ValidateRecovered(empty.fs), "");
+
+  ASSERT_TRUE(oracle.ObserveOp(live.fs, FsyncOp("/f0"), Ok()).ok());
+
+  // ...after it, losing /f0 is a violation.
+  EXPECT_NE(oracle.ValidateRecovered(empty.fs).find("missing"),
+            std::string::npos);
+}
+
+TEST(PersistenceOracleTest, FailedFsyncPromotesNothing) {
+  Tree live;
+  PersistenceOracle oracle;
+  ASSERT_TRUE(oracle.SeedFromTree(live.fs).ok());
+
+  WriteAll(live.fs, "/f0", "v1");
+  Operation create{.kind = OpKind::kCreateFile, .path = "/f0"};
+  ASSERT_TRUE(oracle.ObserveOp(live.fs, create, Ok()).ok());
+
+  // An fsync that failed (e.g. injected EIO at the barrier) must not
+  // move the durable floor: losing /f0 stays legal.
+  OpOutcome failed;
+  failed.error = Errno::kEIO;
+  ASSERT_TRUE(oracle.ObserveOp(live.fs, FsyncOp("/f0"), failed).ok());
+  Tree empty;
+  EXPECT_EQ(oracle.ValidateRecovered(empty.fs), "");
+}
+
+TEST(PersistenceOracleTest, RecoveredStateMayMatchAnyPassedThroughVersion) {
+  Tree live;
+  WriteAll(live.fs, "/f0", "vvvv1");
+  PersistenceOracle oracle;
+  ASSERT_TRUE(oracle.SeedFromTree(live.fs).ok());
+
+  WriteAll(live.fs, "/f0", "vvvv2");
+  Operation w{.kind = OpKind::kWriteFile, .path = "/f0", .size = 5};
+  ASSERT_TRUE(oracle.ObserveOp(live.fs, w, Ok()).ok());
+
+  // Either the durable v1 or the passed-through v2 is legal.
+  Tree v1;
+  WriteAll(v1.fs, "/f0", "vvvv1");
+  EXPECT_EQ(oracle.ValidateRecovered(v1.fs), "");
+  EXPECT_EQ(oracle.ValidateRecovered(live.fs), "");
+  // A mix of the two is not.
+  Tree mixed;
+  WriteAll(mixed.fs, "/f0", "vvvX2");
+  EXPECT_NE(oracle.ValidateRecovered(mixed.fs).find("torn"),
+            std::string::npos);
+}
+
+TEST(PersistenceOracleTest, PhantomPathsAreViolations) {
+  Tree live;
+  PersistenceOracle oracle;
+  ASSERT_TRUE(oracle.SeedFromTree(live.fs).ok());
+
+  Tree ghost;
+  WriteAll(ghost.fs, "/ghost", "from-nowhere");
+  EXPECT_NE(oracle.ValidateRecovered(ghost.fs).find("phantom"),
+            std::string::npos);
+}
+
+TEST(PersistenceOracleTest, RenameAtomicity) {
+  Tree live;
+  WriteAll(live.fs, "/old", "payload");
+  PersistenceOracle oracle;
+  ASSERT_TRUE(oracle.SeedFromTree(live.fs).ok());  // /old is durable
+
+  ASSERT_TRUE(live.fs.Rename("/old", "/new").ok());
+  Operation mv{.kind = OpKind::kRename, .path = "/old", .path2 = "/new"};
+  ASSERT_TRUE(oracle.ObserveOp(live.fs, mv, Ok()).ok());
+
+  // At the new name only: legal. At the old name only: legal.
+  EXPECT_EQ(oracle.ValidateRecovered(live.fs), "");
+  Tree old_only;
+  WriteAll(old_only.fs, "/old", "payload");
+  EXPECT_EQ(oracle.ValidateRecovered(old_only.fs), "");
+
+  // At both names: half-applied.
+  Tree both;
+  WriteAll(both.fs, "/old", "payload");
+  WriteAll(both.fs, "/new", "payload");
+  EXPECT_NE(oracle.ValidateRecovered(both.fs).find("half-applied"),
+            std::string::npos);
+
+  // At neither name: the durable file vanished.
+  Tree neither;
+  EXPECT_NE(oracle.ValidateRecovered(neither.fs).find("lost a durable"),
+            std::string::npos);
+}
+
+TEST(PersistenceOracleTest, ExemptPathsAreInvisible) {
+  Tree live;
+  WriteAll(live.fs, "/.mcfs_fill", "ballast");
+  PersistenceOracleOptions options;
+  options.exempt_paths = {"/.mcfs_fill"};
+  PersistenceOracle oracle(options);
+  ASSERT_TRUE(oracle.SeedFromTree(live.fs).ok());
+
+  // Recovered without the fill file: no "durable path missing", and a
+  // recovered tree carrying it is not a phantom either.
+  Tree bare;
+  EXPECT_EQ(oracle.ValidateRecovered(bare.fs), "");
+  EXPECT_EQ(oracle.ValidateRecovered(live.fs), "");
+}
+
+TEST(PersistenceOracleTest, SnapshotRestoreRewindsHistory) {
+  Tree live;
+  PersistenceOracle oracle;
+  ASSERT_TRUE(oracle.SeedFromTree(live.fs).ok());
+  oracle.Save(1);
+
+  WriteAll(live.fs, "/f0", "x");
+  Operation create{.kind = OpKind::kCreateFile, .path = "/f0"};
+  ASSERT_TRUE(oracle.ObserveOp(live.fs, create, Ok()).ok());
+  ASSERT_TRUE(oracle.ObserveOp(live.fs, FsyncOp("/f0"), Ok()).ok());
+
+  Tree empty;
+  EXPECT_NE(oracle.ValidateRecovered(empty.fs), "");  // /f0 durable now
+
+  // Rolling back to the pre-create snapshot forgets the durable claim.
+  ASSERT_TRUE(oracle.Restore(1).ok());
+  EXPECT_EQ(oracle.ValidateRecovered(empty.fs), "");
+  EXPECT_EQ(oracle.Restore(99).error(), Errno::kENOENT);
+}
+
+// --- CrashConsistencyChecker over a real FsUnderTest ---------------------
+
+std::unique_ptr<FsUnderTest> MakeCrashableFut(FsKind kind) {
+  FsUnderTestConfig config;
+  config.kind = kind;
+  config.strategy = StateStrategy::kVfsApi;
+  config.block_cache_capacity = 0;  // fsync is the only device-write site
+  config.crashable_device = true;
+  auto fut = FsUnderTest::Create(config, nullptr);
+  EXPECT_TRUE(fut.ok());
+  return std::move(fut).value();
+}
+
+TEST(CrashConsistencyCheckerTest, CleanWorkloadHasNoViolations) {
+  for (FsKind kind : {FsKind::kExt2, FsKind::kJffs2}) {
+    auto fut = MakeCrashableFut(kind);
+    ASSERT_NE(fut->crash_disk(), nullptr);
+    CrashCheckOptions options;
+    options.enabled = true;
+    CrashConsistencyChecker checker(fut.get(), options);
+    ASSERT_TRUE(checker.SeedInitial().ok());
+
+    const Operation ops[] = {
+        {.kind = OpKind::kCreateFile, .path = "/f0", .mode = 0644},
+        {.kind = OpKind::kWriteFile, .path = "/f0", .size = 64, .fill = 0x41},
+        {.kind = OpKind::kFsync, .path = "/f0"},
+        {.kind = OpKind::kWriteFile, .path = "/f0", .size = 32, .fill = 0x42},
+    };
+    for (const Operation& op : ops) {
+      const OpOutcome outcome = ExecuteOp(fut->vfs(), op);
+      ASSERT_EQ(outcome.error, Errno::kOk) << op.ToString();
+      ASSERT_TRUE(checker.ObserveOp(op, outcome).ok());
+      auto verdict = checker.Check();
+      ASSERT_TRUE(verdict.ok());
+      EXPECT_EQ(verdict.value(), "")
+          << FsKindName(kind) << " after " << op.ToString();
+    }
+    EXPECT_GT(checker.states_checked(), 0u);
+  }
+}
+
+TEST(CrashConsistencyCheckerTest, FlushFaultKeepsContractSound) {
+  // On the log-structured jffs2f every crash state is a replayable log,
+  // so a failed barrier must leave the contract intact: the durable
+  // floor stays put and recovery still lands on an observed version.
+  // (ext2f makes no such promise — a crash mid-write-back after a failed
+  // fsync genuinely tears the unjournaled metadata, and the checker is
+  // expected to say so.)
+  auto fut = MakeCrashableFut(FsKind::kJffs2);
+  CrashCheckOptions options;
+  options.enabled = true;
+  CrashConsistencyChecker checker(fut.get(), options);
+  ASSERT_TRUE(checker.SeedInitial().ok());
+
+  Operation create{.kind = OpKind::kCreateFile, .path = "/f0", .mode = 0644};
+  OpOutcome outcome = ExecuteOp(fut->vfs(), create);
+  ASSERT_EQ(outcome.error, Errno::kOk);
+  ASSERT_TRUE(checker.ObserveOp(create, outcome).ok());
+
+  // The barrier fails: fsync reports the error, the durable floor stays
+  // put, and every crash state must still recover legally.
+  fut->crash_disk()->InjectFlushErrors(1);
+  Operation sync{.kind = OpKind::kFsync, .path = "/f0"};
+  outcome = ExecuteOp(fut->vfs(), sync);
+  EXPECT_EQ(outcome.error, Errno::kEIO);
+  ASSERT_TRUE(checker.ObserveOp(sync, outcome).ok());
+  auto verdict = checker.Check();
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.value(), "");
+
+  // A real fsync afterwards makes the file durable for good.
+  outcome = ExecuteOp(fut->vfs(), sync);
+  EXPECT_EQ(outcome.error, Errno::kOk);
+  ASSERT_TRUE(checker.ObserveOp(sync, outcome).ok());
+  verdict = checker.Check();
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict.value(), "");
+}
+
+TEST(CrashConsistencyCheckerTest, CatchesRecoveryThatDropsDurableFiles) {
+  // A jffs2f whose mount skips log replay recovers an empty tree; once
+  // anything is durable, every crash state exposes the loss.
+  FsUnderTestConfig config;
+  config.kind = FsKind::kJffs2;
+  config.strategy = StateStrategy::kVfsApi;
+  config.crashable_device = true;
+  config.bugs.jffs2_skip_log_replay = true;
+  auto fut_or = FsUnderTest::Create(config, nullptr);
+  ASSERT_TRUE(fut_or.ok());
+  auto fut = std::move(fut_or).value();
+
+  CrashCheckOptions options;
+  options.enabled = true;
+  CrashConsistencyChecker checker(fut.get(), options);
+  ASSERT_TRUE(checker.SeedInitial().ok());
+
+  Operation create{.kind = OpKind::kCreateFile, .path = "/f0", .mode = 0644};
+  OpOutcome outcome = ExecuteOp(fut->vfs(), create);
+  ASSERT_EQ(outcome.error, Errno::kOk);
+  ASSERT_TRUE(checker.ObserveOp(create, outcome).ok());
+
+  Operation sync{.kind = OpKind::kFsync, .path = "/f0"};
+  outcome = ExecuteOp(fut->vfs(), sync);
+  ASSERT_EQ(outcome.error, Errno::kOk);
+  ASSERT_TRUE(checker.ObserveOp(sync, outcome).ok());
+
+  auto verdict = checker.Check();
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_NE(verdict.value().find("crash:"), std::string::npos);
+  EXPECT_NE(verdict.value().find("/f0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcfs::core
