@@ -29,7 +29,8 @@ std::string g_criu_note;
 
 void RunMcfsCase(benchmark::State& state, const std::string& name,
                  FsKind a, FsKind b, StateStrategy strategy,
-                 std::uint64_t ops, bool nfs_transport = false) {
+                 std::uint64_t ops, bool nfs_transport = false,
+                 bool cow = true) {
   for (auto _ : state) {
     McfsConfig config;
     config.fs_a.kind = a;
@@ -38,6 +39,8 @@ void RunMcfsCase(benchmark::State& state, const std::string& name,
     config.fs_b.strategy = strategy;
     config.fs_a.nfs_transport = nfs_transport;
     config.fs_b.nfs_transport = nfs_transport;
+    config.fs_a.cow_snapshots = cow;
+    config.fs_b.cow_snapshots = cow;
     config.engine.pool = ParameterPool::Default();
     config.explore.max_operations = ops;
     config.explore.max_depth = 8;
@@ -142,15 +145,22 @@ void PrintSummary() {
                   ? rate("ioctl verifs pair") /
                         rate("vm-snapshot verifs pair")
                   : 0.0);
+  std::printf("  COW vs deep-copy ioctls: %.1fx faster   (DESIGN.md §7.8; "
+              "small states — the state-heavy regime is bench_fig2_speed's "
+              "(bulk) rows)\n",
+              rate("ioctl verifs pair (deep-copy)") > 0
+                  ? rate("ioctl verifs pair") /
+                        rate("ioctl verifs pair (deep-copy)")
+                  : 0.0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   auto reg = [](const char* name, FsKind a, FsKind b, StateStrategy s,
-                std::uint64_t ops, bool nfs = false) {
+                std::uint64_t ops, bool nfs = false, bool cow = true) {
     benchmark::RegisterBenchmark(name, [=](benchmark::State& state) {
-      RunMcfsCase(state, name, a, b, s, ops, nfs);
+      RunMcfsCase(state, name, a, b, s, ops, nfs, cow);
     })->Iterations(1)->Unit(benchmark::kMillisecond);
   };
   reg("remount kernel pair", FsKind::kExt2, FsKind::kExt4,
@@ -161,6 +171,8 @@ int main(int argc, char** argv) {
       StateStrategy::kVfsApi, 1000);
   reg("ioctl verifs pair", FsKind::kVerifs1, FsKind::kVerifs2,
       StateStrategy::kIoctl, 1500);
+  reg("ioctl verifs pair (deep-copy)", FsKind::kVerifs1, FsKind::kVerifs2,
+      StateStrategy::kIoctl, 1500, /*nfs=*/false, /*cow=*/false);
   reg("vm-snapshot verifs pair", FsKind::kVerifs1, FsKind::kVerifs2,
       StateStrategy::kVmSnapshot, 300);
   // Paper §5's CRIU direction, end to end: VeriFS hosted in a

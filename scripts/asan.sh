@@ -8,8 +8,11 @@
 #   scripts/asan.sh [extra ctest args...]
 #
 # e.g. `scripts/asan.sh -L mutation` to narrow to the shrink/campaign
-# suite, or `scripts/asan.sh -L crash` for the crash-exploration suite
-# (the CrashableDisk journal + recovery-probe churn is allocation-heavy).
+# suite, `scripts/asan.sh -L crash` for the crash-exploration suite
+# (the CrashableDisk journal + recovery-probe churn is allocation-heavy),
+# or `scripts/asan.sh -L snapshot` for the COW snapshot suite — the
+# leak detector is what proves a discarded snapshot's refcounted chunks
+# and blocks actually free.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

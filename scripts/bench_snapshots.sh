@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs the two snapshot-cost benchmarks with machine-readable JSON output
+# so the COW-vs-deep-copy lift (DESIGN.md §7.8) can be tracked across
+# PRs:
+#
+#   * bench_snapshot_strategies — strategy comparison incl. the
+#     "ioctl verifs pair (deep-copy)" ablation row;
+#   * bench_fig2_speed — the deep-DFS rows, incl.
+#     "verifs1-vs-verifs2(deepcopy)" (target: COW >= 5x faster).
+#
+# Usage:
+#
+#   scripts/bench_snapshots.sh [outdir] [extra benchmark args...]
+#
+# Writes <outdir>/bench_snapshot_strategies.json and
+# <outdir>/bench_fig2_speed.json (outdir defaults to the current
+# directory). Builds the default tree if needed.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${MCFS_BUILD_DIR:-${repo_root}/build}"
+outdir="${1:-.}"
+shift || true
+mkdir -p "${outdir}"
+
+cmake -B "${build_dir}" -S "${repo_root}" > /dev/null
+cmake --build "${build_dir}" -j \
+      --target bench_snapshot_strategies bench_fig2_speed > /dev/null
+
+for bench in bench_snapshot_strategies bench_fig2_speed; do
+  out="${outdir}/${bench}.json"
+  "${build_dir}/bench/${bench}" \
+      --benchmark_format=json --benchmark_out="${out}" \
+      --benchmark_out_format=json "$@"
+  echo "wrote ${out}"
+done

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # One-command ThreadSanitizer sweep of the racy-path suite: configures a
 # separate build-tsan tree with -DMCFS_TSAN=ON, builds it, and runs every
-# test carrying the `concurrent`, `abstraction`, `por`, or `crash` ctest
-# label (the shared visited stores, the work-stealing frontier, the
-# incremental abstraction caches that swarm workers keep per-instance,
-# the sleep-set bookkeeping the swarm gating keeps out of shared-store
-# runs, and the crash-exploration suite whose recovery probes mount
-# device images concurrently snapshotted by the explorer). Usage:
+# test carrying the `concurrent`, `abstraction`, `por`, `snapshot`, or
+# `crash` ctest label (the shared visited stores, the work-stealing
+# frontier, the incremental abstraction caches that swarm workers keep
+# per-instance, the sleep-set bookkeeping the swarm gating keeps out of
+# shared-store runs, the COW snapshot suite whose refcounted chunks and
+# blocks are exactly the kind of shared immutable state TSan should see
+# only read concurrently, and the crash-exploration suite whose recovery
+# probes mount device images concurrently snapshotted by the explorer).
+# Usage:
 #
 #   scripts/tsan.sh [extra ctest args...]
 #
@@ -18,5 +21,6 @@ build_dir="${MCFS_TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DMCFS_TSAN=ON
 cmake --build "${build_dir}" -j
-ctest --test-dir "${build_dir}" -L 'concurrent|abstraction|por|crash' \
+ctest --test-dir "${build_dir}" \
+      -L 'concurrent|abstraction|por|snapshot|crash' \
       --output-on-failure "$@"

@@ -1,0 +1,42 @@
+#include "fs/checkpointable.h"
+
+namespace mcfs::fs {
+
+// The shims delegate error precedence to the handle surface: probing
+// Restore/Discard with kInvalidSnapshotId yields the implementation's
+// own "not usable" error (kEINVAL when unmounted, kENOENT otherwise),
+// which keeps the legacy keyed error contract intact.
+
+Status CheckpointableFs::IoctlCheckpoint(std::uint64_t key) {
+  Result<SnapshotId> id = Checkpoint();
+  if (!id.ok()) return id.error();
+  auto it = keyed_snapshots_.find(key);
+  if (it != keyed_snapshots_.end()) {
+    (void)Discard(it->second);  // keyed checkpoint replaces
+    it->second = id.value();
+  } else {
+    keyed_snapshots_.emplace(key, id.value());
+  }
+  return Status::Ok();
+}
+
+Status CheckpointableFs::IoctlRestore(std::uint64_t key) {
+  auto it = keyed_snapshots_.find(key);
+  if (it == keyed_snapshots_.end()) return Restore(kInvalidSnapshotId);
+  Status s = Restore(it->second);
+  if (!s.ok()) return s;
+  // Paper ioctl_RESTORE consumes the snapshot.
+  (void)Discard(it->second);
+  keyed_snapshots_.erase(it);
+  return Status::Ok();
+}
+
+Status CheckpointableFs::IoctlDiscard(std::uint64_t key) {
+  auto it = keyed_snapshots_.find(key);
+  if (it == keyed_snapshots_.end()) return Discard(kInvalidSnapshotId);
+  Status s = Discard(it->second);
+  keyed_snapshots_.erase(it);
+  return s;
+}
+
+}  // namespace mcfs::fs

@@ -1,42 +1,104 @@
-// The paper's proposed state checkpoint/restore API (§5).
+// The paper's proposed state checkpoint/restore API (§5), redesigned
+// around first-class snapshot handles.
 //
 // A file system that implements this interface can save its complete
-// state (in-memory and persistent) under a 64-bit key and later restore
-// it, letting the model checker backtrack without unmount/remount cycles
-// and without cache incoherency. VeriFS1/VeriFS2 implement it natively;
-// the FUSE client forwards the two calls as ioctls, exactly like the
-// paper's ioctl_CHECKPOINT / ioctl_RESTORE.
+// state (in-memory and persistent) and later restore it, letting the
+// model checker backtrack without unmount/remount cycles and without
+// cache incoherency. The primary surface is handle-based:
+//
+//   Checkpoint() -> SnapshotId     O(1) for COW-backed file systems
+//   Restore(id)                    restore-PRESERVING: the snapshot
+//                                  survives and can be restored again
+//   Discard(id)                    explicit lifetime end
+//   Stats()                        shared vs exclusive byte accounting
+//
+// Restore-preserving semantics matter for DFS backtracking: the old
+// keyed ioctl_RESTORE consumed its snapshot, forcing the engine to
+// re-checkpoint after every restore just to keep the non-consuming
+// contract the explorer expects.
+//
+// The scalar keyed triple (IoctlCheckpoint/IoctlRestore/IoctlDiscard) is
+// kept as a thin compat shim layered over the handle surface so the FUSE
+// ioctl wire format and recorded traces replay unchanged. Keyed restore
+// still discards its snapshot — exactly the paper's ioctl semantics.
 #pragma once
 
 #include <cstdint>
+#include <map>
 
 #include "util/result.h"
 
 namespace mcfs::fs {
 
+// Opaque snapshot handle. Implementations allocate ids starting at 1;
+// kInvalidSnapshotId never names a live snapshot.
+using SnapshotId = std::uint64_t;
+constexpr SnapshotId kInvalidSnapshotId = 0;
+
+// Byte accounting for the snapshot pool. With structurally-shared (COW)
+// snapshots a node held by several snapshots is counted once in
+// `total_bytes`; `shared_bytes` + `exclusive_bytes` == `total_bytes`.
+// A node also reachable from the *current* (live) state counts as
+// shared: discarding any one snapshot cannot free it.
+struct SnapshotStats {
+  std::uint64_t count = 0;            // live snapshots
+  std::uint64_t total_bytes = 0;      // deduplicated pool footprint
+  std::uint64_t shared_bytes = 0;     // held by >1 snapshot or live state
+  std::uint64_t exclusive_bytes = 0;  // freed if its one snapshot goes
+
+  friend bool operator==(const SnapshotStats&, const SnapshotStats&) =
+      default;
+};
+
 class CheckpointableFs {
  public:
   virtual ~CheckpointableFs() = default;
 
-  // Locks the file system, copies its full state into a snapshot pool
-  // under `key`, and unlocks. Overwrites any previous snapshot with the
-  // same key.
-  virtual Status IoctlCheckpoint(std::uint64_t key) = 0;
+  // Snapshots the complete state (in-memory and persistent) and returns
+  // a fresh handle. kEINVAL if the file system is not mounted.
+  virtual Result<SnapshotId> Checkpoint() = 0;
 
-  // Restores the state saved under `key`, notifies the kernel to
-  // invalidate its caches, and discards the snapshot. ENOENT if the key
-  // is unknown.
-  virtual Status IoctlRestore(std::uint64_t key) = 0;
+  // Restores the state saved under `id` and notifies the kernel to
+  // invalidate caches for the paths/inodes that differ. The snapshot is
+  // PRESERVED: the same id can be restored again (DFS re-expansion) or
+  // discarded later. kENOENT if the id is unknown.
+  virtual Status Restore(SnapshotId id) = 0;
 
-  // Discards the snapshot under `key` without restoring (the checker
-  // drops snapshots of fully-explored states). ENOENT if unknown.
-  virtual Status IoctlDiscard(std::uint64_t key) = 0;
+  // Drops the snapshot under `id` without restoring (the checker drops
+  // snapshots of fully-explored states). kENOENT if unknown.
+  virtual Status Discard(SnapshotId id) = 0;
+
+  // Pool accounting; see SnapshotStats.
+  virtual SnapshotStats Stats() const = 0;
+
+  // ------------------------------------------------------------------
+  // Deprecated keyed surface (paper §5 wire compat). Default
+  // implementations shim onto the handle surface through a key->id map;
+  // FUSE clients override these to forward the original opcodes.
+  // ------------------------------------------------------------------
+
+  // Snapshots the full state under caller-chosen `key`, replacing any
+  // previous snapshot with the same key.
+  virtual Status IoctlCheckpoint(std::uint64_t key);
+
+  // Restores the state saved under `key` and DISCARDS the snapshot
+  // (paper ioctl_RESTORE semantics). ENOENT if the key is unknown.
+  virtual Status IoctlRestore(std::uint64_t key);
+
+  // Discards the snapshot under `key` without restoring. ENOENT if
+  // unknown.
+  virtual Status IoctlDiscard(std::uint64_t key);
 
   // Number of snapshots currently held.
-  virtual std::uint64_t SnapshotCount() const = 0;
+  std::uint64_t SnapshotCount() const { return Stats().count; }
 
-  // Total bytes held by the snapshot pool (for memory accounting).
-  virtual std::uint64_t SnapshotBytes() const = 0;
+  // Deduplicated bytes held by the snapshot pool (no double-counting of
+  // structurally shared state).
+  std::uint64_t SnapshotBytes() const { return Stats().total_bytes; }
+
+ private:
+  // Keyed-shim state: which handle each legacy key maps to.
+  std::map<std::uint64_t, SnapshotId> keyed_snapshots_;
 };
 
 }  // namespace mcfs::fs

@@ -244,6 +244,34 @@ Bytes FuseHost::Handle(ByteView request) {
       Status s = checkpointable_->IoctlDiscard(r.GetU64());
       return s.ok() ? OkReply().Take() : ErrorReply(s.error());
     }
+    case Opcode::kCheckpointHandle: {
+      if (checkpointable_ == nullptr) return ErrorReply(Errno::kENOTSUP);
+      auto id = checkpointable_->Checkpoint();
+      if (!id.ok()) return ErrorReply(id.error());
+      ByteWriter w = OkReply();
+      w.PutU64(id.value());
+      return w.Take();
+    }
+    case Opcode::kRestoreHandle: {
+      if (checkpointable_ == nullptr) return ErrorReply(Errno::kENOTSUP);
+      Status s = checkpointable_->Restore(r.GetU64());
+      return s.ok() ? OkReply().Take() : ErrorReply(s.error());
+    }
+    case Opcode::kDiscardHandle: {
+      if (checkpointable_ == nullptr) return ErrorReply(Errno::kENOTSUP);
+      Status s = checkpointable_->Discard(r.GetU64());
+      return s.ok() ? OkReply().Take() : ErrorReply(s.error());
+    }
+    case Opcode::kSnapshotStats: {
+      if (checkpointable_ == nullptr) return ErrorReply(Errno::kENOTSUP);
+      const fs::SnapshotStats stats = checkpointable_->Stats();
+      ByteWriter w = OkReply();
+      w.PutU64(stats.count);
+      w.PutU64(stats.total_bytes);
+      w.PutU64(stats.shared_bytes);
+      w.PutU64(stats.exclusive_bytes);
+      return w.Take();
+    }
   }
   return ErrorReply(Errno::kEINVAL);
 }

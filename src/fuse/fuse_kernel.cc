@@ -312,28 +312,57 @@ Status FuseClientFs::RemoveXattr(const std::string& path,
   return SimpleCall(w.bytes());
 }
 
+Result<fs::SnapshotId> FuseClientFs::Checkpoint() {
+  ByteWriter w = Request(Opcode::kCheckpointHandle);
+  auto reply = Call(w.bytes());
+  if (!reply.ok()) return reply.error();
+  auto r = DecodeReply(reply.value());
+  if (!r.ok()) return r.error();
+  return static_cast<fs::SnapshotId>(r.value().GetU64());
+}
+
+Status FuseClientFs::Restore(fs::SnapshotId id) {
+  ByteWriter w = Request(Opcode::kRestoreHandle);
+  w.PutU64(id);
+  return SimpleCall(w.bytes());
+}
+
+Status FuseClientFs::Discard(fs::SnapshotId id) {
+  ByteWriter w = Request(Opcode::kDiscardHandle);
+  w.PutU64(id);
+  return SimpleCall(w.bytes());
+}
+
+fs::SnapshotStats FuseClientFs::Stats() const {
+  ByteWriter w = Request(Opcode::kSnapshotStats);
+  auto reply = Call(w.bytes());
+  if (!reply.ok()) return {};
+  auto r = DecodeReply(reply.value());
+  if (!r.ok()) return {};
+  fs::SnapshotStats stats;
+  stats.count = r.value().GetU64();
+  stats.total_bytes = r.value().GetU64();
+  stats.shared_bytes = r.value().GetU64();
+  stats.exclusive_bytes = r.value().GetU64();
+  return stats;
+}
+
 Status FuseClientFs::IoctlCheckpoint(std::uint64_t key) {
   ByteWriter w = Request(Opcode::kIoctlCheckpoint);
   w.PutU64(key);
-  Status s = SimpleCall(w.bytes());
-  if (s.ok()) ++snapshot_count_;
-  return s;
+  return SimpleCall(w.bytes());
 }
 
 Status FuseClientFs::IoctlRestore(std::uint64_t key) {
   ByteWriter w = Request(Opcode::kIoctlRestore);
   w.PutU64(key);
-  Status s = SimpleCall(w.bytes());
-  if (s.ok() && snapshot_count_ > 0) --snapshot_count_;
-  return s;
+  return SimpleCall(w.bytes());
 }
 
 Status FuseClientFs::IoctlDiscard(std::uint64_t key) {
   ByteWriter w = Request(Opcode::kIoctlDiscard);
   w.PutU64(key);
-  Status s = SimpleCall(w.bytes());
-  if (s.ok() && snapshot_count_ > 0) --snapshot_count_;
-  return s;
+  return SimpleCall(w.bytes());
 }
 
 }  // namespace mcfs::fuse

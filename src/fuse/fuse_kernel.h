@@ -72,12 +72,19 @@ class FuseClientFs final : public fs::FileSystem,
 
   std::string TypeName() const override { return "fuse"; }
 
-  // CheckpointableFs — forwarded as ioctls (paper §5).
+  // CheckpointableFs handle surface — forwarded over dedicated opcodes;
+  // the daemon-side pool allocates the SnapshotIds.
+  Result<fs::SnapshotId> Checkpoint() override;
+  Status Restore(fs::SnapshotId id) override;
+  Status Discard(fs::SnapshotId id) override;
+  fs::SnapshotStats Stats() const override;
+
+  // Legacy keyed form — forwarded verbatim as ioctls (paper §5) over the
+  // original opcodes so recorded traces replay wire-identically; the
+  // hosted file system's base-class shims own the key -> handle map.
   Status IoctlCheckpoint(std::uint64_t key) override;
   Status IoctlRestore(std::uint64_t key) override;
   Status IoctlDiscard(std::uint64_t key) override;
-  std::uint64_t SnapshotCount() const override { return snapshot_count_; }
-  std::uint64_t SnapshotBytes() const override { return 0; }
 
  private:
   Result<Bytes> Call(ByteView request) const;
@@ -87,7 +94,6 @@ class FuseClientFs final : public fs::FileSystem,
   bool mounted_ = false;
   InvalEntryHandler inval_entry_;
   InvalInodeHandler inval_inode_;
-  std::uint64_t snapshot_count_ = 0;  // client-side mirror for accounting
 };
 
 }  // namespace mcfs::fuse

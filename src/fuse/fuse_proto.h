@@ -40,10 +40,19 @@ enum class Opcode : std::uint8_t {
   kListXattr = 24,
   kRemoveXattr = 25,
   kSupports = 26,
-  // The paper's proposed APIs, carried as ioctls (§5).
+  // The paper's proposed APIs, carried as ioctls (§5). 40-42 are the
+  // legacy keyed (consuming-restore) form, kept wire-compatible so
+  // recorded traces replay unchanged.
   kIoctlCheckpoint = 40,
   kIoctlRestore = 41,
   kIoctlDiscard = 42,
+  // Handle-based snapshot surface: checkpoint returns a daemon-allocated
+  // fs::SnapshotId, restore/discard take one, stats reports the pool's
+  // shared/exclusive byte accounting.
+  kCheckpointHandle = 43,
+  kRestoreHandle = 44,
+  kDiscardHandle = 45,
+  kSnapshotStats = 46,
   kMkfs = 50,
 };
 

@@ -180,6 +180,7 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
       verifs::Verifs1Options opts;
       opts.identity = config.identity;
       opts.bugs = config.bugs;
+      opts.cow_snapshots = config.cow_snapshots;
       fut->hosted_fs_ = std::make_shared<verifs::Verifs1>(opts);
       break;
     }
@@ -187,6 +188,7 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
       verifs::Verifs2Options opts;
       opts.identity = config.identity;
       opts.bugs = config.bugs;
+      opts.cow_snapshots = config.cow_snapshots;
       fut->hosted_fs_ = std::make_shared<verifs::Verifs2>(opts);
       break;
     }
@@ -370,13 +372,34 @@ Status FsUnderTest::SaveState(std::uint64_t key) {
       // missing from the image. Deliberately unsafe (§3.2 reproduction).
       return SaveViaDevice(key);
     case StateStrategy::kIoctl: {
-      Status s = checkpointable_->IoctlCheckpoint(key);
-      const fs::CheckpointableFs* pool =
-          accounting_ != nullptr ? accounting_ : checkpointable_;
-      if (s.ok() && pool->SnapshotCount() > 0) {
-        last_state_bytes_ = pool->SnapshotBytes() / pool->SnapshotCount();
+      auto id = checkpointable_->Checkpoint();
+      if (!id.ok()) return id.error();
+      auto [it, inserted] = ioctl_handles_.emplace(key, id.value());
+      if (!inserted) {
+        // Re-used key: the old snapshot under it is unreachable now.
+        (void)checkpointable_->Discard(it->second);
+        it->second = id.value();
       }
-      return s;
+      // The deep-copy baseline prices its capture off measured image
+      // bytes on every save; a COW checkpoint must not pay an O(state)
+      // accounting walk on its own O(1) fast path, so it measures once
+      // (first save) and keeps that estimate for StateBytes().
+      if (!config_.cow_snapshots || last_state_bytes_ == 0) {
+        const fs::SnapshotStats stats = StateStats();
+        if (stats.count > 0) {
+          last_state_bytes_ = stats.total_bytes / stats.count;
+        }
+      }
+      // Capture-cost model: a COW checkpoint copies one root pointer
+      // vector (near-constant); a deep-copy checkpoint walks and
+      // serializes the whole state — map traversal plus per-entry
+      // allocation runs at roughly 250 MB/s, i.e. ~4 ns/byte.
+      if (clock_ != nullptr) {
+        clock_->Advance(config_.cow_snapshots
+                            ? 2'000
+                            : 2'000 + 4 * last_state_bytes_);
+      }
+      return Status::Ok();
     }
     case StateStrategy::kCriu: {
       Status s = criu_->Checkpoint(key, ganesha_->process());
@@ -436,10 +459,21 @@ Status FsUnderTest::RestoreState(std::uint64_t key) {
       // no longer exists — the §3.2 corruption mechanism.
       return RestoreViaDevice(key);
     case StateStrategy::kIoctl: {
-      if (Status s = checkpointable_->IoctlRestore(key); !s.ok()) return s;
-      // ioctl_RESTORE discards the snapshot (paper §5); re-arm it so the
-      // explorer's non-consuming contract holds.
-      return checkpointable_->IoctlCheckpoint(key);
+      // Restore by handle is non-consuming: no post-restore re-checkpoint
+      // (the old keyed API's biggest per-backtrack cost) is needed.
+      auto it = ioctl_handles_.find(key);
+      if (it == ioctl_handles_.end()) return Errno::kENOENT;
+      Status s = checkpointable_->Restore(it->second);
+      // Mirror of the capture-cost model in SaveState: a COW restore is
+      // a root swap plus the O(dirty) invalidation replay (the
+      // notifications charge the channel on their own); a deep-copy
+      // restore re-parses the full image and rebuilds every map.
+      if (s.ok() && clock_ != nullptr) {
+        clock_->Advance(config_.cow_snapshots
+                            ? 2'000
+                            : 2'000 + 4 * last_state_bytes_);
+      }
+      return s;
     }
     case StateStrategy::kCriu: {
       // CRIU restore consumes the image; re-dump to satisfy the
@@ -485,8 +519,13 @@ Status FsUnderTest::DiscardState(std::uint64_t key) {
       mount_snapshots_.erase(key);
       return device_snapshots_.erase(key) == 1 ? Status::Ok()
                                                : Status(Errno::kENOENT);
-    case StateStrategy::kIoctl:
-      return checkpointable_->IoctlDiscard(key);
+    case StateStrategy::kIoctl: {
+      auto it = ioctl_handles_.find(key);
+      if (it == ioctl_handles_.end()) return Errno::kENOENT;
+      Status s = checkpointable_->Discard(it->second);
+      ioctl_handles_.erase(it);
+      return s;
+    }
     case StateStrategy::kVmSnapshot:
       return vm_->Discard(key);
     case StateStrategy::kCriu:
@@ -498,6 +537,12 @@ Status FsUnderTest::DiscardState(std::uint64_t key) {
 std::uint64_t FsUnderTest::StateBytes() const {
   if (last_state_bytes_ != 0) return last_state_bytes_;
   return device_ != nullptr ? device_->size_bytes() : 64 * 1024;
+}
+
+fs::SnapshotStats FsUnderTest::StateStats() const {
+  const fs::CheckpointableFs* pool =
+      accounting_ != nullptr ? accounting_ : checkpointable_;
+  return pool != nullptr ? pool->Stats() : fs::SnapshotStats{};
 }
 
 std::vector<fs::FsFeature> FsUnderTest::SupportedFeatures() const {

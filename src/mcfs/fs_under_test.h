@@ -77,6 +77,10 @@ struct FsUnderTestConfig {
   // mode can journal in-flight writes and enumerate crash states.
   // Kernel file systems only (VeriFS has no device to crash).
   bool crashable_device = false;
+  // VeriFS only: structurally-shared (copy-on-write) snapshots — O(1)
+  // checkpoint, O(dirty) restore. Off = the original copy-the-world
+  // serialization per snapshot (the differential baseline).
+  bool cow_snapshots = true;
   verifs::VerifsBugs bugs;
   fs::Identity identity;
 };
@@ -99,13 +103,20 @@ class FsUnderTest {
   Status EnsureMounted();
 
   // Concrete-state capture. RestoreState is non-consuming (see
-  // mc::System); keys are caller-chosen.
+  // mc::System); keys are caller-chosen. Under kIoctl each key maps to a
+  // first-class fs::SnapshotId handle, so a restore neither consumes the
+  // snapshot nor re-arms it — the pre-handle API had to re-run
+  // ioctl_CHECKPOINT after every ioctl_RESTORE to fake this contract.
   Status SaveState(std::uint64_t key);
   Status RestoreState(std::uint64_t key);
   Status DiscardState(std::uint64_t key);
 
   // Approximate bytes of one saved state (memory-model accounting).
   std::uint64_t StateBytes() const;
+
+  // Snapshot-pool accounting (kIoctl): count plus total/shared/exclusive
+  // bytes of the structurally-shared pool. Zeroes for other strategies.
+  fs::SnapshotStats StateStats() const;
 
   // Supported optional features (intersected across the pair by the
   // engine to build the action set).
@@ -170,6 +181,8 @@ class FsUnderTest {
 
   std::map<std::uint64_t, Bytes> device_snapshots_;
   std::map<std::uint64_t, Bytes> mount_snapshots_;  // kVfsApi strategy
+  // kIoctl: explorer key -> snapshot handle on the checkpointable FS.
+  std::map<std::uint64_t, fs::SnapshotId> ioctl_handles_;
   std::uint64_t remounts_ = 0;
   std::uint64_t last_state_bytes_ = 0;
 };

@@ -155,6 +155,13 @@ std::string McfsReport::Summary() const {
       << counters.abstraction_full_recomputes << " abs_incr="
       << counters.abstraction_incremental_refreshes << " abs_rehashed="
       << counters.abstraction_nodes_rehashed;
+  if (counters.snapshots_peak > 0) {
+    out << " snaps=" << counters.snapshots_live << " snaps_peak="
+        << counters.snapshots_peak << " snap_bytes="
+        << counters.snapshot_total_bytes << " snap_shared="
+        << counters.snapshot_shared_bytes << " snap_excl="
+        << counters.snapshot_exclusive_bytes;
+  }
   if (stats.violation_found) {
     out << "\nVIOLATION: " << stats.violation_report;
     if (!stats.violation_trail.empty()) {

@@ -369,6 +369,7 @@ Result<mc::SnapshotId> SyscallEngine::SaveConcrete() {
   Operation op{.kind = OpKind::kCheckpoint, .offset = id};
   trace_.Append(op, OpOutcome{}, OpOutcome{}, /*violation=*/false);
   trace_.TrimToLast(options_.trace_cap);
+  SampleSnapshotStats();
   return id;
 }
 
@@ -401,11 +402,24 @@ Status SyscallEngine::DiscardConcrete(mc::SnapshotId id) {
   if (crash_a_ != nullptr) crash_a_->Discard(id);
   if (crash_b_ != nullptr) crash_b_->Discard(id);
   if (Status s = fs_a_.DiscardState(id); !s.ok()) return s;
-  return fs_b_.DiscardState(id);
+  Status s = fs_b_.DiscardState(id);
+  SampleSnapshotStats();
+  return s;
 }
 
 std::uint64_t SyscallEngine::ConcreteStateBytes() const {
   return fs_a_.StateBytes() + fs_b_.StateBytes();
+}
+
+void SyscallEngine::SampleSnapshotStats() {
+  const fs::SnapshotStats a = fs_a_.StateStats();
+  const fs::SnapshotStats b = fs_b_.StateStats();
+  counters_.snapshots_live = a.count + b.count;
+  counters_.snapshots_peak =
+      std::max(counters_.snapshots_peak, counters_.snapshots_live);
+  counters_.snapshot_total_bytes = a.total_bytes + b.total_bytes;
+  counters_.snapshot_shared_bytes = a.shared_bytes + b.shared_bytes;
+  counters_.snapshot_exclusive_bytes = a.exclusive_bytes + b.exclusive_bytes;
 }
 
 Status SyscallEngine::CrashCheck() {

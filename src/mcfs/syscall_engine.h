@@ -55,6 +55,16 @@ struct EngineCounters {
   // number of crash states mounted + validated across both sides.
   std::uint64_t crash_checks = 0;
   std::uint64_t crash_states_checked = 0;
+  // Snapshot-pool accounting, sampled after every concrete save/discard
+  // and summed over both file systems. Byte figures come from the
+  // structurally-shared pool walk (fs::SnapshotStats): shared = reachable
+  // from more than one live snapshot, exclusive = unique to one. All zero
+  // for strategies without a snapshot pool (remount, VM).
+  std::uint64_t snapshots_live = 0;
+  std::uint64_t snapshots_peak = 0;
+  std::uint64_t snapshot_total_bytes = 0;
+  std::uint64_t snapshot_shared_bytes = 0;
+  std::uint64_t snapshot_exclusive_bytes = 0;
 };
 
 class SyscallEngine final : public mc::System {
@@ -136,6 +146,9 @@ class SyscallEngine final : public mc::System {
   Result<Md5Digest> SideDigest(FsUnderTest& fut, IncrementalAbstraction& inc,
                                const TouchedPathSet* touched);
   void SyncAbstractionCounters();
+  // Refreshes the EngineCounters snapshot-pool fields from both sides'
+  // FsUnderTest::StateStats().
+  void SampleSnapshotStats();
   // Fills footprints_ from StaticTouchedPaths over actions_, then
   // expands each path with its hard-link alias class so the dependence
   // relation stays sound when two pool paths can name one inode.

@@ -1,0 +1,82 @@
+#include "verifs/cow_state.h"
+
+#include <cstring>
+
+namespace mcfs::verifs {
+
+CowBlock& CowBuffer::MutBlock(std::size_t i) {
+  CowBlockPtr& block = blocks_[i];
+  if (block.use_count() > 1) block = std::make_shared<CowBlock>(*block);
+  return *block;
+}
+
+void CowBuffer::resize(std::uint64_t n) {
+  if (n <= physical_) return;  // physical buffers never shrink
+  std::size_t want = (n + kCowBlockSize - 1) / kCowBlockSize;
+  while (blocks_.size() < want) {
+    blocks_.push_back(std::make_shared<CowBlock>());  // value-init: zeroed
+  }
+  // Bytes in [physical_, n) inside already-allocated blocks are zero by
+  // the class invariant, so no clone or memset is needed here.
+  physical_ = n;
+}
+
+void CowBuffer::Zero(std::uint64_t off, std::uint64_t n) {
+  std::uint64_t end = off + n;
+  while (off < end) {
+    std::size_t bi = off / kCowBlockSize;
+    std::size_t bo = off % kCowBlockSize;
+    std::size_t len = std::min<std::uint64_t>(kCowBlockSize - bo, end - off);
+    std::memset(MutBlock(bi).data() + bo, 0, len);
+    off += len;
+  }
+}
+
+void CowBuffer::Write(std::uint64_t off, ByteView data) {
+  if (data.empty()) return;
+  if (off + data.size() > physical_) resize(off + data.size());
+  std::uint64_t pos = off;
+  const std::uint8_t* src = data.data();
+  std::uint64_t left = data.size();
+  while (left > 0) {
+    std::size_t bi = pos / kCowBlockSize;
+    std::size_t bo = pos % kCowBlockSize;
+    std::size_t len = std::min<std::uint64_t>(kCowBlockSize - bo, left);
+    std::memcpy(MutBlock(bi).data() + bo, src, len);
+    pos += len;
+    src += len;
+    left -= len;
+  }
+}
+
+Bytes CowBuffer::ReadBytes(std::uint64_t off, std::uint64_t n) const {
+  Bytes out(n);
+  std::uint64_t pos = off;
+  std::uint8_t* dst = out.data();
+  std::uint64_t left = n;
+  while (left > 0) {
+    std::size_t bi = pos / kCowBlockSize;
+    std::size_t bo = pos % kCowBlockSize;
+    std::size_t len = std::min<std::uint64_t>(kCowBlockSize - bo, left);
+    std::memcpy(dst, blocks_[bi]->data() + bo, len);
+    pos += len;
+    dst += len;
+    left -= len;
+  }
+  return out;
+}
+
+void CowBuffer::Assign(ByteView data) {
+  blocks_.clear();
+  physical_ = 0;
+  if (!data.empty()) Write(0, data);
+}
+
+Bytes CowBuffer::ToBytes() const { return ReadBytes(0, physical_); }
+
+void CowBuffer::clear() {
+  blocks_.clear();
+  physical_ = 0;
+}
+
+}  // namespace mcfs::verifs

@@ -6,6 +6,18 @@
 #include "fs/path.h"
 
 namespace mcfs::verifs {
+namespace {
+
+// Canonical form of an op path ("/a//b" never occurs, but trailing
+// slashes and the like must not desynchronize the invalidation log from
+// the FS-canonical paths the legacy full walk emits).
+std::string CanonicalPath(const std::string& path) {
+  auto split = fs::SplitPath(path);
+  if (!split.ok()) return path;
+  return fs::JoinPath(split.value());
+}
+
+}  // namespace
 
 Verifs1::Verifs1(Verifs1Options options) : options_(std::move(options)) {}
 
@@ -14,8 +26,8 @@ Verifs1::Verifs1(Verifs1Options options) : options_(std::move(options)) {}
 
 Status Verifs1::Mkfs() {
   if (mounted_) return Errno::kEBUSY;
-  inodes_.assign(options_.inode_count, Inode{});
-  Inode& root = inodes_[kRootIndex];
+  inodes_.Assign(options_.inode_count);
+  Inode& root = inodes_.Mut(kRootIndex);
   root.used = true;
   root.type = fs::FileType::kDirectory;
   root.mode = 0755;
@@ -23,12 +35,15 @@ Status Verifs1::Mkfs() {
   root.gid = options_.identity.gid;
   root.atime_ns = root.mtime_ns = root.ctime_ns = NowNs();
   root.parent = kRootIndex;
+  // Snapshots taken before this reformat can no longer be restored via
+  // the O(dirty) log; force them onto the full-invalidation path.
+  inval_log_.Overflow();
   return Status::Ok();
 }
 
 Status Verifs1::Mount() {
   if (mounted_) return Errno::kEBUSY;
-  if (inodes_.empty()) return Errno::kEINVAL;  // never formatted
+  if (inodes_.size() == 0) return Errno::kEINVAL;  // never formatted
   mounted_ = true;
   return Status::Ok();
 }
@@ -51,7 +66,7 @@ Result<std::uint32_t> Verifs1::ResolveIndex(const std::string& path) const {
   if (!split.ok()) return split.error();
   std::uint32_t index = kRootIndex;
   for (const auto& comp : split.value()) {
-    const Inode& inode = inodes_[index];
+    const Inode& inode = inodes_.Get(index);
     if (inode.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
     if (!fs::PermissionGranted(ToAttr(index, inode), options_.identity,
                                fs::kXOk)) {
@@ -71,7 +86,7 @@ Result<Verifs1::ParentRef> Verifs1::ResolveParentRef(
   if (split.value().empty()) return Errno::kEINVAL;
   auto parent = ResolveIndex(fs::ParentPath(path));
   if (!parent.ok()) return parent.error();
-  if (inodes_[parent.value()].type != fs::FileType::kDirectory) {
+  if (inodes_.Get(parent.value()).type != fs::FileType::kDirectory) {
     return Errno::kENOTDIR;
   }
   return ParentRef{parent.value(), split.value().back()};
@@ -79,7 +94,7 @@ Result<Verifs1::ParentRef> Verifs1::ResolveParentRef(
 
 Result<std::uint32_t> Verifs1::AllocInode() {
   for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
-    if (!inodes_[i].used) return i;
+    if (!inodes_.Get(i).used) return i;
   }
   return Errno::kENOSPC;  // the fixed-length array is full
 }
@@ -88,7 +103,7 @@ std::uint32_t Verifs1::ComputeNlink(const Inode& inode) const {
   if (inode.type != fs::FileType::kDirectory) return 1;  // no hard links
   std::uint32_t n = 2;
   for (const auto& [name, child] : inode.children) {
-    if (inodes_[child].type == fs::FileType::kDirectory) ++n;
+    if (inodes_.Get(child).type == fs::FileType::kDirectory) ++n;
   }
   return n;
 }
@@ -116,14 +131,18 @@ fs::InodeAttr Verifs1::ToAttr(std::uint32_t index, const Inode& inode) const {
 
 void Verifs1::SetFileSize(Inode& inode, std::uint64_t new_size,
                           bool zero_growth) {
-  if (new_size > inode.buf.size()) {
-    inode.buf.resize(new_size, 0);  // fresh bytes are zero either way
+  const std::uint64_t old_physical = inode.buf.size();
+  if (new_size > old_physical) {
+    inode.buf.resize(new_size);  // fresh bytes are zero either way
   }
   if (new_size > inode.size && zero_growth) {
     // Clear the reused region between the old logical end and the new
     // one. Bug #1 omitted exactly this memset, exposing bytes from a
-    // previous, longer incarnation of the file (paper §6).
-    std::memset(inode.buf.data() + inode.size, 0, new_size - inode.size);
+    // previous, longer incarnation of the file (paper §6). Bytes past
+    // the old physical end are zero already (fresh COW blocks), so only
+    // the reused tail needs the wipe.
+    const std::uint64_t zero_end = std::min(new_size, old_physical);
+    if (zero_end > inode.size) inode.buf.Zero(inode.size, zero_end - inode.size);
   }
   inode.size = new_size;
   // Physical bytes are never reclaimed on shrink: the buffer is the
@@ -136,22 +155,24 @@ void Verifs1::SetFileSize(Inode& inode, std::uint64_t new_size,
 Result<fs::InodeAttr> Verifs1::GetAttr(const std::string& path) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  return ToAttr(index.value(), inodes_[index.value()]);
+  return ToAttr(index.value(), inodes_.Get(index.value()));
 }
 
 Status Verifs1::Mkdir(const std::string& path, fs::Mode mode) {
   auto parent = ResolveParentRef(path);
   if (!parent.ok()) return parent.error();
-  Inode& pnode = inodes_[parent.value().parent_index];
-  if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
-                             options_.identity, fs::kWOk)) {
+  const std::uint32_t parent_index = parent.value().parent_index;
+  if (!fs::PermissionGranted(
+          ToAttr(parent_index, inodes_.Get(parent_index)), options_.identity,
+          fs::kWOk)) {
     return Errno::kEACCES;
   }
-  if (pnode.children.contains(parent.value().name)) {
+  if (inodes_.Get(parent_index).children.contains(parent.value().name)) {
     // Mutant: the error path scribbles on the PARENT before reporting —
     // the errno is right, the state one hop up is not.
     if (options_.bugs.mkdir_eexist_chowns_parent) {
-      pnode.gid += 1;
+      inodes_.Mut(parent_index).gid += 1;
+      LogInode(parent_index);
     }
     // Mutant: the "already exists" case mapped to the wrong errno.
     return options_.bugs.mkdir_eexist_as_enoent ? Errno::kENOENT
@@ -159,7 +180,8 @@ Status Verifs1::Mkdir(const std::string& path, fs::Mode mode) {
   }
   auto slot = AllocInode();
   if (!slot.ok()) return slot.error();
-  Inode& child = inodes_[slot.value()];
+  Inode& pnode = inodes_.Mut(parent_index);
+  Inode& child = inodes_.Mut(slot.value());
   child = Inode{};
   child.used = true;
   child.type = fs::FileType::kDirectory;
@@ -167,9 +189,11 @@ Status Verifs1::Mkdir(const std::string& path, fs::Mode mode) {
   child.uid = options_.identity.uid;
   child.gid = options_.identity.gid;
   child.atime_ns = child.mtime_ns = child.ctime_ns = NowNs();
-  child.parent = parent.value().parent_index;
+  child.parent = parent_index;
   pnode.children[parent.value().name] = slot.value();
   pnode.mtime_ns = NowNs();
+  LogEntry(CanonicalPath(path), slot.value());
+  LogInode(parent_index);
   return Status::Ok();
 }
 
@@ -177,58 +201,86 @@ Status Verifs1::Rmdir(const std::string& path) {
   if (path == "/") return Errno::kEBUSY;
   auto parent = ResolveParentRef(path);
   if (!parent.ok()) return parent.error();
-  Inode& pnode = inodes_[parent.value().parent_index];
-  if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
-                             options_.identity, fs::kWOk)) {
+  const std::uint32_t parent_index = parent.value().parent_index;
+  if (!fs::PermissionGranted(
+          ToAttr(parent_index, inodes_.Get(parent_index)), options_.identity,
+          fs::kWOk)) {
     return Errno::kEACCES;
   }
-  auto it = pnode.children.find(parent.value().name);
-  if (it == pnode.children.end()) return Errno::kENOENT;
-  Inode& victim = inodes_[it->second];
-  if (victim.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
+  const Inode& pread = inodes_.Get(parent_index);
+  auto found = pread.children.find(parent.value().name);
+  if (found == pread.children.end()) return Errno::kENOENT;
+  const std::uint32_t victim_index = found->second;
+  if (inodes_.Get(victim_index).type != fs::FileType::kDirectory) {
+    return Errno::kENOTDIR;
+  }
   // Mutant: skip the emptiness check; the orphaned children leak.
-  if (!victim.children.empty() && !options_.bugs.rmdir_ignores_nonempty) {
+  if (!inodes_.Get(victim_index).children.empty() &&
+      !options_.bugs.rmdir_ignores_nonempty) {
     return Errno::kENOTEMPTY;
   }
-  victim = Inode{};  // marks the slot unused
-  pnode.children.erase(it);
+  const std::string canonical = CanonicalPath(path);
+  // With the mutant active a populated subtree vanishes: its paths must
+  // enter the log (and every descendant inode) or a later O(dirty)
+  // restore would leave stale cache entries for them.
+  if (!inodes_.Get(victim_index).children.empty()) {
+    std::vector<std::string> sub;
+    CollectPathsRec(victim_index, canonical, &sub);
+    for (const auto& p : sub) inval_log_.Append(p, fs::kInvalidInode);
+  }
+  Inode& pnode = inodes_.Mut(parent_index);
+  inodes_.Mut(victim_index) = Inode{};  // marks the slot unused
+  pnode.children.erase(parent.value().name);
   pnode.mtime_ns = NowNs();
+  LogEntry(canonical, victim_index);
+  LogInode(parent_index);
   return Status::Ok();
 }
 
 Status Verifs1::Unlink(const std::string& path) {
   auto parent = ResolveParentRef(path);
   if (!parent.ok()) return parent.error();
-  Inode& pnode = inodes_[parent.value().parent_index];
-  if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
-                             options_.identity, fs::kWOk)) {
+  const std::uint32_t parent_index = parent.value().parent_index;
+  if (!fs::PermissionGranted(
+          ToAttr(parent_index, inodes_.Get(parent_index)), options_.identity,
+          fs::kWOk)) {
     return Errno::kEACCES;
   }
-  auto it = pnode.children.find(parent.value().name);
-  if (it == pnode.children.end()) return Errno::kENOENT;
-  Inode& victim = inodes_[it->second];
-  if (victim.type == fs::FileType::kDirectory) return Errno::kEISDIR;
-  victim = Inode{};
-  pnode.children.erase(it);
+  const Inode& pread = inodes_.Get(parent_index);
+  auto found = pread.children.find(parent.value().name);
+  if (found == pread.children.end()) return Errno::kENOENT;
+  const std::uint32_t victim_index = found->second;
+  if (inodes_.Get(victim_index).type == fs::FileType::kDirectory) {
+    return Errno::kEISDIR;
+  }
+  Inode& pnode = inodes_.Mut(parent_index);
+  inodes_.Mut(victim_index) = Inode{};
+  pnode.children.erase(parent.value().name);
   pnode.mtime_ns = NowNs();
+  LogEntry(CanonicalPath(path), victim_index);
+  LogInode(parent_index);
   return Status::Ok();
 }
 
 Result<std::vector<fs::DirEntry>> Verifs1::ReadDir(const std::string& path) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  Inode& inode = inodes_[index.value()];
-  if (inode.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
-  if (!fs::PermissionGranted(ToAttr(index.value(), inode),
-                             options_.identity, fs::kROk)) {
+  if (inodes_.Get(index.value()).type != fs::FileType::kDirectory) {
+    return Errno::kENOTDIR;
+  }
+  if (!fs::PermissionGranted(
+          ToAttr(index.value(), inodes_.Get(index.value())),
+          options_.identity, fs::kROk)) {
     return Errno::kEACCES;
   }
+  Inode& inode = inodes_.Mut(index.value());
   inode.atime_ns = NowNs();
+  LogInode(index.value());  // atime moved: the cached attr is stale
   std::vector<fs::DirEntry> out;
   out.reserve(inode.children.size());
   for (const auto& [name, child] : inode.children) {
     out.push_back({name, static_cast<fs::InodeNum>(child + 1),
-                   inodes_[child].type});
+                   inodes_.Get(child).type});
   }
   return out;
 }
@@ -247,14 +299,16 @@ Result<fs::FileHandle> Verifs1::Open(const std::string& path,
     }
     auto parent = ResolveParentRef(path);
     if (!parent.ok()) return parent.error();
-    Inode& pnode = inodes_[parent.value().parent_index];
-    if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
-                               options_.identity, fs::kWOk)) {
+    const std::uint32_t parent_index = parent.value().parent_index;
+    if (!fs::PermissionGranted(
+            ToAttr(parent_index, inodes_.Get(parent_index)),
+            options_.identity, fs::kWOk)) {
       return Errno::kEACCES;
     }
     auto slot = AllocInode();
     if (!slot.ok()) return slot.error();
-    Inode& child = inodes_[slot.value()];
+    Inode& pnode = inodes_.Mut(parent_index);
+    Inode& child = inodes_.Mut(slot.value());
     child = Inode{};
     child.used = true;
     child.type = fs::FileType::kRegular;
@@ -262,14 +316,16 @@ Result<fs::FileHandle> Verifs1::Open(const std::string& path,
     child.uid = options_.identity.uid;
     child.gid = options_.identity.gid;
     child.atime_ns = child.mtime_ns = child.ctime_ns = NowNs();
-    child.parent = parent.value().parent_index;
+    child.parent = parent_index;
     pnode.children[parent.value().name] = slot.value();
     pnode.mtime_ns = NowNs();
+    LogEntry(CanonicalPath(path), slot.value());
+    LogInode(parent_index);
     ino_index = slot.value();
   } else {
     if (flags & fs::kCreate && flags & fs::kExcl) return Errno::kEEXIST;
     ino_index = index.value();
-    Inode& inode = inodes_[ino_index];
+    const Inode& inode = inodes_.Get(ino_index);
     const bool want_write =
         (flags & fs::kAccessModeMask) != fs::kRdOnly;
     if (inode.type == fs::FileType::kDirectory && want_write) {
@@ -286,8 +342,10 @@ Result<fs::FileHandle> Verifs1::Open(const std::string& path,
     }
     if ((flags & fs::kTrunc) && want_write &&
         inode.type == fs::FileType::kRegular) {
-      SetFileSize(inode, 0, /*zero_growth=*/true);
-      inode.mtime_ns = NowNs();
+      Inode& winode = inodes_.Mut(ino_index);
+      SetFileSize(winode, 0, /*zero_growth=*/true);
+      winode.mtime_ns = NowNs();
+      LogInode(ino_index);
     }
   }
   const fs::FileHandle fh = next_handle_++;
@@ -308,13 +366,13 @@ Result<Bytes> Verifs1::Read(fs::FileHandle fh, std::uint64_t offset,
   if ((it->second.flags & fs::kAccessModeMask) == fs::kWrOnly) {
     return Errno::kEBADF;
   }
-  Inode& inode = inodes_[it->second.ino_index];
+  Inode& inode = inodes_.Mut(it->second.ino_index);
   if (inode.type == fs::FileType::kDirectory) return Errno::kEISDIR;
   inode.atime_ns = NowNs();
+  LogInode(it->second.ino_index);
   if (offset >= inode.size) return Bytes{};
   const std::uint64_t n = std::min(size, inode.size - offset);
-  return Bytes(inode.buf.begin() + static_cast<std::ptrdiff_t>(offset),
-               inode.buf.begin() + static_cast<std::ptrdiff_t>(offset + n));
+  return inode.buf.ReadBytes(offset, n);
 }
 
 Result<std::uint64_t> Verifs1::Write(fs::FileHandle fh, std::uint64_t offset,
@@ -325,7 +383,7 @@ Result<std::uint64_t> Verifs1::Write(fs::FileHandle fh, std::uint64_t offset,
   if ((it->second.flags & fs::kAccessModeMask) == fs::kRdOnly) {
     return Errno::kEBADF;
   }
-  Inode& inode = inodes_[it->second.ino_index];
+  Inode& inode = inodes_.Mut(it->second.ino_index);
   if (it->second.flags & fs::kAppend) offset = inode.size;
 
   if (offset > inode.size) {
@@ -333,37 +391,39 @@ Result<std::uint64_t> Verifs1::Write(fs::FileHandle fh, std::uint64_t offset,
     SetFileSize(inode, offset, /*zero_growth=*/true);
   }
   if (offset + data.size() > inode.buf.size()) {
-    inode.buf.resize(offset + data.size(), 0);
+    inode.buf.resize(offset + data.size());
   }
-  // data.data() is null for a zero-length span; memcpy requires
-  // non-null pointers even when the count is 0.
-  if (!data.empty()) {
-    std::memcpy(inode.buf.data() + offset, data.data(), data.size());
-  }
+  inode.buf.Write(offset, data);
   if (offset + data.size() > inode.size) inode.size = offset + data.size();
   inode.mtime_ns = NowNs();
   inode.ctime_ns = inode.mtime_ns;
+  LogInode(it->second.ino_index);
   return data.size();
 }
 
 Status Verifs1::Truncate(const std::string& path, std::uint64_t size) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  Inode& inode = inodes_[index.value()];
-  if (inode.type == fs::FileType::kDirectory) return Errno::kEISDIR;
-  if (!fs::PermissionGranted(ToAttr(index.value(), inode),
-                             options_.identity, fs::kWOk)) {
+  if (inodes_.Get(index.value()).type == fs::FileType::kDirectory) {
+    return Errno::kEISDIR;
+  }
+  if (!fs::PermissionGranted(
+          ToAttr(index.value(), inodes_.Get(index.value())),
+          options_.identity, fs::kWOk)) {
     return Errno::kEACCES;
   }
   // Mutant: shrinking truncate silently does nothing.
-  if (options_.bugs.truncate_shrink_noop && size < inode.size) {
+  if (options_.bugs.truncate_shrink_noop &&
+      size < inodes_.Get(index.value()).size) {
     return Status::Ok();
   }
+  Inode& inode = inodes_.Mut(index.value());
   // Historical bug #1: expansion without zeroing the reclaimed region.
   SetFileSize(inode, size,
               /*zero_growth=*/!options_.bugs.truncate_no_zero_on_expand);
   inode.mtime_ns = NowNs();
   inode.ctime_ns = inode.mtime_ns;
+  LogInode(index.value());
   return Status::Ok();
 }
 
@@ -378,15 +438,17 @@ Status Verifs1::Fsync(fs::FileHandle fh) {
 Status Verifs1::Chmod(const std::string& path, fs::Mode mode) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  Inode& inode = inodes_[index.value()];
-  if (!options_.identity.IsRoot() && options_.identity.uid != inode.uid) {
+  if (!options_.identity.IsRoot() &&
+      options_.identity.uid != inodes_.Get(index.value()).uid) {
     return Errno::kEPERM;
   }
+  Inode& inode = inodes_.Mut(index.value());
   // Mutant: report success but never store the new mode.
   if (!options_.bugs.chmod_ignores_mode) {
     inode.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
   }
   inode.ctime_ns = NowNs();
+  LogInode(index.value());
   return Status::Ok();
 }
 
@@ -395,10 +457,11 @@ Status Verifs1::Chown(const std::string& path, std::uint32_t uid,
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
   if (!options_.identity.IsRoot()) return Errno::kEPERM;
-  Inode& inode = inodes_[index.value()];
+  Inode& inode = inodes_.Mut(index.value());
   inode.uid = uid;
   inode.gid = gid;
   inode.ctime_ns = NowNs();
+  LogInode(index.value());
   return Status::Ok();
 }
 
@@ -411,7 +474,8 @@ Result<fs::StatVfs> Verifs1::StatFs() {
   out.total_bytes = 1ull << 40;
   std::uint64_t used = 0;
   std::uint64_t used_inodes = 0;
-  for (const auto& inode : inodes_) {
+  for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    const Inode& inode = inodes_.Get(i);
     if (inode.used) {
       ++used_inodes;
       used += inode.size;
@@ -442,8 +506,9 @@ bool Verifs1::Supports(fs::FsFeature feature) const {
 
 Bytes Verifs1::SerializeState() const {
   ByteWriter w;
-  w.PutU32(static_cast<std::uint32_t>(inodes_.size()));
-  for (const auto& inode : inodes_) {
+  w.PutU32(inodes_.size());
+  for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    const Inode& inode = inodes_.Get(i);
     w.PutU8(inode.used ? 1 : 0);
     if (!inode.used) continue;
     w.PutU8(static_cast<std::uint8_t>(inode.type));
@@ -458,7 +523,7 @@ Bytes Verifs1::SerializeState() const {
     // ioctl_CHECKPOINT "copies inode and file data into a snapshot pool"
     // (paper §5). Capturing less would mask stale-tail bugs (like
     // historical bug #1) whenever a restore intervened.
-    w.PutBlob(inode.buf);
+    w.PutBlob(inode.buf.ToBytes());
     w.PutU32(inode.parent);
     w.PutU32(static_cast<std::uint32_t>(inode.children.size()));
     for (const auto& [name, child] : inode.children) {
@@ -473,10 +538,10 @@ Bytes Verifs1::SerializeState() const {
 void Verifs1::DeserializeState(ByteView state) {
   ByteReader r(state);
   const std::uint32_t count = r.GetU32();
-  inodes_.assign(count, Inode{});
+  inodes_.Assign(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     if (r.GetU8() == 0) continue;
-    Inode& inode = inodes_[i];
+    Inode& inode = inodes_.Mut(i);
     inode.used = true;
     inode.type = static_cast<fs::FileType>(r.GetU8());
     inode.mode = r.GetU16();
@@ -486,7 +551,7 @@ void Verifs1::DeserializeState(ByteView state) {
     inode.mtime_ns = r.GetU64();
     inode.ctime_ns = r.GetU64();
     inode.size = r.GetU64();
-    inode.buf = r.GetBlob();  // full physical buffer, stale tail included
+    inode.buf.Assign(r.GetBlob());  // full physical buffer, stale tail too
     inode.parent = r.GetU32();
     const std::uint32_t nchildren = r.GetU32();
     for (std::uint32_t c = 0; c < nchildren; ++c) {
@@ -497,13 +562,34 @@ void Verifs1::DeserializeState(ByteView state) {
   op_counter_ = r.GetU64();
 }
 
+std::string Verifs1::PathOfIndex(std::uint32_t index) const {
+  if (index == kRootIndex) return "/";
+  std::vector<std::string> components;
+  std::uint32_t cur = index;
+  while (cur != kRootIndex) {
+    const std::uint32_t parent = inodes_.Get(cur).parent;
+    const Inode& pnode = inodes_.Get(parent);
+    for (const auto& [name, child] : pnode.children) {
+      if (child == cur) {
+        components.push_back(name);
+        break;
+      }
+    }
+    cur = parent;
+  }
+  std::reverse(components.begin(), components.end());
+  return fs::JoinPath(components);
+}
+
 void Verifs1::DropOneInodeAfterRestore() {
-  for (std::uint32_t i = static_cast<std::uint32_t>(inodes_.size()); i > 1;) {
+  for (std::uint32_t i = inodes_.size(); i > 1;) {
     --i;
-    if (!inodes_[i].used) continue;
+    if (!inodes_.Get(i).used) continue;
+    const std::string path = PathOfIndex(i);
+    const std::uint32_t parent_index = inodes_.Get(i).parent;
     // Detach from the parent's namespace, then free the slot (children of
     // a dropped directory leak, like a lost inode would).
-    Inode& parent = inodes_[inodes_[i].parent];
+    Inode& parent = inodes_.Mut(parent_index);
     for (auto it = parent.children.begin(); it != parent.children.end();
          ++it) {
       if (it->second == i) {
@@ -511,18 +597,22 @@ void Verifs1::DropOneInodeAfterRestore() {
         break;
       }
     }
-    inodes_[i] = Inode{};
+    inodes_.Mut(i) = Inode{};
+    // The vanished inode is a post-restore mutation like any other: log
+    // it so forward restores and this restore's own invalidation see it.
+    LogEntry(path, i);
+    LogInode(parent_index);
     return;
   }
 }
 
 void Verifs1::CollectPathsRec(std::uint32_t index, const std::string& prefix,
                               std::vector<std::string>* out) const {
-  const Inode& inode = inodes_[index];
+  const Inode& inode = inodes_.Get(index);
   for (const auto& [name, child] : inode.children) {
     const std::string path = prefix == "/" ? "/" + name : prefix + "/" + name;
     out->push_back(path);
-    if (inodes_[child].type == fs::FileType::kDirectory) {
+    if (inodes_.Get(child).type == fs::FileType::kDirectory) {
       CollectPathsRec(child, path, out);
     }
   }
@@ -530,14 +620,14 @@ void Verifs1::CollectPathsRec(std::uint32_t index, const std::string& prefix,
 
 std::vector<std::string> Verifs1::CollectAllPaths() const {
   std::vector<std::string> out;
-  if (!inodes_.empty()) CollectPathsRec(kRootIndex, "/", &out);
+  if (inodes_.size() != 0) CollectPathsRec(kRootIndex, "/", &out);
   return out;
 }
 
 std::vector<fs::InodeNum> Verifs1::CollectUsedInos() const {
   std::vector<fs::InodeNum> inos;
   for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
-    if (inodes_[i].used) inos.push_back(static_cast<fs::InodeNum>(i + 1));
+    if (inodes_.Get(i).used) inos.push_back(static_cast<fs::InodeNum>(i + 1));
   }
   return inos;
 }
@@ -562,44 +652,138 @@ void Verifs1::InvalidateKernelCaches(
   }
 }
 
-Status Verifs1::IoctlCheckpoint(std::uint64_t key) {
-  if (!mounted_) return Errno::kEINVAL;
-  // Lock, copy inode and file data into the snapshot pool, unlock
-  // (paper §5). Single-threaded here, so "lock" is implicit.
-  pool_.Put(key, SerializeState());
-  return Status::Ok();
+void Verifs1::EmitInvalRecords(const std::vector<InvalRecord>& records) {
+  if (notifier_ == nullptr) return;
+  std::vector<std::string> paths;
+  std::vector<fs::InodeNum> inos;
+  for (const InvalRecord& rec : records) {
+    if (!rec.path.empty()) paths.push_back(rec.path);
+    if (rec.ino != fs::kInvalidInode) inos.push_back(rec.ino);
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  for (const auto& path : paths) {
+    notifier_->InvalEntry(fs::ParentPath(path), fs::Basename(path));
+  }
+  std::sort(inos.begin(), inos.end());
+  inos.erase(std::unique(inos.begin(), inos.end()), inos.end());
+  for (fs::InodeNum ino : inos) {
+    notifier_->InvalInode(ino);
+  }
 }
 
-Status Verifs1::IoctlRestore(std::uint64_t key) {
+void Verifs1::CompactInvalLog() {
+  if (inval_log_.record_count() <= kMaxInvalRecords) return;
+  std::uint64_t min_pos = inval_log_.End();
+  for (const auto& [id, snap] : pool_.entries()) {
+    if (!snap.deep) min_pos = std::min(min_pos, snap.inval_pos);
+  }
+  inval_log_.TrimBelow(min_pos);
+  // Still over the cap: some snapshot is ancient. Overflow and let its
+  // eventual restore take the full-invalidation path.
+  if (inval_log_.record_count() > kMaxInvalRecords) inval_log_.Overflow();
+}
+
+Result<fs::SnapshotId> Verifs1::Checkpoint() {
   if (!mounted_) return Errno::kEINVAL;
-  auto snapshot = pool_.Take(key);
-  if (!snapshot.ok()) return snapshot.error();
-  // Remember the namespace that is about to disappear: its entries and
-  // inodes must be invalidated in the kernel too.
-  std::vector<std::string> pre_restore_paths = CollectAllPaths();
-  std::vector<fs::InodeNum> pre_restore_inos = CollectUsedInos();
-  DeserializeState(snapshot.value());
+  CompactInvalLog();
+  // Lock, capture, unlock (paper §5). Single-threaded here, so "lock"
+  // is implicit. COW capture is O(#chunks) pointer copies.
+  Snapshot snap;
+  if (options_.cow_snapshots) {
+    snap.root = inodes_.Snapshot();
+    snap.op_counter = op_counter_;
+    snap.inval_pos = inval_log_.End();
+  } else {
+    snap.deep = true;
+    snap.deep_image = SerializeState();
+  }
+  return pool_.Add(std::move(snap));
+}
+
+Status Verifs1::Restore(fs::SnapshotId id) {
+  if (!mounted_) return Errno::kEINVAL;
+  const Snapshot* snap = pool_.Find(id);
+  if (snap == nullptr) return Errno::kENOENT;
+
+  if (snap->deep || !inval_log_.Covers(snap->inval_pos)) {
+    // Full-state path: deep-copy snapshots, or COW snapshots whose log
+    // prefix was trimmed/overflowed. Remember the namespace that is
+    // about to disappear: its entries and inodes must be invalidated in
+    // the kernel too.
+    std::vector<std::string> pre_paths = CollectAllPaths();
+    std::vector<fs::InodeNum> pre_inos = CollectUsedInos();
+    if (snap->deep) {
+      DeserializeState(snap->deep_image);
+    } else {
+      inodes_.Restore(snap->root);
+      op_counter_ = snap->op_counter;
+    }
+    if (options_.bugs.restore_skips_one_inode) DropOneInodeAfterRestore();
+    open_files_.clear();  // handles do not survive a state rollback
+    // This rollback is untracked, so positions before it can no longer
+    // bound their dirty set; every older snapshot falls back here too.
+    inval_log_.Overflow();
+    if (!options_.bugs.skip_cache_invalidation_on_restore) {
+      // The fix for historical bug #2: notify the kernel so its dentry
+      // and inode caches drop entries from the abandoned timeline.
+      InvalidateKernelCaches(pre_paths, pre_inos);
+    }
+    return Status::Ok();
+  }
+
+  // O(dirty) path: the records written since the snapshot was taken are
+  // exactly where the abandoned timeline and the restored one differ.
+  std::vector<InvalRecord> tail = inval_log_.Since(snap->inval_pos);
+  DedupInvalRecords(tail);
+  inodes_.Restore(snap->root);
+  op_counter_ = snap->op_counter;
+  open_files_.clear();
   if (options_.bugs.restore_skips_one_inode) DropOneInodeAfterRestore();
-  open_files_.clear();  // handles do not survive a state rollback
+  // Re-log the undone mutations: a later restore FORWARD to a snapshot
+  // taken on the abandoned branch must still invalidate them. With no
+  // live snapshot positioned after this one, no such forward restore
+  // can happen, and skipping the re-append keeps the log flat across
+  // a backtracking walk's op/restore/op/restore bouncing.
+  if (AnyCowSnapshotAfter(pool_.entries(), snap->inval_pos)) {
+    inval_log_.ReAppend(tail);
+    CompactInvalLog();
+  } else {
+    // No one can restore forward past this position: rewind the log to
+    // it so repeated bounces off one snapshot stay O(dirty).
+    inval_log_.TruncateTo(snap->inval_pos);
+  }
   if (!options_.bugs.skip_cache_invalidation_on_restore) {
-    // The fix for historical bug #2: notify the kernel so its dentry and
-    // inode caches drop entries from the abandoned timeline.
-    InvalidateKernelCaches(pre_restore_paths, pre_restore_inos);
+    EmitInvalRecords(tail);
   }
   return Status::Ok();
 }
 
-Status Verifs1::IoctlDiscard(std::uint64_t key) {
-  return pool_.Discard(key);
+Status Verifs1::Discard(fs::SnapshotId id) {
+  Status s = pool_.Discard(id);
+  if (s.ok()) CompactInvalLog();
+  return s;
+}
+
+fs::SnapshotStats Verifs1::Stats() const {
+  return ComputeSnapshotStats<Inode>(
+      pool_.entries(), inodes_.Snapshot(), [](const Inode& inode) {
+        std::uint64_t extra = 0;
+        for (const auto& [name, child] : inode.children) {
+          extra += name.size() + 32;  // map-node overhead estimate
+        }
+        return extra;
+      });
 }
 
 void Verifs1::ImportState(ByteView state) {
-  std::vector<std::string> pre_restore_paths = CollectAllPaths();
-  std::vector<fs::InodeNum> pre_restore_inos = CollectUsedInos();
+  std::vector<std::string> pre_paths = CollectAllPaths();
+  std::vector<fs::InodeNum> pre_inos = CollectUsedInos();
   DeserializeState(state);
   open_files_.clear();
+  inval_log_.Overflow();  // untracked rollback, same as a deep restore
   if (!options_.bugs.skip_cache_invalidation_on_restore) {
-    InvalidateKernelCaches(pre_restore_paths, pre_restore_inos);
+    InvalidateKernelCaches(pre_paths, pre_inos);
   }
 }
 

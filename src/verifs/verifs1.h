@@ -8,11 +8,21 @@
 //   * a limited operation set: NO access(), rename(), symbolic or hard
 //     links, or extended attributes;
 //   * no limit on the total amount of data stored;
-//   * native ioctl_CHECKPOINT / ioctl_RESTORE via a snapshot pool.
+//   * native checkpoint/restore via a snapshot pool.
+//
+// State is structurally shared (src/verifs/cow_state.h): the inode
+// array lives in refcounted chunks and file data in refcounted blocks,
+// so Checkpoint() copies O(#chunks) pointers, each mutation clones only
+// the chunk/block it writes, and Restore() is a root swap. The
+// `cow_snapshots` option falls back to the original copy-the-world
+// serialization for differential testing.
 //
 // Because it is a user-space (FUSE-style) file system, a restore must
 // tell the kernel to invalidate its caches through the KernelNotifier;
-// the injectable bug flags can suppress that (historical bug #2).
+// the injectable bug flags can suppress that (historical bug #2). With
+// COW snapshots the invalidation is O(dirty): every mutation appends
+// the (path, inode) it touched to an InvalLog, and restore invalidates
+// only the records written since the snapshot was taken.
 #pragma once
 
 #include <map>
@@ -24,6 +34,7 @@
 #include "fs/kernel_notifier.h"
 #include "fs/perms.h"
 #include "verifs/bugs.h"
+#include "verifs/cow_state.h"
 #include "verifs/snapshot_pool.h"
 
 namespace mcfs::verifs {
@@ -32,6 +43,9 @@ struct Verifs1Options {
   std::uint32_t inode_count = 64;  // the fixed-length inode array
   fs::Identity identity;
   VerifsBugs bugs;
+  // Structurally-shared snapshots (O(1) checkpoint, O(dirty) restore).
+  // False = the original deep-copy serialization per snapshot.
+  bool cow_snapshots = true;
 };
 
 class Verifs1 : public fs::FileSystem, public fs::CheckpointableFs {
@@ -74,12 +88,13 @@ class Verifs1 : public fs::FileSystem, public fs::CheckpointableFs {
 
   std::string TypeName() const override { return "verifs1"; }
 
-  // CheckpointableFs (the paper's proposed APIs).
-  Status IoctlCheckpoint(std::uint64_t key) override;
-  Status IoctlRestore(std::uint64_t key) override;
-  Status IoctlDiscard(std::uint64_t key) override;
-  std::uint64_t SnapshotCount() const override { return pool_.count(); }
-  std::uint64_t SnapshotBytes() const override { return pool_.total_bytes(); }
+  // CheckpointableFs: first-class snapshot handles. Restore preserves
+  // the snapshot; the keyed Ioctl* shims from the base class keep the
+  // paper's consuming ioctl semantics on top of these.
+  Result<fs::SnapshotId> Checkpoint() override;
+  Status Restore(fs::SnapshotId id) override;
+  Status Discard(fs::SnapshotId id) override;
+  fs::SnapshotStats Stats() const override;
 
   // Raw state export/import — what a process- or VM-level snapshotter
   // captures (the daemon's memory image). Import behaves like a restore,
@@ -99,12 +114,14 @@ class Verifs1 : public fs::FileSystem, public fs::CheckpointableFs {
     std::uint64_t ctime_ns = 0;
     // File payload: `buf` is the contiguous buffer (never shrunk),
     // `size` the logical file length.
-    Bytes buf;
+    CowBuffer buf;
     std::uint64_t size = 0;
     // Directory payload: name -> inode index.
     std::map<std::string, std::uint32_t> children;
     std::uint32_t parent = 0;  // inode index of the containing directory
   };
+  using Table = CowTable<Inode>;
+  using Snapshot = CowSnapshot<Inode>;
 
   struct OpenFile {
     std::uint32_t ino_index;
@@ -128,7 +145,8 @@ class Verifs1 : public fs::FileSystem, public fs::CheckpointableFs {
   fs::InodeAttr ToAttr(std::uint32_t index, const Inode& inode) const;
   std::uint32_t ComputeNlink(const Inode& inode) const;
 
-  // Full-state serialization for the snapshot pool.
+  // Full-state serialization (deep-copy snapshots, ExportState, and the
+  // VM/CRIU snapshotters).
   Bytes SerializeState() const;
   void DeserializeState(ByteView state);
   // Mutant restore_skips_one_inode: unlinks the highest-numbered
@@ -137,7 +155,8 @@ class Verifs1 : public fs::FileSystem, public fs::CheckpointableFs {
   // Emits InvalEntry/InvalInode for everything in the current namespace
   // plus the pre-restore paths/inodes handed in (entries from the
   // abandoned timeline must be dropped too, or slot reuse resurrects
-  // them as stale cache hits).
+  // them as stale cache hits). The full-state fallback; COW restores
+  // use the InvalLog suffix instead.
   void InvalidateKernelCaches(const std::vector<std::string>& extra_paths,
                               const std::vector<fs::InodeNum>& extra_inos);
   std::vector<fs::InodeNum> CollectUsedInos() const;
@@ -145,13 +164,31 @@ class Verifs1 : public fs::FileSystem, public fs::CheckpointableFs {
   void CollectPathsRec(std::uint32_t index, const std::string& prefix,
                        std::vector<std::string>* out) const;
 
+  // --- invalidation log plumbing (O(dirty) restore) ---
+  // Records a namespace mutation: `path` for the dentry cache plus the
+  // inode (1-based) for the attr cache.
+  void LogEntry(const std::string& path, std::uint32_t ino_index) {
+    inval_log_.Append(path, static_cast<fs::InodeNum>(ino_index) + 1);
+  }
+  // Records an attribute/data-only mutation.
+  void LogInode(std::uint32_t ino_index) {
+    inval_log_.Append({}, static_cast<fs::InodeNum>(ino_index) + 1);
+  }
+  // Emits invalidations for records in [pos, End) after deduping.
+  void EmitInvalRecords(const std::vector<InvalRecord>& records);
+  // Trims the log to the oldest live snapshot, or overflows it.
+  void CompactInvalLog();
+  // Full path of an inode via the parent chain (for mutant logging).
+  std::string PathOfIndex(std::uint32_t index) const;
+
   Verifs1Options options_;
   bool mounted_ = false;
-  std::vector<Inode> inodes_;  // the fixed-length array
+  Table inodes_;  // the fixed-length array, in COW chunks
   std::unordered_map<fs::FileHandle, OpenFile> open_files_;
   fs::FileHandle next_handle_ = 1;
   std::uint64_t op_counter_ = 0;
-  SnapshotPool pool_;
+  SnapshotPool<Snapshot> pool_;
+  InvalLog inval_log_;
   fs::KernelNotifier* notifier_ = nullptr;
 };
 

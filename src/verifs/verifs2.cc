@@ -7,6 +7,17 @@
 #include "fs/path.h"
 
 namespace mcfs::verifs {
+namespace {
+
+// Canonical form of an op path, matching what the legacy full
+// invalidation walk emits (see verifs1.cc).
+std::string CanonicalPath(const std::string& path) {
+  auto split = fs::SplitPath(path);
+  if (!split.ok()) return path;
+  return fs::JoinPath(split.value());
+}
+
+}  // namespace
 
 Verifs2::Verifs2(Verifs2Options options) : options_(std::move(options)) {}
 
@@ -15,20 +26,23 @@ Verifs2::Verifs2(Verifs2Options options) : options_(std::move(options)) {}
 
 Status Verifs2::Mkfs() {
   if (mounted_) return Errno::kEBUSY;
-  inodes_.assign(1, Inode{});
-  Inode& root = inodes_[kRootIndex];
+  inodes_.Assign(1);
+  Inode& root = inodes_.Mut(kRootIndex);
+  root = Inode{};
   root.used = true;
   root.type = fs::FileType::kDirectory;
   root.mode = 0755;
   root.uid = options_.identity.uid;
   root.gid = options_.identity.gid;
   root.atime_ns = root.mtime_ns = root.ctime_ns = NowNs();
+  // Snapshots taken before the reformat fall back to full invalidation.
+  inval_log_.Overflow();
   return Status::Ok();
 }
 
 Status Verifs2::Mount() {
   if (mounted_) return Errno::kEBUSY;
-  if (inodes_.empty()) return Errno::kEINVAL;
+  if (inodes_.size() == 0) return Errno::kEINVAL;
   mounted_ = true;
   return Status::Ok();
 }
@@ -49,7 +63,7 @@ Result<std::uint32_t> Verifs2::ResolveIndex(const std::string& path) const {
   if (!split.ok()) return split.error();
   std::uint32_t index = kRootIndex;
   for (const auto& comp : split.value()) {
-    const Inode& inode = inodes_[index];
+    const Inode& inode = inodes_.Get(index);
     if (inode.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
     if (!fs::PermissionGranted(ToAttr(index, inode), options_.identity,
                                fs::kXOk)) {
@@ -69,7 +83,7 @@ Result<Verifs2::ParentRef> Verifs2::ResolveParentRef(
   if (split.value().empty()) return Errno::kEINVAL;
   auto parent = ResolveIndex(fs::ParentPath(path));
   if (!parent.ok()) return parent.error();
-  if (inodes_[parent.value()].type != fs::FileType::kDirectory) {
+  if (inodes_.Get(parent.value()).type != fs::FileType::kDirectory) {
     return Errno::kENOTDIR;
   }
   return ParentRef{parent.value(), split.value().back()};
@@ -77,15 +91,15 @@ Result<Verifs2::ParentRef> Verifs2::ResolveParentRef(
 
 std::uint32_t Verifs2::AllocInode() {
   for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
-    if (!inodes_[i].used) return i;
+    if (!inodes_.Get(i).used) return i;
   }
-  inodes_.emplace_back();  // no fixed array: the table grows on demand
-  return static_cast<std::uint32_t>(inodes_.size() - 1);
+  return inodes_.PushBack();  // no fixed array: the table grows on demand
 }
 
 std::uint32_t Verifs2::CountLinks(std::uint32_t index) const {
   std::uint32_t n = 0;
-  for (const auto& inode : inodes_) {
+  for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    const Inode& inode = inodes_.Get(i);
     if (!inode.used || inode.type != fs::FileType::kDirectory) continue;
     for (const auto& [name, child] : inode.children) {
       if (child == index) ++n;
@@ -96,7 +110,7 @@ std::uint32_t Verifs2::CountLinks(std::uint32_t index) const {
 
 void Verifs2::ReleaseInodeIfUnlinked(std::uint32_t index) {
   if (index == kRootIndex) return;
-  if (CountLinks(index) == 0) inodes_[index] = Inode{};
+  if (CountLinks(index) == 0) inodes_.Mut(index) = Inode{};
 }
 
 fs::InodeAttr Verifs2::ToAttr(std::uint32_t index, const Inode& inode) const {
@@ -107,7 +121,7 @@ fs::InodeAttr Verifs2::ToAttr(std::uint32_t index, const Inode& inode) const {
   if (inode.type == fs::FileType::kDirectory) {
     std::uint32_t n = 2;
     for (const auto& [name, child] : inode.children) {
-      if (inodes_[child].type == fs::FileType::kDirectory) ++n;
+      if (inodes_.Get(child).type == fs::FileType::kDirectory) ++n;
     }
     attr.nlink = n;
     attr.size = inode.children.size() * 32;
@@ -128,7 +142,8 @@ fs::InodeAttr Verifs2::ToAttr(std::uint32_t index, const Inode& inode) const {
 
 std::uint64_t Verifs2::TotalDataBytes() const {
   std::uint64_t total = 0;
-  for (const auto& inode : inodes_) {
+  for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    const Inode& inode = inodes_.Get(i);
     if (inode.used) total += inode.size;
   }
   return total;
@@ -145,16 +160,17 @@ Status Verifs2::CheckQuota(std::uint64_t additional) const {
 Result<std::uint32_t> Verifs2::CreateChild(const ParentRef& ref,
                                            fs::FileType type, fs::Mode mode,
                                            const std::string& symlink_target) {
-  Inode& pnode = inodes_[ref.parent_index];
-  if (!fs::PermissionGranted(ToAttr(ref.parent_index, pnode),
+  const Inode& pread = inodes_.Get(ref.parent_index);
+  if (!fs::PermissionGranted(ToAttr(ref.parent_index, pread),
                              options_.identity, fs::kWOk)) {
     return Errno::kEACCES;
   }
-  if (pnode.children.contains(ref.name)) return Errno::kEEXIST;
+  if (pread.children.contains(ref.name)) return Errno::kEEXIST;
   const std::uint32_t slot = AllocInode();
-  // AllocInode may reallocate inodes_; re-take the parent reference.
-  Inode& parent = inodes_[ref.parent_index];
-  Inode& child = inodes_[slot];
+  // COW chunks never move on growth, so — unlike the flat vector this
+  // replaces — these references survive the PushBack inside AllocInode.
+  Inode& parent = inodes_.Mut(ref.parent_index);
+  Inode& child = inodes_.Mut(slot);
   child = Inode{};
   child.used = true;
   child.type = type;
@@ -163,7 +179,7 @@ Result<std::uint32_t> Verifs2::CreateChild(const ParentRef& ref,
   child.gid = options_.identity.gid;
   child.atime_ns = child.mtime_ns = child.ctime_ns = NowNs();
   if (type == fs::FileType::kSymlink) {
-    child.buf.assign(symlink_target.begin(), symlink_target.end());
+    child.buf.Assign(AsBytes(symlink_target));
     child.size = child.buf.size();
   }
   parent.children[ref.name] = slot;
@@ -177,7 +193,7 @@ Result<std::uint32_t> Verifs2::CreateChild(const ParentRef& ref,
 Result<fs::InodeAttr> Verifs2::GetAttr(const std::string& path) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  return ToAttr(index.value(), inodes_[index.value()]);
+  return ToAttr(index.value(), inodes_.Get(index.value()));
 }
 
 Status Verifs2::Mkdir(const std::string& path, fs::Mode mode) {
@@ -185,70 +201,87 @@ Status Verifs2::Mkdir(const std::string& path, fs::Mode mode) {
   if (!parent.ok()) return parent.error();
   auto child =
       CreateChild(parent.value(), fs::FileType::kDirectory, mode, "");
-  return child.ok() ? Status::Ok() : Status(child.error());
+  if (!child.ok()) return child.error();
+  LogEntry(CanonicalPath(path), child.value());
+  LogInode(parent.value().parent_index);
+  return Status::Ok();
 }
 
 Status Verifs2::Rmdir(const std::string& path) {
   if (path == "/") return Errno::kEBUSY;
   auto parent = ResolveParentRef(path);
   if (!parent.ok()) return parent.error();
-  Inode& pnode = inodes_[parent.value().parent_index];
-  if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
-                             options_.identity, fs::kWOk)) {
+  const std::uint32_t parent_index = parent.value().parent_index;
+  if (!fs::PermissionGranted(
+          ToAttr(parent_index, inodes_.Get(parent_index)), options_.identity,
+          fs::kWOk)) {
     return Errno::kEACCES;
   }
-  auto it = pnode.children.find(parent.value().name);
-  if (it == pnode.children.end()) return Errno::kENOENT;
+  const Inode& pread = inodes_.Get(parent_index);
+  auto it = pread.children.find(parent.value().name);
+  if (it == pread.children.end()) return Errno::kENOENT;
   const std::uint32_t victim = it->second;
-  if (inodes_[victim].type != fs::FileType::kDirectory) {
+  if (inodes_.Get(victim).type != fs::FileType::kDirectory) {
     return Errno::kENOTDIR;
   }
-  if (!inodes_[victim].children.empty()) return Errno::kENOTEMPTY;
-  pnode.children.erase(it);
+  if (!inodes_.Get(victim).children.empty()) return Errno::kENOTEMPTY;
+  Inode& pnode = inodes_.Mut(parent_index);
+  pnode.children.erase(parent.value().name);
   pnode.mtime_ns = NowNs();
-  inodes_[victim] = Inode{};
+  inodes_.Mut(victim) = Inode{};
+  LogEntry(CanonicalPath(path), victim);
+  LogInode(parent_index);
   return Status::Ok();
 }
 
 Status Verifs2::Unlink(const std::string& path) {
   auto parent = ResolveParentRef(path);
   if (!parent.ok()) return parent.error();
-  Inode& pnode = inodes_[parent.value().parent_index];
-  if (!fs::PermissionGranted(ToAttr(parent.value().parent_index, pnode),
-                             options_.identity, fs::kWOk)) {
+  const std::uint32_t parent_index = parent.value().parent_index;
+  if (!fs::PermissionGranted(
+          ToAttr(parent_index, inodes_.Get(parent_index)), options_.identity,
+          fs::kWOk)) {
     return Errno::kEACCES;
   }
-  auto it = pnode.children.find(parent.value().name);
-  if (it == pnode.children.end()) {
+  const Inode& pread = inodes_.Get(parent_index);
+  auto it = pread.children.find(parent.value().name);
+  if (it == pread.children.end()) {
     // Mutant: the "no such file" case mapped to the wrong errno.
     return options_.bugs.unlink_enoent_as_eperm ? Errno::kEPERM
                                                 : Errno::kENOENT;
   }
   const std::uint32_t victim = it->second;
-  if (inodes_[victim].type == fs::FileType::kDirectory) {
+  if (inodes_.Get(victim).type == fs::FileType::kDirectory) {
     return Errno::kEISDIR;
   }
-  pnode.children.erase(it);
+  Inode& pnode = inodes_.Mut(parent_index);
+  pnode.children.erase(parent.value().name);
   pnode.mtime_ns = NowNs();
   ReleaseInodeIfUnlinked(victim);  // hard links keep the inode alive
+  LogEntry(CanonicalPath(path), victim);
+  LogInode(parent_index);
   return Status::Ok();
 }
 
 Result<std::vector<fs::DirEntry>> Verifs2::ReadDir(const std::string& path) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  Inode& inode = inodes_[index.value()];
-  if (inode.type != fs::FileType::kDirectory) return Errno::kENOTDIR;
-  if (!fs::PermissionGranted(ToAttr(index.value(), inode),
-                             options_.identity, fs::kROk)) {
+  if (inodes_.Get(index.value()).type != fs::FileType::kDirectory) {
+    return Errno::kENOTDIR;
+  }
+  if (!fs::PermissionGranted(
+          ToAttr(index.value(), inodes_.Get(index.value())),
+          options_.identity, fs::kROk)) {
     return Errno::kEACCES;
   }
+  Inode& inode = inodes_.Mut(index.value());
   inode.atime_ns = NowNs();
+  LogInode(index.value());  // atime moved: the cached attr is stale
   std::vector<fs::DirEntry> out;
   out.reserve(inode.children.size());
   for (const auto& [name, child] : inode.children) {
     out.push_back({name, static_cast<fs::InodeNum>(child + 1),
-                   inodes_[child].type});
+                   inodes_.Get(child).type});
   }
   // Mutant: reversed listing order. The checker sorts dirents before
   // comparing (§3.4 workaround 2), so this one survives by design.
@@ -276,10 +309,12 @@ Result<fs::FileHandle> Verifs2::Open(const std::string& path,
         CreateChild(parent.value(), fs::FileType::kRegular, mode, "");
     if (!child.ok()) return child.error();
     ino_index = child.value();
+    LogEntry(CanonicalPath(path), ino_index);
+    LogInode(parent.value().parent_index);
   } else {
     if (flags & fs::kCreate && flags & fs::kExcl) return Errno::kEEXIST;
     ino_index = index.value();
-    Inode& inode = inodes_[ino_index];
+    const Inode& inode = inodes_.Get(ino_index);
     const bool want_write = (flags & fs::kAccessModeMask) != fs::kRdOnly;
     if (inode.type == fs::FileType::kDirectory && want_write) {
       return Errno::kEISDIR;
@@ -296,8 +331,10 @@ Result<fs::FileHandle> Verifs2::Open(const std::string& path,
     }
     if ((flags & fs::kTrunc) && want_write &&
         inode.type == fs::FileType::kRegular) {
-      inode.size = 0;  // capacity (buf) is retained
-      inode.mtime_ns = NowNs();
+      Inode& winode = inodes_.Mut(ino_index);
+      winode.size = 0;  // capacity (buf) is retained
+      winode.mtime_ns = NowNs();
+      LogInode(ino_index);
     }
   }
   const fs::FileHandle fh = next_handle_++;
@@ -318,13 +355,13 @@ Result<Bytes> Verifs2::Read(fs::FileHandle fh, std::uint64_t offset,
   if ((it->second.flags & fs::kAccessModeMask) == fs::kWrOnly) {
     return Errno::kEBADF;
   }
-  Inode& inode = inodes_[it->second.ino_index];
+  Inode& inode = inodes_.Mut(it->second.ino_index);
   if (inode.type == fs::FileType::kDirectory) return Errno::kEISDIR;
   inode.atime_ns = NowNs();
+  LogInode(it->second.ino_index);
   if (offset >= inode.size) return Bytes{};
   const std::uint64_t n = std::min(size, inode.size - offset);
-  return Bytes(inode.buf.begin() + static_cast<std::ptrdiff_t>(offset),
-               inode.buf.begin() + static_cast<std::ptrdiff_t>(offset + n));
+  return inode.buf.ReadBytes(offset, n);
 }
 
 Result<std::uint64_t> Verifs2::Write(fs::FileHandle fh, std::uint64_t offset,
@@ -335,7 +372,7 @@ Result<std::uint64_t> Verifs2::Write(fs::FileHandle fh, std::uint64_t offset,
   if ((it->second.flags & fs::kAccessModeMask) == fs::kRdOnly) {
     return Errno::kEBADF;
   }
-  Inode& inode = inodes_[it->second.ino_index];
+  Inode& inode = inodes_.Mut(it->second.ino_index);
   if (it->second.flags & fs::kAppend) offset = inode.size;
 
   const std::uint64_t required = offset + data.size();
@@ -351,12 +388,11 @@ Result<std::uint64_t> Verifs2::Write(fs::FileHandle fh, std::uint64_t offset,
       const std::uint64_t zero_end =
           std::min<std::uint64_t>(offset, inode.buf.size());
       if (zero_end > inode.size) {
-        std::memset(inode.buf.data() + inode.size, 0,
-                    zero_end - inode.size);
+        inode.buf.Zero(inode.size, zero_end - inode.size);
       }
     }
     if (offset > inode.buf.size()) {
-      inode.buf.resize(offset, 0);
+      inode.buf.resize(offset);  // fresh COW blocks read zero
     }
   }
 
@@ -364,7 +400,7 @@ Result<std::uint64_t> Verifs2::Write(fs::FileHandle fh, std::uint64_t offset,
     // Grow capacity by doubling, as VeriFS2 did.
     const std::uint64_t new_capacity =
         std::max<std::uint64_t>(std::bit_ceil(required), 64);
-    inode.buf.resize(new_capacity, 0);
+    inode.buf.resize(new_capacity);
     // On the growth path even the buggy VeriFS2 updated the size...
     inode.size = required;
   } else if (!options_.bugs.size_update_only_on_capacity_growth) {
@@ -378,26 +414,32 @@ Result<std::uint64_t> Verifs2::Write(fs::FileHandle fh, std::uint64_t offset,
     inode.size = std::max(inode.size, new_size);
   }
 
-  // Zero-length spans carry a null data() that memcpy must not see.
-  if (!data.empty()) {
-    std::memcpy(inode.buf.data() + offset, data.data(), data.size());
-  }
+  inode.buf.Write(offset, data);  // no-op for zero-length spans
   inode.mtime_ns = NowNs();
   inode.ctime_ns = inode.mtime_ns;
+  LogInode(it->second.ino_index);
   return data.size();
 }
 
 Status Verifs2::Truncate(const std::string& path, std::uint64_t size) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  Inode& inode = inodes_[index.value()];
-  if (inode.type == fs::FileType::kDirectory) return Errno::kEISDIR;
-  if (!fs::PermissionGranted(ToAttr(index.value(), inode),
-                             options_.identity, fs::kWOk)) {
+  if (inodes_.Get(index.value()).type == fs::FileType::kDirectory) {
+    return Errno::kEISDIR;
+  }
+  if (!fs::PermissionGranted(
+          ToAttr(index.value(), inodes_.Get(index.value())),
+          options_.identity, fs::kWOk)) {
     return Errno::kEACCES;
   }
+  if (size > inodes_.Get(index.value()).size) {
+    if (Status s = CheckQuota(size - inodes_.Get(index.value()).size);
+        !s.ok()) {
+      return s;
+    }
+  }
+  Inode& inode = inodes_.Mut(index.value());
   if (size > inode.size) {
-    if (Status s = CheckQuota(size - inode.size); !s.ok()) return s;
     // VeriFS2 learned this zeroing from VeriFS1's bug #1: the whole
     // reclaimed region must be cleared, including stale capacity bytes
     // below the old buffer end when the buffer also grows. The
@@ -405,15 +447,16 @@ Status Verifs2::Truncate(const std::string& path, std::uint64_t size) {
     const std::uint64_t zero_end =
         std::min<std::uint64_t>(size, inode.buf.size());
     if (zero_end > inode.size && !options_.bugs.truncate_expand_stale) {
-      std::memset(inode.buf.data() + inode.size, 0, zero_end - inode.size);
+      inode.buf.Zero(inode.size, zero_end - inode.size);
     }
     if (size > inode.buf.size()) {
-      inode.buf.resize(size, 0);
+      inode.buf.resize(size);  // fresh COW blocks read zero
     }
   }
   inode.size = size;
   inode.mtime_ns = NowNs();
   inode.ctime_ns = inode.mtime_ns;
+  LogInode(index.value());
   return Status::Ok();
 }
 
@@ -428,12 +471,14 @@ Status Verifs2::Fsync(fs::FileHandle fh) {
 Status Verifs2::Chmod(const std::string& path, fs::Mode mode) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  Inode& inode = inodes_[index.value()];
-  if (!options_.identity.IsRoot() && options_.identity.uid != inode.uid) {
+  if (!options_.identity.IsRoot() &&
+      options_.identity.uid != inodes_.Get(index.value()).uid) {
     return Errno::kEPERM;
   }
+  Inode& inode = inodes_.Mut(index.value());
   inode.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
   inode.ctime_ns = NowNs();
+  LogInode(index.value());
   return Status::Ok();
 }
 
@@ -442,10 +487,11 @@ Status Verifs2::Chown(const std::string& path, std::uint32_t uid,
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
   if (!options_.identity.IsRoot()) return Errno::kEPERM;
-  Inode& inode = inodes_[index.value()];
+  Inode& inode = inodes_.Mut(index.value());
   inode.uid = uid;
   inode.gid = gid;
   inode.ctime_ns = NowNs();
+  LogInode(index.value());
   return Status::Ok();
 }
 
@@ -458,8 +504,8 @@ Result<fs::StatVfs> Verifs2::StatFs() {
   out.free_bytes = used >= out.total_bytes ? 0 : out.total_bytes - used;
   out.total_inodes = 0xffffffff;
   std::uint64_t used_inodes = 0;
-  for (const auto& inode : inodes_) {
-    if (inode.used) ++used_inodes;
+  for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    if (inodes_.Get(i).used) ++used_inodes;
   }
   out.free_inodes = 0xffffffff - used_inodes;
   return out;
@@ -489,68 +535,100 @@ Status Verifs2::Rename(const std::string& from, const std::string& to) {
   if (!src.ok()) return src.error();
   auto dst = ResolveParentRef(to);
   if (!dst.ok()) return dst.error();
+  const std::uint32_t src_index = src.value().parent_index;
+  const std::uint32_t dst_index = dst.value().parent_index;
 
-  Inode& src_parent = inodes_[src.value().parent_index];
-  Inode& dst_parent = inodes_[dst.value().parent_index];
-  if (!fs::PermissionGranted(ToAttr(src.value().parent_index, src_parent),
+  if (!fs::PermissionGranted(ToAttr(src_index, inodes_.Get(src_index)),
                              options_.identity, fs::kWOk) ||
-      !fs::PermissionGranted(ToAttr(dst.value().parent_index, dst_parent),
+      !fs::PermissionGranted(ToAttr(dst_index, inodes_.Get(dst_index)),
                              options_.identity, fs::kWOk)) {
     return Errno::kEACCES;
   }
 
-  auto src_it = src_parent.children.find(src.value().name);
-  if (src_it == src_parent.children.end()) return Errno::kENOENT;
+  const Inode& src_read = inodes_.Get(src_index);
+  auto src_it = src_read.children.find(src.value().name);
+  if (src_it == src_read.children.end()) return Errno::kENOENT;
   const std::uint32_t moving = src_it->second;
   if (from == to) return Status::Ok();
 
-  auto dst_it = dst_parent.children.find(dst.value().name);
-  if (dst_it != dst_parent.children.end()) {
-    const std::uint32_t victim = dst_it->second;
-    if (inodes_[moving].type == fs::FileType::kDirectory) {
-      if (inodes_[victim].type != fs::FileType::kDirectory) {
+  const Inode& dst_read = inodes_.Get(dst_index);
+  auto dst_it = dst_read.children.find(dst.value().name);
+  bool have_victim = false;
+  std::uint32_t victim = 0;
+  if (dst_it != dst_read.children.end()) {
+    victim = dst_it->second;
+    have_victim = true;
+    if (inodes_.Get(moving).type == fs::FileType::kDirectory) {
+      if (inodes_.Get(victim).type != fs::FileType::kDirectory) {
         return Errno::kENOTDIR;
       }
-      if (!inodes_[victim].children.empty()) return Errno::kENOTEMPTY;
-    } else if (inodes_[victim].type == fs::FileType::kDirectory) {
+      if (!inodes_.Get(victim).children.empty()) return Errno::kENOTEMPTY;
+    } else if (inodes_.Get(victim).type == fs::FileType::kDirectory) {
       return Errno::kEISDIR;
     }
-    dst_parent.children.erase(dst_it);
-    ReleaseInodeIfUnlinked(victim);
   }
 
+  const std::string canonical_from = CanonicalPath(from);
+  const std::string canonical_to = CanonicalPath(to);
+  // A directory move changes every descendant's path: the old paths go
+  // stale and negative entries may be cached for the new ones, so both
+  // prefixes enter the log. The subtree's shape does not change, so it
+  // can be walked before the move.
+  if (inodes_.Get(moving).type == fs::FileType::kDirectory) {
+    std::vector<std::string> sub;
+    CollectPathsRec(moving, canonical_from, &sub);
+    CollectPathsRec(moving, canonical_to, &sub);
+    for (const auto& p : sub) inval_log_.Append(p, fs::kInvalidInode);
+  }
+
+  if (have_victim) {
+    inodes_.Mut(dst_index).children.erase(dst.value().name);
+    ReleaseInodeIfUnlinked(victim);
+    LogInode(victim);  // nlink dropped (or the inode vanished)
+  }
+
+  Inode& src_parent = inodes_.Mut(src_index);
+  Inode& dst_parent = inodes_.Mut(dst_index);
   src_parent.children.erase(src.value().name);
   dst_parent.children[dst.value().name] = moving;
   // Mutant: the move loses the inode's extended attributes.
-  if (options_.bugs.rename_drops_xattrs) inodes_[moving].xattrs.clear();
+  if (options_.bugs.rename_drops_xattrs) inodes_.Mut(moving).xattrs.clear();
   const std::uint64_t t = NowNs();
   src_parent.mtime_ns = t;
   dst_parent.mtime_ns = t;
+  LogEntry(canonical_from, moving);
+  LogEntry(canonical_to, moving);
+  LogInode(src_index);
+  LogInode(dst_index);
   return Status::Ok();
 }
 
 Status Verifs2::Link(const std::string& existing, const std::string& link) {
   auto src = ResolveIndex(existing);
   if (!src.ok()) return src.error();
-  if (inodes_[src.value()].type == fs::FileType::kDirectory) {
+  if (inodes_.Get(src.value()).type == fs::FileType::kDirectory) {
     return Errno::kEPERM;
   }
   auto dst = ResolveParentRef(link);
   if (!dst.ok()) return dst.error();
-  Inode& parent = inodes_[dst.value().parent_index];
-  if (!fs::PermissionGranted(ToAttr(dst.value().parent_index, parent),
-                             options_.identity, fs::kWOk)) {
+  const std::uint32_t parent_index = dst.value().parent_index;
+  if (!fs::PermissionGranted(
+          ToAttr(parent_index, inodes_.Get(parent_index)), options_.identity,
+          fs::kWOk)) {
     return Errno::kEACCES;
   }
   // Mutant: silently overwrite an existing destination (the displaced
   // inode leaks) instead of failing EEXIST.
-  if (parent.children.contains(dst.value().name) &&
+  if (inodes_.Get(parent_index).children.contains(dst.value().name) &&
       !options_.bugs.link_allows_overwrite) {
     return Errno::kEEXIST;
   }
+  Inode& parent = inodes_.Mut(parent_index);
   parent.children[dst.value().name] = src.value();
   parent.mtime_ns = NowNs();
-  inodes_[src.value()].ctime_ns = NowNs();
+  inodes_.Mut(src.value()).ctime_ns = NowNs();
+  LogEntry(CanonicalPath(link), src.value());
+  LogInode(parent_index);
   return Status::Ok();
 }
 
@@ -565,25 +643,28 @@ Status Verifs2::Symlink(const std::string& target, const std::string& link) {
           : target;
   auto child =
       CreateChild(parent.value(), fs::FileType::kSymlink, 0777, stored);
-  return child.ok() ? Status::Ok() : Status(child.error());
+  if (!child.ok()) return child.error();
+  LogEntry(CanonicalPath(link), child.value());
+  LogInode(parent.value().parent_index);
+  return Status::Ok();
 }
 
 Result<std::string> Verifs2::ReadLink(const std::string& path) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  const Inode& inode = inodes_[index.value()];
+  const Inode& inode = inodes_.Get(index.value());
   if (inode.type != fs::FileType::kSymlink) return Errno::kEINVAL;
-  return std::string(inode.buf.begin(),
-                     inode.buf.begin() +
-                         static_cast<std::ptrdiff_t>(inode.size));
+  const Bytes target = inode.buf.ReadBytes(0, inode.size);
+  return std::string(target.begin(), target.end());
 }
 
 Status Verifs2::Access(const std::string& path, std::uint32_t mode) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
   if (mode == fs::kFOk) return Status::Ok();
-  return fs::PermissionGranted(ToAttr(index.value(), inodes_[index.value()]),
-                               options_.identity, mode)
+  return fs::PermissionGranted(
+             ToAttr(index.value(), inodes_.Get(index.value())),
+             options_.identity, mode)
              ? Status::Ok()
              : Status(Errno::kEACCES);
 }
@@ -593,9 +674,10 @@ Status Verifs2::SetXattr(const std::string& path, const std::string& name,
   if (name.empty() || name.size() > fs::kNameMax) return Errno::kEINVAL;
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  Inode& inode = inodes_[index.value()];
+  Inode& inode = inodes_.Mut(index.value());
   inode.xattrs[name] = Bytes(value.begin(), value.end());
   inode.ctime_ns = NowNs();
+  LogInode(index.value());
   return Status::Ok();
 }
 
@@ -603,7 +685,7 @@ Result<Bytes> Verifs2::GetXattr(const std::string& path,
                                 const std::string& name) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  const Inode& inode = inodes_[index.value()];
+  const Inode& inode = inodes_.Get(index.value());
   auto it = inode.xattrs.find(name);
   if (it == inode.xattrs.end()) return Errno::kENODATA;
   return it->second;
@@ -612,7 +694,7 @@ Result<Bytes> Verifs2::GetXattr(const std::string& path,
 Result<std::vector<std::string>> Verifs2::ListXattr(const std::string& path) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  const Inode& inode = inodes_[index.value()];
+  const Inode& inode = inodes_.Get(index.value());
   std::vector<std::string> names;
   names.reserve(inode.xattrs.size());
   for (const auto& [name, value] : inode.xattrs) names.push_back(name);
@@ -623,14 +705,16 @@ Status Verifs2::RemoveXattr(const std::string& path,
                             const std::string& name) {
   auto index = ResolveIndex(path);
   if (!index.ok()) return index.error();
-  Inode& inode = inodes_[index.value()];
-  if (inode.xattrs.erase(name) == 0) {
+  if (!inodes_.Get(index.value()).xattrs.contains(name)) {
     // Mutant: removing an absent attribute claims success.
     return options_.bugs.removexattr_ok_when_missing
                ? Status::Ok()
                : Status(Errno::kENODATA);
   }
+  Inode& inode = inodes_.Mut(index.value());
+  inode.xattrs.erase(name);
   inode.ctime_ns = NowNs();
+  LogInode(index.value());
   return Status::Ok();
 }
 
@@ -639,8 +723,9 @@ Status Verifs2::RemoveXattr(const std::string& path,
 
 Bytes Verifs2::SerializeState() const {
   ByteWriter w;
-  w.PutU32(static_cast<std::uint32_t>(inodes_.size()));
-  for (const auto& inode : inodes_) {
+  w.PutU32(inodes_.size());
+  for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
+    const Inode& inode = inodes_.Get(i);
     w.PutU8(inode.used ? 1 : 0);
     if (!inode.used) continue;
     w.PutU8(static_cast<std::uint8_t>(inode.type));
@@ -653,7 +738,7 @@ Bytes Verifs2::SerializeState() const {
     w.PutU64(inode.size);
     // Full physical buffer, as VeriFS1 does (see verifs1.cc): capacity
     // contents are part of the daemon's state.
-    w.PutBlob(inode.buf);
+    w.PutBlob(inode.buf.ToBytes());
     w.PutU32(static_cast<std::uint32_t>(inode.children.size()));
     for (const auto& [name, child] : inode.children) {
       w.PutString(name);
@@ -672,10 +757,10 @@ Bytes Verifs2::SerializeState() const {
 void Verifs2::DeserializeState(ByteView state) {
   ByteReader r(state);
   const std::uint32_t count = r.GetU32();
-  inodes_.assign(count, Inode{});
+  inodes_.Assign(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     if (r.GetU8() == 0) continue;
-    Inode& inode = inodes_[i];
+    Inode& inode = inodes_.Mut(i);
     inode.used = true;
     inode.type = static_cast<fs::FileType>(r.GetU8());
     inode.mode = r.GetU16();
@@ -685,7 +770,7 @@ void Verifs2::DeserializeState(ByteView state) {
     inode.mtime_ns = r.GetU64();
     inode.ctime_ns = r.GetU64();
     inode.size = r.GetU64();
-    inode.buf = r.GetBlob();
+    inode.buf.Assign(r.GetBlob());  // full physical buffer, stale tail too
     const std::uint32_t nchildren = r.GetU32();
     for (std::uint32_t c = 0; c < nchildren; ++c) {
       std::string name = r.GetString();
@@ -702,11 +787,11 @@ void Verifs2::DeserializeState(ByteView state) {
 
 void Verifs2::CollectPathsRec(std::uint32_t index, const std::string& prefix,
                               std::vector<std::string>* out) const {
-  const Inode& inode = inodes_[index];
+  const Inode& inode = inodes_.Get(index);
   for (const auto& [name, child] : inode.children) {
     const std::string path = prefix == "/" ? "/" + name : prefix + "/" + name;
     out->push_back(path);
-    if (inodes_[child].type == fs::FileType::kDirectory) {
+    if (inodes_.Get(child).type == fs::FileType::kDirectory) {
       CollectPathsRec(child, path, out);
     }
   }
@@ -714,14 +799,14 @@ void Verifs2::CollectPathsRec(std::uint32_t index, const std::string& prefix,
 
 std::vector<std::string> Verifs2::CollectAllPaths() const {
   std::vector<std::string> out;
-  if (!inodes_.empty()) CollectPathsRec(kRootIndex, "/", &out);
+  if (inodes_.size() != 0) CollectPathsRec(kRootIndex, "/", &out);
   return out;
 }
 
 std::vector<fs::InodeNum> Verifs2::CollectUsedInos() const {
   std::vector<fs::InodeNum> inos;
   for (std::uint32_t i = 0; i < inodes_.size(); ++i) {
-    if (inodes_[i].used) inos.push_back(static_cast<fs::InodeNum>(i + 1));
+    if (inodes_.Get(i).used) inos.push_back(static_cast<fs::InodeNum>(i + 1));
   }
   return inos;
 }
@@ -746,37 +831,129 @@ void Verifs2::InvalidateKernelCaches(
   }
 }
 
-Status Verifs2::IoctlCheckpoint(std::uint64_t key) {
-  if (!mounted_) return Errno::kEINVAL;
-  pool_.Put(key, SerializeState());
-  return Status::Ok();
+void Verifs2::EmitInvalRecords(const std::vector<InvalRecord>& records) {
+  if (notifier_ == nullptr) return;
+  std::vector<std::string> paths;
+  std::vector<fs::InodeNum> inos;
+  for (const InvalRecord& rec : records) {
+    if (!rec.path.empty()) paths.push_back(rec.path);
+    if (rec.ino != fs::kInvalidInode) inos.push_back(rec.ino);
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  for (const auto& path : paths) {
+    notifier_->InvalEntry(fs::ParentPath(path), fs::Basename(path));
+  }
+  std::sort(inos.begin(), inos.end());
+  inos.erase(std::unique(inos.begin(), inos.end()), inos.end());
+  for (fs::InodeNum ino : inos) {
+    notifier_->InvalInode(ino);
+  }
 }
 
-Status Verifs2::IoctlRestore(std::uint64_t key) {
+void Verifs2::CompactInvalLog() {
+  if (inval_log_.record_count() <= kMaxInvalRecords) return;
+  std::uint64_t min_pos = inval_log_.End();
+  for (const auto& [id, snap] : pool_.entries()) {
+    if (!snap.deep) min_pos = std::min(min_pos, snap.inval_pos);
+  }
+  inval_log_.TrimBelow(min_pos);
+  // Still over the cap: some snapshot is ancient. Overflow and let its
+  // eventual restore take the full-invalidation path.
+  if (inval_log_.record_count() > kMaxInvalRecords) inval_log_.Overflow();
+}
+
+Result<fs::SnapshotId> Verifs2::Checkpoint() {
   if (!mounted_) return Errno::kEINVAL;
-  auto snapshot = pool_.Take(key);
-  if (!snapshot.ok()) return snapshot.error();
-  std::vector<std::string> pre_restore_paths = CollectAllPaths();
-  std::vector<fs::InodeNum> pre_restore_inos = CollectUsedInos();
-  DeserializeState(snapshot.value());
+  CompactInvalLog();
+  Snapshot snap;
+  if (options_.cow_snapshots) {
+    snap.root = inodes_.Snapshot();
+    snap.op_counter = op_counter_;
+    snap.inval_pos = inval_log_.End();
+  } else {
+    snap.deep = true;
+    snap.deep_image = SerializeState();
+  }
+  return pool_.Add(std::move(snap));
+}
+
+Status Verifs2::Restore(fs::SnapshotId id) {
+  if (!mounted_) return Errno::kEINVAL;
+  const Snapshot* snap = pool_.Find(id);
+  if (snap == nullptr) return Errno::kENOENT;
+
+  if (snap->deep || !inval_log_.Covers(snap->inval_pos)) {
+    // Full-state path: deep-copy snapshots, or COW snapshots whose log
+    // prefix was trimmed/overflowed (see verifs1.cc).
+    std::vector<std::string> pre_paths = CollectAllPaths();
+    std::vector<fs::InodeNum> pre_inos = CollectUsedInos();
+    if (snap->deep) {
+      DeserializeState(snap->deep_image);
+    } else {
+      inodes_.Restore(snap->root);
+      op_counter_ = snap->op_counter;
+    }
+    open_files_.clear();
+    inval_log_.Overflow();
+    if (!options_.bugs.skip_cache_invalidation_on_restore) {
+      InvalidateKernelCaches(pre_paths, pre_inos);
+    }
+    return Status::Ok();
+  }
+
+  // O(dirty) path: invalidate exactly the deduped records written since
+  // the snapshot. The re-append keeps forward restores sound but is
+  // only needed while a later-positioned snapshot is live — skipping it
+  // otherwise keeps the log flat across backtracking walks (see
+  // verifs1.cc).
+  std::vector<InvalRecord> tail = inval_log_.Since(snap->inval_pos);
+  DedupInvalRecords(tail);
+  inodes_.Restore(snap->root);
+  op_counter_ = snap->op_counter;
   open_files_.clear();
+  if (AnyCowSnapshotAfter(pool_.entries(), snap->inval_pos)) {
+    inval_log_.ReAppend(tail);
+    CompactInvalLog();
+  } else {
+    // No one can restore forward past this position: rewind the log to
+    // it so repeated bounces off one snapshot stay O(dirty).
+    inval_log_.TruncateTo(snap->inval_pos);
+  }
   if (!options_.bugs.skip_cache_invalidation_on_restore) {
-    InvalidateKernelCaches(pre_restore_paths, pre_restore_inos);
+    EmitInvalRecords(tail);
   }
   return Status::Ok();
 }
 
-Status Verifs2::IoctlDiscard(std::uint64_t key) {
-  return pool_.Discard(key);
+Status Verifs2::Discard(fs::SnapshotId id) {
+  Status s = pool_.Discard(id);
+  if (s.ok()) CompactInvalLog();
+  return s;
+}
+
+fs::SnapshotStats Verifs2::Stats() const {
+  return ComputeSnapshotStats<Inode>(
+      pool_.entries(), inodes_.Snapshot(), [](const Inode& inode) {
+        std::uint64_t extra = 0;
+        for (const auto& [name, child] : inode.children) {
+          extra += name.size() + 32;  // map-node overhead estimate
+        }
+        for (const auto& [name, value] : inode.xattrs) {
+          extra += name.size() + value.size() + 32;
+        }
+        return extra;
+      });
 }
 
 void Verifs2::ImportState(ByteView state) {
-  std::vector<std::string> pre_restore_paths = CollectAllPaths();
-  std::vector<fs::InodeNum> pre_restore_inos = CollectUsedInos();
+  std::vector<std::string> pre_paths = CollectAllPaths();
+  std::vector<fs::InodeNum> pre_inos = CollectUsedInos();
   DeserializeState(state);
   open_files_.clear();
+  inval_log_.Overflow();  // untracked rollback, same as a deep restore
   if (!options_.bugs.skip_cache_invalidation_on_restore) {
-    InvalidateKernelCaches(pre_restore_paths, pre_restore_inos);
+    InvalidateKernelCaches(pre_paths, pre_inos);
   }
 }
 

@@ -8,7 +8,10 @@
 //     of historical bug #4 (size updated only when the buffer grew);
 //   * a configurable limit on total stored data (VeriFS1 had none).
 //
-// Shares the snapshot-pool ioctl design with VeriFS1.
+// Shares the COW snapshot substrate (src/verifs/cow_state.h) and
+// handle-allocating pool with VeriFS1: Checkpoint() is a root copy,
+// mutations clone only the chunk/block they write, Restore() is a root
+// swap plus O(dirty) kernel-cache invalidation from the InvalLog.
 #pragma once
 
 #include <map>
@@ -20,6 +23,7 @@
 #include "fs/kernel_notifier.h"
 #include "fs/perms.h"
 #include "verifs/bugs.h"
+#include "verifs/cow_state.h"
 #include "verifs/snapshot_pool.h"
 
 namespace mcfs::verifs {
@@ -28,6 +32,9 @@ struct Verifs2Options {
   std::uint64_t max_total_bytes = 8ull * 1024 * 1024;  // data quota
   fs::Identity identity;
   VerifsBugs bugs;
+  // Structurally-shared snapshots (O(1) checkpoint, O(dirty) restore).
+  // False = the original deep-copy serialization per snapshot.
+  bool cow_snapshots = true;
 };
 
 class Verifs2 final : public fs::FileSystem, public fs::CheckpointableFs {
@@ -78,12 +85,12 @@ class Verifs2 final : public fs::FileSystem, public fs::CheckpointableFs {
 
   std::string TypeName() const override { return "verifs2"; }
 
-  // CheckpointableFs.
-  Status IoctlCheckpoint(std::uint64_t key) override;
-  Status IoctlRestore(std::uint64_t key) override;
-  Status IoctlDiscard(std::uint64_t key) override;
-  std::uint64_t SnapshotCount() const override { return pool_.count(); }
-  std::uint64_t SnapshotBytes() const override { return pool_.total_bytes(); }
+  // CheckpointableFs: first-class snapshot handles; the keyed Ioctl*
+  // shims from the base class provide the paper's consuming semantics.
+  Result<fs::SnapshotId> Checkpoint() override;
+  Status Restore(fs::SnapshotId id) override;
+  Status Discard(fs::SnapshotId id) override;
+  fs::SnapshotStats Stats() const override;
 
   // Raw state export/import for process/VM snapshotters (see Verifs1).
   Bytes ExportState() const { return SerializeState(); }
@@ -99,11 +106,13 @@ class Verifs2 final : public fs::FileSystem, public fs::CheckpointableFs {
     std::uint64_t atime_ns = 0;
     std::uint64_t mtime_ns = 0;
     std::uint64_t ctime_ns = 0;
-    Bytes buf;                // capacity-managed payload (grows by doubling)
+    CowBuffer buf;            // capacity-managed payload (grows by doubling)
     std::uint64_t size = 0;   // logical length
     std::map<std::string, std::uint32_t> children;  // directories
     std::map<std::string, Bytes> xattrs;
   };
+  using Table = CowTable<Inode>;
+  using Snapshot = CowSnapshot<Inode>;
 
   struct OpenFile {
     std::uint32_t ino_index;
@@ -138,13 +147,24 @@ class Verifs2 final : public fs::FileSystem, public fs::CheckpointableFs {
   void InvalidateKernelCaches(const std::vector<std::string>& extra_paths,
                               const std::vector<fs::InodeNum>& extra_inos);
 
+  // --- invalidation log plumbing (O(dirty) restore), as in Verifs1 ---
+  void LogEntry(const std::string& path, std::uint32_t ino_index) {
+    inval_log_.Append(path, static_cast<fs::InodeNum>(ino_index) + 1);
+  }
+  void LogInode(std::uint32_t ino_index) {
+    inval_log_.Append({}, static_cast<fs::InodeNum>(ino_index) + 1);
+  }
+  void EmitInvalRecords(const std::vector<InvalRecord>& records);
+  void CompactInvalLog();
+
   Verifs2Options options_;
   bool mounted_ = false;
-  std::vector<Inode> inodes_;
+  Table inodes_;  // dynamically grown, in COW chunks
   std::unordered_map<fs::FileHandle, OpenFile> open_files_;
   fs::FileHandle next_handle_ = 1;
   std::uint64_t op_counter_ = 0;
-  SnapshotPool pool_;
+  SnapshotPool<Snapshot> pool_;
+  InvalLog inval_log_;
   fs::KernelNotifier* notifier_ = nullptr;
 };
 

@@ -33,41 +33,36 @@ std::string ReadAll(fs::FileSystem& f, const std::string& path) {
 // ---------------------------------------------------------------------------
 // SnapshotPool
 
-TEST(SnapshotPoolTest, PutTakeDiscard) {
-  SnapshotPool pool;
-  pool.Put(1, {1, 2, 3});
-  pool.Put(2, {4, 5});
+TEST(SnapshotPoolTest, AddAllocatesDistinctLiveHandles) {
+  SnapshotPool<Bytes> pool;
+  const fs::SnapshotId a = pool.Add({1, 2, 3});
+  const fs::SnapshotId b = pool.Add({4, 5});
+  EXPECT_NE(a, fs::kInvalidSnapshotId);
+  EXPECT_NE(b, fs::kInvalidSnapshotId);
+  EXPECT_NE(a, b);
   EXPECT_EQ(pool.count(), 2u);
-  EXPECT_EQ(pool.total_bytes(), 5u);
-
-  auto taken = pool.Take(1);
-  ASSERT_TRUE(taken.ok());
-  EXPECT_EQ(taken.value(), (Bytes{1, 2, 3}));
-  EXPECT_EQ(pool.count(), 1u);
-  EXPECT_EQ(pool.total_bytes(), 2u);
-  EXPECT_EQ(pool.Take(1).error(), Errno::kENOENT);
-
-  EXPECT_TRUE(pool.Discard(2).ok());
-  EXPECT_EQ(pool.Discard(2).error(), Errno::kENOENT);
-  EXPECT_EQ(pool.total_bytes(), 0u);
+  ASSERT_NE(pool.Find(a), nullptr);
+  EXPECT_EQ(*pool.Find(a), (Bytes{1, 2, 3}));
 }
 
-TEST(SnapshotPoolTest, PutReplacesAndAccountsBytes) {
-  SnapshotPool pool;
-  pool.Put(1, Bytes(100));
-  pool.Put(1, Bytes(30));  // replace
+TEST(SnapshotPoolTest, FindIsNonConsuming) {
+  SnapshotPool<Bytes> pool;
+  const fs::SnapshotId id = pool.Add({7, 8});
+  ASSERT_NE(pool.Find(id), nullptr);
+  ASSERT_NE(pool.Find(id), nullptr);  // a lookup must not take the entry
   EXPECT_EQ(pool.count(), 1u);
-  EXPECT_EQ(pool.total_bytes(), 30u);
+  EXPECT_EQ(pool.Find(id + 100), nullptr);
 }
 
-TEST(SnapshotPoolTest, PeekDoesNotRemove) {
-  SnapshotPool pool;
-  pool.Put(9, {7, 8});
-  auto view = pool.Peek(9);
-  ASSERT_TRUE(view.has_value());
-  EXPECT_EQ(view->size(), 2u);
-  EXPECT_EQ(pool.count(), 1u);
-  EXPECT_FALSE(pool.Peek(10).has_value());
+TEST(SnapshotPoolTest, DiscardFreesTheHandle) {
+  SnapshotPool<Bytes> pool;
+  const fs::SnapshotId id = pool.Add({9});
+  EXPECT_TRUE(pool.Discard(id).ok());
+  EXPECT_EQ(pool.Discard(id).error(), Errno::kENOENT);
+  EXPECT_EQ(pool.count(), 0u);
+  EXPECT_EQ(pool.Find(id), nullptr);
+  // Handles are never recycled: a new Add cannot revive a stale id.
+  EXPECT_NE(pool.Add({1}), id);
 }
 
 // ---------------------------------------------------------------------------
