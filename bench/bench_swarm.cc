@@ -323,6 +323,81 @@ void RunRemoteInsertThroughput(benchmark::State& state, int batch) {
   }
 }
 
+// Connection scaling (DESIGN.md §7.9): N single-connection clients
+// hammer scalar inserts at one visited server, epoll reactor vs the
+// thread-per-connection baseline. The reactor serves every row from
+// one loop thread; the baseline pays one OS thread per connection, and
+// the context-switch tax shows up as the worker count grows. Scalar
+// (batch-1) traffic on purpose: per-connection round-trip handling is
+// exactly what the serving model changes.
+constexpr std::uint64_t kConnScaleInserts = 8192;  // total, split evenly
+
+struct ConnRow {
+  double inserts_per_s = 0;
+  int serving_threads = 0;
+};
+
+std::map<std::string, ConnRow> g_conn;  // "model:workers" -> row
+
+void RunConnScaling(benchmark::State& state, bool reactor, int workers) {
+  for (auto _ : state) {
+    net::ServerOptions server_options;
+    server_options.model = reactor
+                               ? net::ServerOptions::Model::kReactor
+                               : net::ServerOptions::Model::kThreadPerConn;
+    mc::ShardedVisitedTable table;
+    net::VisitedService service(&table);
+    net::FrameServer server({&service}, server_options);
+    net::Endpoint loopback;
+    loopback.host = "127.0.0.1";
+    loopback.port = 0;
+    if (!server.Start(loopback).ok()) {
+      state.SkipWithError("failed to bind loopback server");
+      return;
+    }
+
+    const std::uint64_t per_worker =
+        kConnScaleInserts / static_cast<std::uint64_t>(workers);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (int w = 0; w < workers; ++w) {
+      clients.emplace_back([&, w] {
+        // Own store object = own connection, as separate processes
+        // would hold. Scalar inserts: one round-trip each on the wire.
+        net::RemoteVisitedStore store(server.endpoint());
+        for (std::uint64_t i = 0; i < per_worker; ++i) {
+          Md5 md5;
+          md5.UpdateU64(static_cast<std::uint64_t>(w) * 10'000'000 + i);
+          store.Insert(md5.Final());
+        }
+      });
+    }
+    // Sample the serving-thread count mid-storm (the reactor's <=2 vs
+    // the baseline's 1+N).
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const int serving = server.serving_threads();
+    for (auto& client : clients) client.join();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    server.Stop();
+
+    ConnRow row;
+    row.inserts_per_s =
+        wall > 0 ? static_cast<double>(per_worker) *
+                       static_cast<double>(workers) / wall
+                 : 0;
+    row.serving_threads = serving;
+    g_conn[(reactor ? std::string("reactor:") : std::string("threads:")) +
+           std::to_string(workers)] = row;
+    state.counters["inserts_per_s"] = row.inserts_per_s;
+    state.counters["serving_threads"] = static_cast<double>(serving);
+    if (table.size() != per_worker * static_cast<std::uint64_t>(workers)) {
+      state.SkipWithError("conn-scale table lost digests");
+    }
+  }
+}
+
 // Ops-to-K on the Part 2b closed ball: "solo" = one process, two
 // workers, in-process sharing; "distributed" = two concurrent
 // single-worker processes (separate client objects, as separate OS
@@ -660,6 +735,41 @@ void PrintSummary() {
                 scalar->second, batched->second,
                 batched->second / scalar->second);
   }
+  if (!g_conn.empty()) {
+    std::printf("\nconnection scaling, scalar inserts/s (DESIGN.md §7.9):\n");
+    std::printf("%8s %16s %10s %16s %10s\n", "workers", "reactor",
+                "(threads)", "thread-per-conn", "(threads)");
+    for (int workers : {1, 4, 16, 64}) {
+      const auto reactor = g_conn.find("reactor:" + std::to_string(workers));
+      const auto baseline = g_conn.find("threads:" + std::to_string(workers));
+      if (reactor == g_conn.end() || baseline == g_conn.end()) continue;
+      std::printf("%8d %16.0f %10d %16.0f %10d\n", workers,
+                  reactor->second.inserts_per_s,
+                  reactor->second.serving_threads,
+                  baseline->second.inserts_per_s,
+                  baseline->second.serving_threads);
+    }
+    const auto r4 = g_conn.find("reactor:4");
+    const auto t4 = g_conn.find("threads:4");
+    const auto r64 = g_conn.find("reactor:64");
+    const auto t64 = g_conn.find("threads:64");
+    if (r4 != g_conn.end() && t4 != g_conn.end() && r64 != g_conn.end() &&
+        t64 != g_conn.end() && t4->second.inserts_per_s > 0 &&
+        t64->second.inserts_per_s > 0) {
+      std::printf("shape check: at 4 workers the reactor serves %.2fx the "
+                  "baseline's throughput (%s); at 64 workers %.2fx (%s), "
+                  "from %d serving thread(s) vs %d.\n",
+                  r4->second.inserts_per_s / t4->second.inserts_per_s,
+                  r4->second.inserts_per_s >= t4->second.inserts_per_s
+                      ? ">=1, as required"
+                      : "BELOW baseline — regression",
+                  r64->second.inserts_per_s / t64->second.inserts_per_s,
+                  r64->second.inserts_per_s > t64->second.inserts_per_s
+                      ? "strictly better, as required"
+                      : "NOT better — regression",
+                  r64->second.serving_threads, t64->second.serving_threads);
+    }
+  }
   std::printf("%-16s %12s %14s %8s %8s %8s\n", "deployment", "total ops",
               "merged states", "K?", "steals", "wall s");
   for (const char* label : {"solo-1proc-2w", "dist-2proc-1w"}) {
@@ -768,6 +878,22 @@ int main(int argc, char** argv) {
         ("swarm_remote/insert_batch:" + std::to_string(batch)).c_str(),
         [batch](benchmark::State& state) {
           RunRemoteInsertThroughput(state, batch);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  for (int workers : {1, 4, 16, 64}) {
+    benchmark::RegisterBenchmark(
+        ("conn_scale/reactor/workers:" + std::to_string(workers)).c_str(),
+        [workers](benchmark::State& state) {
+          RunConnScaling(state, /*reactor=*/true, workers);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("conn_scale/threads/workers:" + std::to_string(workers)).c_str(),
+        [workers](benchmark::State& state) {
+          RunConnScaling(state, /*reactor=*/false, workers);
         })
         ->Iterations(1)
         ->Unit(benchmark::kMillisecond);

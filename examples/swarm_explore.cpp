@@ -21,7 +21,12 @@
 //                   [independent|cooperative|stealing]
 //                   [--visited-server host:port|unix:/path]
 //                   [--frontier-server host:port|unix:/path]
-//                   [--no-incremental]
+//                   [--store-batch N] [--no-incremental]
+//
+// --store-batch sets ExplorerOptions::store_batch_size (walk-mode
+// credit batching). With a remote store attached it defaults to 64 so
+// the batched wire path is on out of the box; DFS scalar traffic is
+// additionally coalesced inside RemoteVisitedStore regardless.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +44,7 @@ int main(int argc, char** argv) {
   const char* visited_server = nullptr;
   const char* frontier_server = nullptr;
   bool incremental = true;
+  long store_batch = -1;  // -1 = unset: 64 with a remote store
   const char* positional[3] = {nullptr, nullptr, nullptr};
   int npos = 0;
   for (int i = 1; i < argc; ++i) {
@@ -47,6 +53,8 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--frontier-server") == 0 &&
                i + 1 < argc) {
       frontier_server = argv[++i];
+    } else if (std::strcmp(argv[i], "--store-batch") == 0 && i + 1 < argc) {
+      store_batch = std::atol(argv[++i]);
     } else if (std::strcmp(argv[i], "--no-incremental") == 0) {
       incremental = false;
     } else if (npos < 3) {
@@ -100,6 +108,13 @@ int main(int argc, char** argv) {
     remote_frontier = std::make_unique<net::RemoteFrontier>(
         endpoint.value(), workers, net::RetryPolicy{});
     options.shared_frontier = remote_frontier.get();
+  }
+  if (store_batch >= 0) {
+    options.base.store_batch_size = static_cast<std::size_t>(store_batch);
+  } else if (remote_store) {
+    // Remote store attached: batch credit flushes by default so scalar
+    // round-trips stay off the hot path (ISSUE 9).
+    options.base.store_batch_size = 64;
   }
 
   McfsConfig config;
@@ -165,6 +180,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(result.store_degradations),
                 static_cast<unsigned long long>(result.frontier_degradations),
                 static_cast<unsigned long long>(result.remote_rpc_failures));
+  }
+  if (remote_store) {
+    const auto coalesce = remote_store->coalesce_stats();
+    if (coalesce.scalar_calls > 0) {
+      std::printf("scalar-RPC coalescing: %llu scalar ops -> %llu wire "
+                  "batches\n",
+                  static_cast<unsigned long long>(coalesce.scalar_calls),
+                  static_cast<unsigned long long>(coalesce.wire_batches));
+    }
   }
   if (result.any_violation) {
     std::printf("\nVIOLATION found first by worker %d:\n%s\n",

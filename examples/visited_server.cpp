@@ -8,7 +8,13 @@
 // credit is arbitrated across every connected worker.
 //
 //   ./visited_server [--listen host:port|unix:/path] [--frontier]
-//                    [--workers N]
+//                    [--workers N] [--shards N] [--thread-per-conn]
+//
+// The default serving model is the epoll reactor (DESIGN.md §7.9): one
+// event-loop thread — or N with --shards — owns every connection, and
+// frontier steal-waits park on a timer instead of a thread.
+// --thread-per-conn restores the legacy one-thread-per-connection
+// model (the connection-scaling baseline in bench_swarm Part 3).
 //
 // Prints the bound endpoint (useful with port 0) and serves until
 // SIGINT/SIGTERM.
@@ -37,6 +43,7 @@ int main(int argc, char** argv) {
   const char* listen = "127.0.0.1:9090";
   bool serve_frontier = false;
   int workers = 16;
+  net::ServerOptions server_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
       listen = argv[++i];
@@ -44,10 +51,14 @@ int main(int argc, char** argv) {
       serve_frontier = true;
     } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
       workers = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      server_options.reactor_shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--thread-per-conn") == 0) {
+      server_options.model = net::ServerOptions::Model::kThreadPerConn;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--listen host:port|unix:/path] [--frontier] "
-                   "[--workers N]\n",
+                   "[--workers N] [--shards N] [--thread-per-conn]\n",
                    argv[0]);
       return 2;
     }
@@ -69,7 +80,7 @@ int main(int argc, char** argv) {
 
   std::vector<net::FrameService*> services{&visited};
   if (serve_frontier) services.push_back(&frontier_service);
-  net::FrameServer server(services);
+  net::FrameServer server(services, server_options);
   auto started = server.Start(endpoint.value());
   if (!started.ok()) {
     std::fprintf(stderr, "failed to bind %s: %s\n",
@@ -78,9 +89,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("visited server listening on %s%s\n",
+  std::printf("visited server listening on %s%s (%s, %d thread%s)\n",
               server.endpoint().ToString().c_str(),
-              serve_frontier ? " (frontier enabled)" : "");
+              serve_frontier ? " (frontier enabled)" : "",
+              server.options().model == net::ServerOptions::Model::kReactor
+                  ? "reactor"
+                  : "thread-per-conn",
+              server.serving_threads(),
+              server.serving_threads() == 1 ? "" : "s");
   std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);

@@ -132,6 +132,78 @@ SharedFrontier::StealWaitResult SharedFrontier::StealOrTerminateFor(
   }
 }
 
+SharedFrontier::StealWaitResult SharedFrontier::BeginWait(int worker) {
+  for (;;) {
+    if (stopped_.load(std::memory_order_acquire)) {
+      return {StealWait::kStopped, std::nullopt};
+    }
+    if (auto entry = TrySteal(worker)) {
+      return {StealWait::kEntry, std::move(entry)};
+    }
+    std::unique_lock<std::mutex> lock(term_mu_);
+    if (stopped_.load(std::memory_order_relaxed)) {
+      return {StealWait::kStopped, std::nullopt};
+    }
+    if (size_.load(std::memory_order_relaxed) > 0) continue;  // race: retry
+    if (drained_) return {StealWait::kDrained, std::nullopt};
+    --busy_;
+    if (busy_ == 0) {
+      drained_ = true;
+      ++busy_;  // rebalance: the caller's Retire() decrements once more
+      lock.unlock();
+      cv_.notify_all();
+      return {StealWait::kDrained, std::nullopt};
+    }
+    // Parked: the worker counts idle until PollWait concludes or
+    // CancelWait abandons the wait.
+    return {StealWait::kTimeout, std::nullopt};
+  }
+}
+
+SharedFrontier::StealWaitResult SharedFrontier::PollWait(int worker) {
+  {
+    std::lock_guard<std::mutex> lock(term_mu_);
+    if (drained_) {
+      ++busy_;  // rebalance, exactly like the woken condvar sleeper
+      return {StealWait::kDrained, std::nullopt};
+    }
+    if (stopped_.load(std::memory_order_relaxed)) {
+      ++busy_;
+      return {StealWait::kStopped, std::nullopt};
+    }
+    // Speculatively busy while probing — the steal must not race a
+    // drained verdict (publishes and steals only happen while busy).
+    ++busy_;
+  }
+  for (;;) {
+    if (auto entry = TrySteal(worker)) {
+      return {StealWait::kEntry, std::move(entry)};
+    }
+    std::unique_lock<std::mutex> lock(term_mu_);
+    if (stopped_.load(std::memory_order_relaxed)) {
+      return {StealWait::kStopped, std::nullopt};
+    }
+    if (size_.load(std::memory_order_relaxed) > 0) continue;  // race: retry
+    --busy_;
+    if (busy_ == 0) {
+      drained_ = true;
+      ++busy_;
+      lock.unlock();
+      cv_.notify_all();
+      return {StealWait::kDrained, std::nullopt};
+    }
+    return {StealWait::kTimeout, std::nullopt};  // still parked
+  }
+}
+
+void SharedFrontier::CancelWait(int worker) {
+  (void)worker;
+  // Matches the blocking path's kTimeout verdict: the worker counts
+  // busy again between rounds.
+  std::lock_guard<std::mutex> lock(term_mu_);
+  ++busy_;
+}
+
 void SharedFrontier::RequestStop() {
   {
     std::lock_guard<std::mutex> lock(term_mu_);

@@ -148,6 +148,35 @@ class SharedFrontier final : public Frontier {
                                       std::chrono::milliseconds timeout,
                                       double* idle_seconds);
 
+  // Async (reactor-driven) decomposition of StealOrTerminateFor, for a
+  // server that parks waits on a timer instead of sleeping a thread
+  // (net::FrameServer's deferred-reply path). The protocol:
+  //
+  //   BeginWait  — one immediate attempt. kEntry/kDrained/kStopped
+  //                conclude exactly as a StealOrTerminateFor round
+  //                would; kTimeout means the worker is now PARKED: it
+  //                counts idle (busy decremented) until one of
+  //                PollWait-concludes or CancelWait runs. Parking idle
+  //                — not dipping idle per poll — is what lets two
+  //                parked remote workers jointly produce the drained
+  //                verdict, same as two threads sleeping on the condvar.
+  //   PollWait   — one poll round for a parked worker. kTimeout means
+  //                still parked; anything else concludes the wait (and
+  //                restores the busy count, so the caller's eventual
+  //                Retire balances — identical to the blocking path's
+  //                rebalance on kDrained).
+  //   CancelWait — abandons a parked wait (reply deadline passed, or
+  //                the connection died): the worker counts busy again,
+  //                exactly like a kTimeout verdict from the blocking
+  //                form. The caller then answers kTimeout (or retires
+  //                the disconnected worker's balance).
+  //
+  // Every BeginWait that returns kTimeout must be matched by exactly
+  // one concluding PollWait or one CancelWait.
+  StealWaitResult BeginWait(int worker);
+  StealWaitResult PollWait(int worker);
+  void CancelWait(int worker);
+
   bool Hungry() const override {
     return size_.load(std::memory_order_relaxed) <
            static_cast<std::uint64_t>(workers_);

@@ -16,11 +16,23 @@
 //    busy, which can only delay — never falsify — the drained verdict.
 //  * Every reply carries kFlagStopped/kFlagHungry so clients track the
 //    sticky stop and donation pressure without polling RPCs.
+// Under the reactor (HandleAsync), StealWait is *deferred* instead of
+// blocking: BeginWait either answers immediately or parks the request's
+// ReplyToken on a deadline list. Each reactor tick (and every Push /
+// Retire / Stop, for latency) re-probes parked waits via PollWait;
+// deadline expiry concludes with CancelWait + a kTimeout reply the
+// client re-arms, exactly like the blocking path's verdict. A parked
+// remote worker therefore costs zero server threads while still
+// counting idle for the whole parked duration — the property the
+// termination protocol needs (instantaneous-probe polling would never
+// observe all workers idle at once).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "mc/frontier.h"
 #include "net/server.h"
@@ -38,15 +50,39 @@ class FrontierService final : public FrameService {
 
   bool Handles(FrameType type) const override;
   Result<Frame> Handle(const Frame& request, std::uint64_t conn_id) override;
+  void HandleAsync(const Frame& request, std::uint64_t conn_id,
+                   ReplyTokenPtr token) override;
+  void OnTick() override;
   void OnDisconnect(std::uint64_t conn_id) override;
 
+  // Steal-waits currently parked on the deadline list (tests: 64 parked
+  // workers, zero extra server threads).
+  std::size_t parked_waits() const;
+
  private:
+  // A deferred StealWait: the frontier-side wait began (busy count
+  // decremented); the reply completes from OnTick / a Push / disconnect.
+  struct ParkedWait {
+    ReplyTokenPtr token;
+    std::uint64_t conn_id = 0;
+    int worker = 0;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  // Builds the StealWait reply frame; flags reflect frontier state at
+  // completion time, matching the blocking path.
+  Frame MakeStealReply(mc::SharedFrontier::StealWaitResult round);
+
+  // Re-probes every parked wait, completing those that concluded.
+  void PollParked();
+
   mc::SharedFrontier* const frontier_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   // Outstanding Started-minus-Retired per connection, for disconnect
   // cleanup.
   std::map<std::uint64_t, int> busy_balance_;
+  std::vector<ParkedWait> parked_;
 };
 
 }  // namespace mcfs::net

@@ -37,14 +37,63 @@ void RemoteVisitedStore::Degrade(Errno error) const {
   degraded_.store(true, std::memory_order_release);
 }
 
+// Group-commit combiner shared by the scalar paths. The caller joins
+// the forming batch; the first joiner to find the wire free flies the
+// whole batch through `rpc` (which handles degradation internally) and
+// wakes everyone. `rpc` runs with the coalescer unlocked.
+template <typename R, typename Rpc>
+static R RunCoalesced(RemoteVisitedStore::Coalescer<R>& co,
+                      const Md5Digest& digest, R miss, const Rpc& rpc,
+                      std::atomic<std::uint64_t>& wire_batches) {
+  std::unique_lock<std::mutex> lock(co.mu);
+  if (!co.forming) {
+    co.forming = std::make_shared<RemoteVisitedStore::ScalarBatch<R>>();
+  }
+  auto batch = co.forming;
+  const std::size_t idx = batch->digests.size();
+  batch->digests.push_back(digest);
+  while (!batch->done) {
+    if (!co.in_flight && co.forming == batch) {
+      // Leader: take the forming batch onto the wire. New scalars now
+      // pile into a fresh forming batch behind this flight.
+      co.in_flight = true;
+      co.forming.reset();
+      lock.unlock();
+      wire_batches.fetch_add(1, std::memory_order_relaxed);
+      std::vector<R> results = rpc(batch->digests);
+      lock.lock();
+      batch->results = std::move(results);
+      batch->done = true;
+      co.in_flight = false;
+      co.cv.notify_all();
+      break;
+    }
+    co.cv.wait(lock);
+  }
+  return idx < batch->results.size() ? batch->results[idx] : miss;
+}
+
 mc::StoreInsert RemoteVisitedStore::Insert(const Md5Digest& digest) {
-  auto results = InsertBatch(std::span<const Md5Digest>(&digest, 1));
-  return results.empty() ? mc::StoreInsert{} : results.front();
+  if (degraded()) return fallback_->Insert(digest);  // nothing to amortize
+  scalar_calls_.fetch_add(1, std::memory_order_relaxed);
+  return RunCoalesced<mc::StoreInsert>(
+      insert_co_, digest, mc::StoreInsert{},
+      [this](const std::vector<Md5Digest>& digests) {
+        return InsertBatch(digests);
+      },
+      wire_batches_);
 }
 
 bool RemoteVisitedStore::Contains(const Md5Digest& digest) const {
-  auto results = ContainsBatch(std::span<const Md5Digest>(&digest, 1));
-  return results.empty() ? false : results.front();
+  if (degraded()) return fallback_->Contains(digest);
+  scalar_calls_.fetch_add(1, std::memory_order_relaxed);
+  return RunCoalesced<char>(
+             contains_co_, digest, char{0},
+             [this](const std::vector<Md5Digest>& digests) {
+               auto present = ContainsBatch(digests);
+               return std::vector<char>(present.begin(), present.end());
+             },
+             wire_batches_) != 0;
 }
 
 std::vector<mc::StoreInsert> RemoteVisitedStore::InsertBatch(
@@ -144,6 +193,13 @@ std::uint64_t RemoteVisitedStore::resize_count() const {
   std::uint64_t total = remote_resizes_.load(std::memory_order_relaxed);
   if (degraded()) total += fallback_->resize_count();
   return total;
+}
+
+RemoteVisitedStore::CoalesceStats RemoteVisitedStore::coalesce_stats() const {
+  CoalesceStats stats;
+  stats.scalar_calls = scalar_calls_.load(std::memory_order_relaxed);
+  stats.wire_batches = wire_batches_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 mc::RemoteHealth RemoteVisitedStore::health() const {

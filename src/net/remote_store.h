@@ -21,9 +21,18 @@
 // The flip is logged, counted in health() (-> SwarmResult's
 // store_degradations), and never reversed mid-run: flapping between
 // stores would make discovery credit incoherent.
+// Scalar coalescing: DFS workers call scalar Insert/Contains on the
+// hot path (walk-mode credit buffering only batches in kRandomWalk).
+// Each scalar op joins a small *forming* batch; while one batch's RPC
+// is in flight, concurrent scalars pile into the next one, and the
+// first waiter to find the wire free flies it (group commit). One
+// worker alone still sends 1-element batches — coalescing adds no
+// latency uncontended — but 64 workers hammering scalar ops share a
+// handful of in-flight RPCs instead of 64 pipelined round-trips.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 
@@ -61,6 +70,32 @@ class RemoteVisitedStore final : public mc::VisitedStore {
 
   const Endpoint& endpoint() const { return client_.endpoint(); }
 
+  // Coalescing effectiveness: wire_batches <= scalar_calls always;
+  // strictly fewer whenever scalar ops overlapped (tests assert this).
+  struct CoalesceStats {
+    std::uint64_t scalar_calls = 0;  // scalar Insert+Contains invocations
+    std::uint64_t wire_batches = 0;  // coalesced batches actually flown
+  };
+  CoalesceStats coalesce_stats() const;
+
+  // Implementation detail of the scalar paths (public only so the
+  // combiner helper in the .cc can name them). One forming/in-flight
+  // scalar batch; R is the per-element result type: StoreInsert for
+  // inserts, char for contains (vector<bool> has no stable elements).
+  template <typename R>
+  struct ScalarBatch {
+    std::vector<Md5Digest> digests;
+    std::vector<R> results;
+    bool done = false;
+  };
+  template <typename R>
+  struct Coalescer {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::shared_ptr<ScalarBatch<R>> forming;  // created lazily
+    bool in_flight = false;                   // a batch's RPC is on the wire
+  };
+
  private:
   // Sticky flip to the local fallback. Thread-safe; first caller wins.
   void Degrade(Errno error) const;
@@ -80,6 +115,12 @@ class RemoteVisitedStore final : public mc::VisitedStore {
   mutable std::atomic<std::uint64_t> remote_size_{0};
   mutable std::atomic<std::uint64_t> remote_bytes_{0};
   mutable std::atomic<std::uint64_t> remote_resizes_{0};
+
+  // Scalar-op coalescers (mutable: Contains is const).
+  mutable Coalescer<mc::StoreInsert> insert_co_;
+  mutable Coalescer<char> contains_co_;
+  mutable std::atomic<std::uint64_t> scalar_calls_{0};
+  mutable std::atomic<std::uint64_t> wire_batches_{0};
 };
 
 }  // namespace mcfs::net

@@ -128,6 +128,23 @@ Status Socket::SendAll(ByteView data, int timeout_ms) {
   return Status::Ok();
 }
 
+Result<std::size_t> Socket::SendSome(ByteView data) {
+  if (fd_ < 0) return Errno::kEBADF;
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    return Errno::kEIO;
+  }
+  return sent;
+}
+
 Result<std::size_t> Socket::RecvSome(std::uint8_t* buf, std::size_t len,
                                      int timeout_ms) {
   if (fd_ < 0) return Errno::kEBADF;

@@ -60,6 +60,12 @@ class Socket {
   // round, so total blocking is O(timeout) per short-write stall.
   Status SendAll(ByteView data, int timeout_ms);
 
+  // Non-blocking write attempt for reactor loops: sends whatever the
+  // kernel accepts right now and returns the count — 0 when the send
+  // buffer is full (EAGAIN folded in; the caller re-arms on
+  // writability). kEIO = peer gone.
+  Result<std::size_t> SendSome(ByteView data);
+
   // Reads up to `len` bytes. value 0 = orderly EOF. kEAGAIN = timeout.
   Result<std::size_t> RecvSome(std::uint8_t* buf, std::size_t len,
                                int timeout_ms);
@@ -91,6 +97,9 @@ class Listener {
   Listener& operator=(const Listener&) = delete;
 
   bool valid() const { return fd_.load(std::memory_order_relaxed) >= 0; }
+  // Raw fd for event-loop registration (-1 once closed). The reactor
+  // adds this to its epoll set; Accept() still performs the accepts.
+  int fd() const { return fd_.load(std::memory_order_acquire); }
   const Endpoint& endpoint() const { return endpoint_; }
 
   // kEAGAIN on timeout; kEIO once Close() was called underneath.
