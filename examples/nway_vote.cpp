@@ -2,28 +2,48 @@
 // concurrently; when one misbehaves, the vote names the culprit rather
 // than just reporting "two file systems disagree".
 //
-//   ./nway_vote [seed]
+// With --with-spec the executable POSIX specification joins the panel as
+// a fourth member and the vote becomes absolute: the spec's group is the
+// reference regardless of its size, suspicion never accrues against the
+// spec, and an outvoted spec is reported as "spec says majority is
+// wrong" instead of the oracle being blamed.
+//
+//   ./nway_vote [seed] [--with-spec]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "mc/explorer.h"
+#include "mcfs/harness.h"
 #include "mcfs/nway_engine.h"
 
 int main(int argc, char** argv) {
   using namespace mcfs;
   using namespace mcfs::core;
 
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+  std::uint64_t seed = 3;
+  bool with_spec = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--with-spec") == 0) {
+      with_spec = true;
+    } else {
+      seed = std::strtoull(argv[i], nullptr, 10);
+    }
+  }
 
   // Panel: clean VeriFS2, a buggy VeriFS2 (historical bug #4 seeded),
-  // and clean VeriFS1 — majority = the two clean implementations.
+  // and clean VeriFS1 — majority = the two clean implementations. With
+  // --with-spec the executable spec joins as the absolute oracle.
   std::vector<std::unique_ptr<FsUnderTest>> owned;
   std::vector<FsUnderTest*> panel;
-  for (int i = 0; i < 3; ++i) {
+  const int members = with_spec ? 4 : 3;
+  for (int i = 0; i < members; ++i) {
     FsUnderTestConfig config;
-    config.kind = i == 2 ? FsKind::kVerifs1 : FsKind::kVerifs2;
+    config.kind = i == 2   ? FsKind::kVerifs1
+                  : i == 3 ? FsKind::kSpec
+                           : FsKind::kVerifs2;
     config.strategy = StateStrategy::kIoctl;
+    if (i == 3) config.fuse_transport = false;
     if (i == 1) config.bugs.size_update_only_on_capacity_growth = true;
     auto fut = FsUnderTest::Create(config, nullptr);
     if (!fut.ok()) {
@@ -34,12 +54,14 @@ int main(int argc, char** argv) {
     panel.push_back(owned.back().get());
   }
 
-  std::printf("panel: %s (clean), %s (bug #4 seeded), %s (clean)\n",
+  std::printf("panel: %s (clean), %s (bug #4 seeded), %s (clean)%s\n",
               panel[0]->name().c_str(), panel[1]->name().c_str(),
-              panel[2]->name().c_str());
+              panel[2]->name().c_str(),
+              with_spec ? ", specfs (oracle)" : "");
 
   NWayOptions options;
   options.pool = ParameterPool::Default();
+  if (with_spec) options.oracle_index = 3;
   NWaySyscallEngine engine(panel, options);
 
   mc::ExplorerOptions eopts;
@@ -62,6 +84,19 @@ int main(int argc, char** argv) {
     std::printf("  #%zu %-10s %llu\n", i, engine.fs_name(i).c_str(),
                 static_cast<unsigned long long>(
                     engine.suspicion_counts()[i]));
+  }
+  if (with_spec) {
+    std::printf("\noracle disagreements (times each member contradicted "
+                "the spec):\n");
+    for (std::size_t i = 0; i < engine.fs_count(); ++i) {
+      std::printf("  #%zu %-10s %llu\n", i, engine.fs_name(i).c_str(),
+                  static_cast<unsigned long long>(
+                      engine.oracle_disagreement_counts()[i]));
+    }
+    McfsReport report;
+    report.stats = stats;
+    AttachOracleTally(engine, &report);
+    std::printf("\nsummary: %s\n", report.Summary().c_str());
   }
   std::printf("\ntrail:\n");
   for (const auto& step : stats.violation_trail) {

@@ -10,9 +10,11 @@
 # e.g. `scripts/asan.sh -L mutation` to narrow to the shrink/campaign
 # suite, `scripts/asan.sh -L crash` for the crash-exploration suite
 # (the CrashableDisk journal + recovery-probe churn is allocation-heavy),
-# or `scripts/asan.sh -L snapshot` for the COW snapshot suite — the
+# `scripts/asan.sh -L snapshot` for the COW snapshot suite — the
 # leak detector is what proves a discarded snapshot's refcounted chunks
-# and blocks actually free.
+# and blocks actually free — or `scripts/asan.sh -L spec` for the
+# executable-spec suite, whose O(state) deep-copy snapshots and
+# export/import round-trips are pure allocation traffic.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

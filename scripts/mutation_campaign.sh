@@ -1,15 +1,18 @@
 #!/usr/bin/env bash
 # Build and run the full mutation self-verification campaign: every
-# registered VeriFS mutant is explored against a pristine twin, each
-# detection is ddmin-minimized and replay-confirmed, and the kill-rate
-# report lands in a JSON artifact. Usage:
+# registered VeriFS mutant is explored against a pristine twin (relative
+# axis) AND against the executable POSIX spec (spec axis), each detection
+# is ddmin-minimized and replay-confirmed, and the two kill-rate tables
+# land in a JSON artifact whose per-mutant rows carry both axes'
+# columns — `killed_by: "spec"` marks dual mutants the relative axis is
+# blind to. Usage:
 #
 #   scripts/mutation_campaign.sh [--out=report.json] [campaign args...]
 #
 # Extra args go straight to examples/mutation_campaign (e.g.
 # `--mutant=stat_size_off_by_one --seeds=2` to narrow a run, `--list`
-# to print the corpus). Exits nonzero if any mutant expected to be
-# detected survived.
+# to print the corpus, `--no-spec` to skip the spec axis). Exits nonzero
+# if any mutant expected to be detected survived either axis.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -2,7 +2,7 @@
 # One-command ThreadSanitizer sweep of the racy-path suite: configures a
 # separate build-tsan tree with -DMCFS_TSAN=ON, builds it, and runs every
 # test carrying the `concurrent`, `abstraction`, `por`, `snapshot`,
-# `crash`, or `net` ctest label (the shared visited stores, the work-stealing
+# `crash`, `net`, or `spec` ctest label (the shared visited stores, the work-stealing
 # frontier, the incremental abstraction caches that swarm workers keep
 # per-instance, the sleep-set bookkeeping the swarm gating keeps out of
 # shared-store runs, the COW snapshot suite whose refcounted chunks and
@@ -10,7 +10,8 @@
 # only read concurrently, the crash-exploration suite whose recovery
 # probes mount device images concurrently snapshotted by the explorer,
 # and the reactor FrameServer suite whose deferred replies cross from
-# service threads into event-loop shards).
+# service threads into event-loop shards, plus the executable-spec suite
+# whose differential runs drive two full FS stacks side by side).
 # Usage:
 #
 #   scripts/tsan.sh [extra ctest args...]
@@ -24,5 +25,5 @@ build_dir="${MCFS_TSAN_BUILD_DIR:-${repo_root}/build-tsan}"
 cmake -B "${build_dir}" -S "${repo_root}" -DMCFS_TSAN=ON
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" \
-      -L 'concurrent|abstraction|por|snapshot|crash|net' \
+      -L 'concurrent|abstraction|por|snapshot|crash|net|spec' \
       --output-on-failure "$@"

@@ -6,6 +6,7 @@
 #include "fs/ext4/ext4fs.h"
 #include "fs/jffs2/jffs2fs.h"
 #include "fs/xfs/xfsfs.h"
+#include "spec/spec_fs.h"
 #include "storage/latency_disk.h"
 #include "storage/ram_disk.h"
 #include "verifs/verifs1.h"
@@ -28,6 +29,7 @@ std::uint64_t DefaultDeviceBytes(FsKind kind) {
       return 1024 * 1024;
     case FsKind::kVerifs1:
     case FsKind::kVerifs2:
+    case FsKind::kSpec:
       return 0;  // in-memory, no block device (paper §6)
   }
   return 0;
@@ -100,6 +102,7 @@ std::string_view FsKindName(FsKind kind) {
     case FsKind::kJffs2: return "jffs2f";
     case FsKind::kVerifs1: return "verifs1";
     case FsKind::kVerifs2: return "verifs2";
+    case FsKind::kSpec: return "specfs";
   }
   return "?";
 }
@@ -113,7 +116,8 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
                                          ? config.device_bytes
                                          : DefaultDeviceBytes(config.kind);
   if (config.crashable_device &&
-      (config.kind == FsKind::kVerifs1 || config.kind == FsKind::kVerifs2)) {
+      (config.kind == FsKind::kVerifs1 || config.kind == FsKind::kVerifs2 ||
+       config.kind == FsKind::kSpec)) {
     return Errno::kENOTSUP;  // no block device to crash (paper §6)
   }
 
@@ -192,11 +196,28 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
       fut->hosted_fs_ = std::make_shared<verifs::Verifs2>(opts);
       break;
     }
+    case FsKind::kSpec: {
+      // The oracle has no knobs beyond identity: no bugs to seed, no
+      // snapshot-representation choice (deep copies of a tiny state).
+      spec::SpecFsOptions opts;
+      opts.identity = config.identity;
+      fut->hosted_fs_ = std::make_shared<spec::SpecFs>(opts);
+      break;
+    }
   }
 
   // ---- FUSE / NFS plumbing for user-space file systems ------------------
   const bool is_verifs =
       config.kind == FsKind::kVerifs1 || config.kind == FsKind::kVerifs2;
+  const bool is_spec = config.kind == FsKind::kSpec;
+  if (is_spec) {
+    // The spec is always in-process: it models intended semantics, not a
+    // deployment, so there is no daemon to put behind FUSE or NFS.
+    fut->inner_fs_ = fut->hosted_fs_;
+    fut->checkpointable_ =
+        dynamic_cast<fs::CheckpointableFs*>(fut->hosted_fs_.get());
+    fut->accounting_ = fut->checkpointable_;
+  }
   if (is_verifs && config.nfs_transport) {
     // Ganesha-style deployment: socket transport, CRIU-checkpointable.
     fut->ganesha_ =
@@ -265,7 +286,7 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
     fut->client_->SetInvalInodeHandler(
         [v](fs::InodeNum ino) { v->NotifyInvalInode(ino); });
   }
-  if (is_verifs && fut->client_ == nullptr) {
+  if ((is_verifs || is_spec) && fut->client_ == nullptr) {
     // In-process deployment: there is no transport to carry the restore-
     // time invalidation notifications, so hand the daemon a notifier
     // that calls straight into the VFS. Without this the dcache/icache
@@ -280,12 +301,20 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
     if (auto* v2 = dynamic_cast<verifs::Verifs2*>(fut->hosted_fs_.get())) {
       v2->SetNotifier(fut->direct_notifier_.get());
     }
+    if (auto* sp = dynamic_cast<spec::SpecFs*>(fut->hosted_fs_.get())) {
+      sp->SetNotifier(fut->direct_notifier_.get());
+    }
   }
 
   // ---- VM snapshotter ------------------------------------------------------
   if (config.strategy == StateStrategy::kVmSnapshot) {
     fut->vm_ = std::make_unique<snapshot::VmSnapshotter>(clock);
-    if (is_verifs) {
+    if (is_spec) {
+      auto* sp = dynamic_cast<spec::SpecFs*>(fut->hosted_fs_.get());
+      fut->vm_->RegisterComponent(
+          "spec-oracle", [sp]() { return sp->ExportState(); },
+          [sp](ByteView image) { sp->ImportState(image); });
+    } else if (is_verifs) {
       fs::FileSystem* hosted = fut->hosted_fs_.get();
       fut->vm_->RegisterComponent(
           "verifs-daemon",
@@ -315,9 +344,9 @@ Result<std::unique_ptr<FsUnderTest>> FsUnderTest::Create(
   if (Status s = fut->vfs_->Mount(); !s.ok()) return s.error();
 
   fut->name_ = std::string(FsKindName(config.kind));
-  if (!is_verifs) {
+  if (!is_verifs && !is_spec) {
     fut->name_ += "(" + std::string(BackendName(config.backend)) + ")";
-  } else if (config.nfs_transport) {
+  } else if (is_verifs && config.nfs_transport) {
     fut->name_ += "(nfs)";
   }
   return fut;
@@ -595,6 +624,7 @@ Result<fs::FileSystemPtr> FsUnderTest::BuildRecoveryProbe(
     }
     case FsKind::kVerifs1:
     case FsKind::kVerifs2:
+    case FsKind::kSpec:
       return Errno::kENOTSUP;
   }
   return Errno::kEINVAL;

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
+
+#include "mcfs/nway_engine.h"
 
 namespace mcfs::core {
 
@@ -162,6 +165,12 @@ std::string McfsReport::Summary() const {
         << counters.snapshot_shared_bytes << " snap_excl="
         << counters.snapshot_exclusive_bytes;
   }
+  if (!oracle_disagreements.empty()) {
+    out << "\noracle disagreements:";
+    for (const auto& [name, count] : oracle_disagreements) {
+      out << " " << name << "=" << count;
+    }
+  }
   if (stats.violation_found) {
     out << "\nVIOLATION: " << stats.violation_report;
     if (!stats.violation_trail.empty()) {
@@ -172,6 +181,15 @@ std::string McfsReport::Summary() const {
     }
   }
   return out.str();
+}
+
+void AttachOracleTally(const NWaySyscallEngine& engine, McfsReport* report) {
+  if (!engine.oracle_index().has_value()) return;
+  report->oracle_disagreements.clear();
+  for (std::size_t i = 0; i < engine.fs_count(); ++i) {
+    report->oracle_disagreements.emplace_back(
+        engine.fs_name(i), engine.oracle_disagreement_counts()[i]);
+  }
 }
 
 McfsConfig MutantCampaignConfig(const verifs::Mutant& mutant,
@@ -212,6 +230,16 @@ McfsConfig MutantCampaignConfig(const verifs::Mutant& mutant,
   config.fs_a.fuse_transport = options.fuse_transport;
   config.fs_b = config.fs_a;   // pristine twin as the reference oracle
   config.fs_b.bugs = mutant.bugs;
+  if (mutant.dual) {
+    // Dual mutants carry the same bug in BOTH families: the relative
+    // axis pairs VeriFS1 against VeriFS2 with the flag armed on each
+    // side, so the implementations agree on the wrong answer and the
+    // 2-way check is blind by construction. Only the spec axis can
+    // kill these.
+    config.fs_a.kind = FsKind::kVerifs1;
+    config.fs_a.bugs = mutant.bugs;
+    config.fs_b.kind = FsKind::kVerifs2;
+  }
   config.engine.pool = options.pool;
   config.engine.trace_cap = options.trace_cap;
   // Reference oracle: full recompute. The incremental cache rolls its
@@ -224,6 +252,119 @@ McfsConfig MutantCampaignConfig(const verifs::Mutant& mutant,
   config.explore.seed = seed;
   return config;
 }
+
+McfsConfig SpecMutantCampaignConfig(const verifs::Mutant& mutant,
+                                    const MutationCampaignOptions& options,
+                                    std::uint64_t seed) {
+  McfsConfig config;
+  // The spec on side A: in-process (no FUSE, no device), ioctl-style
+  // handle snapshots. Side B is the mutant's own family with its flags.
+  config.fs_a.kind = FsKind::kSpec;
+  config.fs_a.strategy = StateStrategy::kIoctl;
+  config.fs_a.fuse_transport = false;
+  config.fs_b.kind = mutant.verifs2 ? FsKind::kVerifs2 : FsKind::kVerifs1;
+  config.fs_b.strategy = StateStrategy::kIoctl;
+  config.fs_b.fuse_transport = options.fuse_transport;
+  config.fs_b.bugs = mutant.bugs;
+  config.engine.pool = options.pool;
+  config.engine.trace_cap = options.trace_cap;
+  // Same rule as the relative axis: verdicts come from the
+  // full-recompute abstraction, never the restore-trusting cache.
+  config.engine.abstraction.incremental = false;
+  config.explore.mode = mc::SearchMode::kDfs;
+  config.explore.max_operations = options.max_operations;
+  config.explore.max_depth = options.max_depth;
+  config.explore.seed = seed;
+  return config;
+}
+
+namespace {
+
+// One campaign axis for one mutant: explore the seeds in order until a
+// run detects, then shrink + replay-confirm the detecting trace.
+struct AxisResult {
+  bool detected = false;
+  std::uint64_t seed = 0;
+  std::uint64_t ops_to_detect = 0;
+  std::size_t raw_trace_ops = 0;
+  std::size_t minimized_ops = 0;
+  bool replay_confirmed = false;
+  bool one_minimal = false;
+  std::size_t shrink_replays = 0;
+  std::string violation;
+  std::string minimized_trace;
+};
+
+AxisResult RunCampaignAxis(
+    const std::function<McfsConfig(std::uint64_t)>& config_for_seed,
+    const MutationCampaignOptions& options) {
+  AxisResult out;
+  for (std::uint64_t seed : options.seeds) {
+    McfsConfig config = config_for_seed(seed);
+    auto mcfs = Mcfs::Create(config);
+    if (!mcfs.ok()) {
+      out.violation =
+          "Mcfs::Create failed: " + std::string(ErrnoName(mcfs.error()));
+      break;
+    }
+    McfsReport run = mcfs.value()->Run();
+    if (!run.stats.violation_found) continue;
+
+    out.detected = true;
+    out.seed = seed;
+    out.ops_to_detect = run.stats.operations;
+    out.violation = run.stats.violation_report;
+    const Trace& raw = mcfs.value()->engine().trace();
+    out.raw_trace_ops = raw.size();
+    out.minimized_ops = raw.size();
+
+    if (options.minimize) {
+      // Replay with the engine's *effective* options (special-path
+      // exception lists included) so the shrink judges candidates by
+      // the same rules the detecting run used.
+      const EngineOptions& eff = mcfs.value()->engine().options();
+      ShrinkOptions shrink;
+      shrink.replay.checker = eff.checker;
+      shrink.replay.compare_states = eff.compare_states;
+      shrink.replay.abstraction = eff.abstraction;
+      shrink.replay.crash_checks = eff.crash.enabled;
+      shrink.max_replays = options.max_replays;
+      TraceMinimizer minimizer(MakeMcfsReplayFactory(config), shrink);
+      auto adopt = [&out](const Trace& t, const ShrinkReport& sr) {
+        out.minimized_ops = sr.final_ops;
+        out.replay_confirmed = sr.replay_confirmed;
+        out.one_minimal = sr.one_minimal;
+        out.minimized_trace = t.ToText();
+      };
+      // Shrink seed 1: the explorer's violation trail — the semantic
+      // root-to-violation path, at most depth+1 ops and free of
+      // snapshot records. It reproduces whenever restores are
+      // faithful; the restore mutants are exactly the case where it
+      // does not, and they fall through to the raw linear history.
+      ShrinkReport sr;
+      bool shrunk = false;
+      auto trail =
+          TraceFromTrail(mcfs.value()->engine(), run.stats.violation_trail);
+      if (trail.ok()) {
+        auto minimized = minimizer.Minimize(trail.value(), &sr);
+        out.shrink_replays += sr.replays;
+        if (minimized.ok()) {
+          adopt(minimized.value(), sr);
+          shrunk = true;
+        }
+      }
+      if (!shrunk) {
+        auto minimized = minimizer.Minimize(raw, &sr);
+        out.shrink_replays += sr.replays;
+        if (minimized.ok()) adopt(minimized.value(), sr);
+      }
+    }
+    break;
+  }
+  return out;
+}
+
+}  // namespace
 
 MutationCampaignReport RunMutationCampaign(
     const MutationCampaignOptions& options) {
@@ -240,72 +381,50 @@ MutationCampaignReport RunMutationCampaign(
     outcome.historical = mutant.historical;
     outcome.expect_detected = mutant.expect_detected;
     outcome.crash = mutant.crash;
+    outcome.dual = mutant.dual;
 
-    for (std::uint64_t seed : options.seeds) {
-      McfsConfig config = MutantCampaignConfig(mutant, options, seed);
-      auto mcfs = Mcfs::Create(config);
-      if (!mcfs.ok()) {
-        outcome.violation = "Mcfs::Create failed: " +
-                            std::string(ErrnoName(mcfs.error()));
-        break;
-      }
-      McfsReport run = mcfs.value()->Run();
-      if (!run.stats.violation_found) continue;
-
-      outcome.detected = true;
-      outcome.seed = seed;
-      outcome.ops_to_detect = run.stats.operations;
-      outcome.violation = run.stats.violation_report;
+    const AxisResult rel = RunCampaignAxis(
+        [&](std::uint64_t seed) {
+          return MutantCampaignConfig(mutant, options, seed);
+        },
+        options);
+    outcome.detected = rel.detected;
+    outcome.seed = rel.seed;
+    outcome.ops_to_detect = rel.ops_to_detect;
+    outcome.raw_trace_ops = rel.raw_trace_ops;
+    outcome.minimized_ops = rel.minimized_ops;
+    outcome.replay_confirmed = rel.replay_confirmed;
+    outcome.one_minimal = rel.one_minimal;
+    outcome.shrink_replays = rel.shrink_replays;
+    outcome.violation = rel.violation;
+    outcome.minimized_trace = rel.minimized_trace;
+    if (rel.detected) {
       // The crash axis: did the persistence oracle kill it, or did the
       // live differential check get there first?
       outcome.killed_by =
           outcome.violation.rfind("crash:", 0) == 0 ? "crash" : "live";
-      const Trace& raw = mcfs.value()->engine().trace();
-      outcome.raw_trace_ops = raw.size();
-      outcome.minimized_ops = raw.size();
+    }
 
-      if (options.minimize) {
-        // Replay with the engine's *effective* options (special-path
-        // exception lists included) so the shrink judges candidates by
-        // the same rules the detecting run used.
-        const EngineOptions& eff = mcfs.value()->engine().options();
-        ShrinkOptions shrink;
-        shrink.replay.checker = eff.checker;
-        shrink.replay.compare_states = eff.compare_states;
-        shrink.replay.abstraction = eff.abstraction;
-        shrink.replay.crash_checks = eff.crash.enabled;
-        shrink.max_replays = options.max_replays;
-        TraceMinimizer minimizer(MakeMcfsReplayFactory(config), shrink);
-        auto adopt = [&outcome](const Trace& t, const ShrinkReport& sr) {
-          outcome.minimized_ops = sr.final_ops;
-          outcome.replay_confirmed = sr.replay_confirmed;
-          outcome.one_minimal = sr.one_minimal;
-          outcome.minimized_trace = t.ToText();
-        };
-        // Shrink seed 1: the explorer's violation trail — the semantic
-        // root-to-violation path, at most depth+1 ops and free of
-        // snapshot records. It reproduces whenever restores are
-        // faithful; the restore mutants are exactly the case where it
-        // does not, and they fall through to the raw linear history.
-        ShrinkReport sr;
-        bool shrunk = false;
-        auto trail = TraceFromTrail(mcfs.value()->engine(),
-                                    run.stats.violation_trail);
-        if (trail.ok()) {
-          auto minimized = minimizer.Minimize(trail.value(), &sr);
-          outcome.shrink_replays += sr.replays;
-          if (minimized.ok()) {
-            adopt(minimized.value(), sr);
-            shrunk = true;
-          }
-        }
-        if (!shrunk) {
-          auto minimized = minimizer.Minimize(raw, &sr);
-          outcome.shrink_replays += sr.replays;
-          if (minimized.ok()) adopt(minimized.value(), sr);
-        }
-      }
-      break;
+    // Second axis: absolute 2-way against the executable spec. Crash
+    // mutants are exempt — the spec has no device and no crash mode.
+    if (options.spec_axis && !mutant.crash) {
+      outcome.spec_ran = true;
+      const AxisResult spec = RunCampaignAxis(
+          [&](std::uint64_t seed) {
+            return SpecMutantCampaignConfig(mutant, options, seed);
+          },
+          options);
+      outcome.spec_detected = spec.detected;
+      outcome.spec_seed = spec.seed;
+      outcome.spec_ops_to_detect = spec.ops_to_detect;
+      outcome.spec_raw_trace_ops = spec.raw_trace_ops;
+      outcome.spec_minimized_ops = spec.minimized_ops;
+      outcome.spec_replay_confirmed = spec.replay_confirmed;
+      outcome.spec_one_minimal = spec.one_minimal;
+      outcome.spec_shrink_replays = spec.shrink_replays;
+      outcome.spec_violation = spec.violation;
+      outcome.spec_minimized_trace = spec.minimized_trace;
+      if (!outcome.detected && spec.detected) outcome.killed_by = "spec";
     }
     report.outcomes.push_back(std::move(outcome));
   }
@@ -321,10 +440,23 @@ MutationCampaignReport RunMutationCampaign(
     } else if (o.detected) {
       report.unexpected.push_back(o.name);
     }
+    if (o.spec_ran && (o.expect_detected || o.dual)) {
+      ++report.spec_expected_detections;
+      if (o.spec_detected) {
+        ++report.spec_detections;
+      } else {
+        report.spec_missed.push_back(o.name);
+      }
+    }
   }
   if (report.expected_detections > 0) {
     report.kill_rate = static_cast<double>(report.detections) /
                        static_cast<double>(report.expected_detections);
+  }
+  if (report.spec_expected_detections > 0) {
+    report.spec_kill_rate =
+        static_cast<double>(report.spec_detections) /
+        static_cast<double>(report.spec_expected_detections);
   }
   return report;
 }
@@ -367,6 +499,7 @@ std::string MutationCampaignReport::ToJson() const {
         << " \"historical\": " << JsonBool(o.historical) << ","
         << " \"expect_detected\": " << JsonBool(o.expect_detected) << ","
         << " \"crash\": " << JsonBool(o.crash) << ","
+        << " \"dual\": " << JsonBool(o.dual) << ","
         << " \"killed_by\": \"" << JsonEscape(o.killed_by) << "\","
         << " \"detected\": " << JsonBool(o.detected) << ","
         << " \"seed\": " << o.seed << ","
@@ -379,12 +512,38 @@ std::string MutationCampaignReport::ToJson() const {
         << " \"violation\": \"" << JsonEscape(o.violation) << "\","
         << " \"hint\": \"" << JsonEscape(o.hint) << "\","
         << " \"minimized_trace\": \"" << JsonEscape(o.minimized_trace)
+        << "\","
+        << " \"spec_ran\": " << JsonBool(o.spec_ran) << ","
+        << " \"spec_detected\": " << JsonBool(o.spec_detected) << ","
+        << " \"spec_seed\": " << o.spec_seed << ","
+        << " \"spec_ops_to_detect\": " << o.spec_ops_to_detect << ","
+        << " \"spec_raw_trace_ops\": " << o.spec_raw_trace_ops << ","
+        << " \"spec_minimized_ops\": " << o.spec_minimized_ops << ","
+        << " \"spec_replay_confirmed\": "
+        << JsonBool(o.spec_replay_confirmed) << ","
+        << " \"spec_one_minimal\": " << JsonBool(o.spec_one_minimal) << ","
+        << " \"spec_shrink_replays\": " << o.spec_shrink_replays << ","
+        << " \"spec_violation\": \"" << JsonEscape(o.spec_violation) << "\","
+        << " \"spec_minimized_trace\": \""
+        << JsonEscape(o.spec_minimized_trace)
         << "\"}" << (i + 1 < outcomes.size() ? "," : "") << "\n";
   }
   out << "  ],\n";
   out << "  \"expected_detections\": " << expected_detections << ",\n";
   out << "  \"detections\": " << detections << ",\n";
   out << "  \"kill_rate\": " << kill_rate << ",\n";
+  out << "  \"spec_expected_detections\": " << spec_expected_detections
+      << ",\n";
+  out << "  \"spec_detections\": " << spec_detections << ",\n";
+  out << "  \"spec_kill_rate\": " << spec_kill_rate << ",\n";
+  {
+    out << "  \"spec_missed\": [";
+    for (std::size_t i = 0; i < spec_missed.size(); ++i) {
+      out << "\"" << JsonEscape(spec_missed[i]) << "\""
+          << (i + 1 < spec_missed.size() ? ", " : "");
+    }
+    out << "],\n";
+  }
   auto name_list = [&out](const std::vector<std::string>& names) {
     out << "[";
     for (std::size_t i = 0; i < names.size(); ++i) {
@@ -415,8 +574,21 @@ std::string MutationCampaignReport::Summary() const {
       if (o.replay_confirmed) out << ", replay-confirmed";
       if (o.one_minimal) out << ", 1-minimal";
       out << ")";
-    } else {
+    } else if (!o.spec_ran || !o.spec_detected) {
       out << "  (" << o.hint << ")";
+    }
+    if (o.spec_ran) {
+      if (o.spec_detected) {
+        out << "\n         spec axis: KILLED (seed " << o.spec_seed << ", "
+            << o.spec_ops_to_detect << " ops to detect, trace "
+            << o.spec_raw_trace_ops << " -> " << o.spec_minimized_ops
+            << " ops";
+        if (o.spec_replay_confirmed) out << ", replay-confirmed";
+        if (o.spec_one_minimal) out << ", 1-minimal";
+        out << ")";
+      } else {
+        out << "\n         spec axis: survived";
+      }
     }
     out << "\n";
   }
@@ -425,6 +597,16 @@ std::string MutationCampaignReport::Summary() const {
     out << " (" << static_cast<int>(kill_rate * 100.0 + 0.5) << "%)";
   }
   out << "\n";
+  if (spec_expected_detections > 0) {
+    out << "spec-axis kill rate: " << spec_detections << "/"
+        << spec_expected_detections << " ("
+        << static_cast<int>(spec_kill_rate * 100.0 + 0.5) << "%)\n";
+  }
+  if (!spec_missed.empty()) {
+    out << "spec-axis missed:";
+    for (const auto& name : spec_missed) out << " " << name;
+    out << "\n";
+  }
   if (!missed.empty()) {
     out << "missed:";
     for (const auto& name : missed) out << " " << name;

@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mc/explorer.h"
@@ -38,6 +39,9 @@ struct McfsReport {
   std::uint64_t remounts_a = 0;
   std::uint64_t remounts_b = 0;
   std::string trace_text;       // tail of the operation trace
+  // Oracle-mode N-way runs: per-member (name, times-disagreed-with-the-
+  // spec) tally. Empty unless filled via AttachOracleTally.
+  std::vector<std::pair<std::string, std::uint64_t>> oracle_disagreements;
 
   // One-paragraph human summary.
   std::string Summary() const;
@@ -68,6 +72,13 @@ class Mcfs {
   std::unique_ptr<FsUnderTest> fs_b_;
   std::unique_ptr<SyscallEngine> engine_;
 };
+
+class NWaySyscallEngine;
+
+// Copies an oracle-mode N-way engine's per-member oracle-disagreement
+// tally into `report` so McfsReport::Summary surfaces it next to the
+// exploration stats. No-op when the engine has no oracle configured.
+void AttachOracleTally(const NWaySyscallEngine& engine, McfsReport* report);
 
 // Adapter so a whole Mcfs instance can serve as one swarm worker.
 class McfsSwarmInstance final : public mc::SwarmInstance {
@@ -126,6 +137,12 @@ struct MutationCampaignOptions {
   // and stops being a faithful linear history.
   std::size_t trace_cap = 500'000;
   std::vector<std::string> only;  // restrict to these mutant names
+  // Second campaign axis: pair every non-crash mutant against the
+  // executable POSIX spec (FsKind::kSpec) as an absolute 2-way oracle in
+  // addition to the pristine-twin relative run. This is what kills the
+  // dual mutants — identical bugs seeded into both VeriFS families that
+  // relative checking cannot see by construction.
+  bool spec_axis = true;
 };
 
 struct MutantOutcome {
@@ -134,7 +151,10 @@ struct MutantOutcome {
   bool historical = false;
   bool expect_detected = true;
   bool crash = false;        // explored under the crash axis
-  std::string killed_by;     // "crash" (persistence oracle) or "live"
+  bool dual = false;         // same bug in both families (spec-axis prey)
+  // "live" or "crash" when the relative axis caught it; "spec" when only
+  // the spec axis did; empty when nothing killed the mutant.
+  std::string killed_by;
   bool detected = false;
   std::uint64_t seed = 0;           // seed of the detecting run
   std::uint64_t ops_to_detect = 0;  // operations explored by that run
@@ -145,6 +165,20 @@ struct MutantOutcome {
   std::size_t shrink_replays = 0;
   std::string violation;        // explorer's violation report
   std::string minimized_trace;  // ToText() of the shrunk trace
+  // Spec axis (mutant vs FsKind::kSpec, absolute 2-way check); same
+  // meanings as the relative fields above. spec_ran is false for crash
+  // mutants and when MutationCampaignOptions::spec_axis is off.
+  bool spec_ran = false;
+  bool spec_detected = false;
+  std::uint64_t spec_seed = 0;
+  std::uint64_t spec_ops_to_detect = 0;
+  std::size_t spec_raw_trace_ops = 0;
+  std::size_t spec_minimized_ops = 0;
+  bool spec_replay_confirmed = false;
+  bool spec_one_minimal = false;
+  std::size_t spec_shrink_replays = 0;
+  std::string spec_violation;
+  std::string spec_minimized_trace;
 };
 
 struct MutationCampaignReport {
@@ -154,6 +188,13 @@ struct MutationCampaignReport {
   double kill_rate = 0;                 // detections / expected_detections
   std::vector<std::string> missed;      // expected but undetected
   std::vector<std::string> unexpected;  // detected despite expect_detected=false
+  // Spec-axis tallies. A mutant is spec-expected when the axis ran for it
+  // and it is either expected relatively (the spec must not be weaker
+  // than the pristine twin) or dual (only the spec can kill it).
+  std::size_t spec_expected_detections = 0;
+  std::size_t spec_detections = 0;
+  double spec_kill_rate = 0;
+  std::vector<std::string> spec_missed;
 
   // Machine-readable artifact (one self-contained JSON object).
   std::string ToJson() const;
@@ -176,6 +217,15 @@ struct MutationCampaignReport {
 McfsConfig MutantCampaignConfig(const verifs::Mutant& mutant,
                                 const MutationCampaignOptions& options,
                                 std::uint64_t seed);
+
+// Spec-axis pairing for one non-crash corpus entry: the executable POSIX
+// spec (FsKind::kSpec) on side A as an absolute oracle and the mutant's
+// own family with the bug flags on side B. 2-way against the spec is
+// absolute checking: it kills the dual mutants whose relative runs pit
+// two identically-buggy implementations against each other.
+McfsConfig SpecMutantCampaignConfig(const verifs::Mutant& mutant,
+                                    const MutationCampaignOptions& options,
+                                    std::uint64_t seed);
 
 // Runs every corpus mutant (or `options.only`) through explore → detect
 // → minimize → replay-confirm and aggregates the kill rate.

@@ -32,7 +32,12 @@ NWaySyscallEngine::NWaySyscallEngine(std::vector<FsUnderTest*> filesystems,
                                      NWayOptions options)
     : filesystems_(std::move(filesystems)),
       options_(std::move(options)),
-      suspicion_(filesystems_.size(), 0) {
+      suspicion_(filesystems_.size(), 0),
+      oracle_disagreements_(filesystems_.size(), 0) {
+  if (options_.oracle_index.has_value() &&
+      *options_.oracle_index >= filesystems_.size()) {
+    options_.oracle_index.reset();  // out of range: plain majority voting
+  }
   auto add_special = [this](const std::string& path) {
     options_.abstraction.exception_list.push_back(path);
     options_.checker.special_names.push_back(fs::Basename(path));
@@ -65,7 +70,8 @@ std::string NWaySyscallEngine::ActionName(std::size_t action) const {
 
 VoteResult NWaySyscallEngine::Vote(const Operation& op,
                                    const std::vector<OpOutcome>& outcomes,
-                                   const CheckerOptions& options) {
+                                   const CheckerOptions& options,
+                                   std::optional<std::size_t> oracle) {
   VoteResult result;
   const std::size_t n = outcomes.size();
   // Group outcomes by pairwise equivalence (CompareOutcomes is the
@@ -92,19 +98,33 @@ VoteResult NWaySyscallEngine::Vote(const Operation& op,
   }
   result.unanimous = false;
 
-  // Elect the majority group; renumber it to 0.
+  // Elect the reference group and renumber it to 0. Relative mode: the
+  // largest group. Oracle mode: the oracle's group, whatever its size —
+  // absolute correctness is not a popularity contest.
   const int majority = static_cast<int>(
       std::max_element(group_size.begin(), group_size.end()) -
       group_size.begin());
+  int reference = majority;
+  if (oracle.has_value() && *oracle < n) {
+    reference = group[*oracle];
+    result.oracle_overruled_majority =
+        group_size[reference] < group_size[majority];
+  }
   result.group_of.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
-    result.group_of[i] = group[i] == majority ? 0 : group[i] + 1;
-    if (group[i] != majority) result.minority.push_back(i);
+    result.group_of[i] = group[i] == reference ? 0 : group[i] + 1;
+    if (group[i] != reference) result.minority.push_back(i);
   }
 
   std::ostringstream detail;
-  detail << op.ToString() << ": " << group_size[majority] << "/" << n
-         << " agree; outvoted:";
+  if (result.oracle_overruled_majority) {
+    detail << op.ToString() << ": spec says majority is wrong (oracle "
+           << group_size[reference] << "/" << n << " vs majority "
+           << group_size[majority] << "/" << n << "); implicated:";
+  } else {
+    detail << op.ToString() << ": " << group_size[reference] << "/" << n
+           << " agree; outvoted:";
+  }
   for (std::size_t i : result.minority) {
     detail << " #" << i << "(" << ErrnoName(outcomes[i].error) << ")";
   }
@@ -143,7 +163,9 @@ Status NWaySyscallEngine::RefreshAbstractState(
   }
 
   if (check_equality && options_.compare_states) {
-    // Vote on the abstract states: majority hash wins.
+    // Vote on the abstract states: majority hash wins — unless an oracle
+    // is configured, in which case its hash is the reference and every
+    // other hash is judged against it.
     std::vector<std::size_t> counts(hashes.size(), 0);
     for (std::size_t i = 0; i < hashes.size(); ++i) {
       for (std::size_t j = 0; j < hashes.size(); ++j) {
@@ -153,13 +175,24 @@ Status NWaySyscallEngine::RefreshAbstractState(
     const std::size_t best = static_cast<std::size_t>(
         std::max_element(counts.begin(), counts.end()) - counts.begin());
     if (counts[best] < hashes.size()) {
+      const std::size_t reference =
+          options_.oracle_index.value_or(best);
       std::ostringstream detail;
-      detail << "state divergence (majority " << counts[best] << "/"
-             << hashes.size() << "); deviating:";
+      if (options_.oracle_index.has_value() &&
+          counts[reference] < counts[best]) {
+        detail << "state divergence — spec says majority is wrong (oracle "
+               << counts[reference] << "/" << hashes.size() << " vs majority "
+               << counts[best] << "/" << hashes.size() << "); deviating:";
+      } else {
+        detail << "state divergence (" << (options_.oracle_index ? "oracle "
+                                                                 : "majority ")
+               << counts[reference] << "/" << hashes.size() << "); deviating:";
+      }
       for (std::size_t i = 0; i < hashes.size(); ++i) {
-        if (hashes[i] != hashes[best]) {
+        if (hashes[i] != hashes[reference]) {
           detail << " " << filesystems_[i]->name();
           ++suspicion_[i];
+          if (options_.oracle_index.has_value()) ++oracle_disagreements_[i];
         }
       }
       violation_ = detail.str();
@@ -194,9 +227,13 @@ Status NWaySyscallEngine::ApplyAction(std::size_t action) {
   }
   ++ops_executed_;
 
-  const VoteResult vote = Vote(op, outcomes, options_.checker);
+  const VoteResult vote =
+      Vote(op, outcomes, options_.checker, options_.oracle_index);
   if (!vote.unanimous) {
-    for (std::size_t i : vote.minority) ++suspicion_[i];
+    for (std::size_t i : vote.minority) {
+      ++suspicion_[i];
+      if (options_.oracle_index.has_value()) ++oracle_disagreements_[i];
+    }
     std::ostringstream detail;
     detail << vote.detail << " — suspects:";
     for (std::size_t i : vote.minority) {

@@ -26,15 +26,27 @@ struct NWayOptions {
   CheckerOptions checker;
   AbstractionOptions abstraction;
   bool compare_states = true;
+  // Index of an oracle member (the executable POSIX spec, FsKind::kSpec).
+  // When set, votes are absolute rather than relative: the reference
+  // group is the oracle's group regardless of its size, suspicion accrues
+  // against every member that disagrees with the oracle — never against
+  // the oracle itself — and an outvoted oracle is reported as "spec says
+  // majority is wrong" instead of the spec accumulating suspicion.
+  std::optional<std::size_t> oracle_index;
 };
 
 // Per-file-system verdict after a vote.
 struct VoteResult {
   bool unanimous = true;
-  // Index of each file system's outcome group; the majority group is 0.
+  // Index of each file system's outcome group; the reference group — the
+  // majority, or the oracle's group in oracle mode — is 0.
   std::vector<int> group_of;
-  // File systems outside the majority (the suspects).
+  // File systems outside the reference group (the suspects).
   std::vector<std::size_t> minority;
+  // Oracle mode only: the oracle's group was strictly smaller than the
+  // numerically largest group — relative voting would have blamed the
+  // oracle, absolute checking blames the N-1 implementations instead.
+  bool oracle_overruled_majority = false;
   std::string detail;
 };
 
@@ -60,9 +72,18 @@ class NWaySyscallEngine final : public mc::System {
   std::uint64_t ConcreteStateBytes() const override;
 
   // Cumulative suspicion counters: how often each file system landed in
-  // the minority. The buggy implementation accumulates suspicion.
+  // the minority. The buggy implementation accumulates suspicion. In
+  // oracle mode the oracle's own entry stays zero by construction.
   const std::vector<std::uint64_t>& suspicion_counts() const {
     return suspicion_;
+  }
+  // Oracle mode: how often each member disagreed with the oracle (outcome
+  // or abstract state). All zeros when no oracle is configured.
+  const std::vector<std::uint64_t>& oracle_disagreement_counts() const {
+    return oracle_disagreements_;
+  }
+  std::optional<std::size_t> oracle_index() const {
+    return options_.oracle_index;
   }
   std::size_t fs_count() const { return filesystems_.size(); }
   const std::string& fs_name(std::size_t index) const {
@@ -70,10 +91,14 @@ class NWaySyscallEngine final : public mc::System {
   }
   std::uint64_t ops_executed() const { return ops_executed_; }
 
-  // Exposed for tests: groups outcomes and elects a majority.
+  // Exposed for tests: groups outcomes and elects a majority — or, when
+  // `oracle` names a member, that member's group as the absolute
+  // reference (with 2 members this degenerates to plain absolute
+  // checking against the oracle).
   static VoteResult Vote(const Operation& op,
                          const std::vector<OpOutcome>& outcomes,
-                         const CheckerOptions& options);
+                         const CheckerOptions& options,
+                         std::optional<std::size_t> oracle = std::nullopt);
 
   // True when the incremental abstraction is active (requested via
   // options and every member strategy restores coherently).
@@ -92,6 +117,7 @@ class NWaySyscallEngine final : public mc::System {
   std::optional<std::string> violation_;
   std::optional<Md5Digest> cached_hash_;
   std::vector<std::uint64_t> suspicion_;
+  std::vector<std::uint64_t> oracle_disagreements_;
   std::uint64_t ops_executed_ = 0;
   mc::SnapshotId next_snapshot_ = 1;
   // One digest cache per file system, epoch-tagged on the shared

@@ -85,6 +85,20 @@ struct VerifsBugs {
   bool readdir_reverse_order = false;
 
   // -------------------------------------------------------------------
+  // Dual mutants, seeded into BOTH VeriFS1 and VeriFS2 at once: the
+  // relative axis pits two identically wrong implementations against
+  // each other, so they agree on the buggy behaviour and 2-way (or
+  // same-bug N-way) differential checking is blind by construction.
+  // Only an absolute reference — the executable POSIX spec
+  // (FsKind::kSpec) — can kill these.
+
+  // rmdir of a missing name reports ENOTDIR instead of ENOENT.
+  bool dual_rmdir_missing_as_enotdir = false;
+  // chmod keeps the old group permission bits: the stored mode becomes
+  // (new & 0707) | (old & 0070).
+  bool dual_chmod_keeps_group_bits = false;
+
+  // -------------------------------------------------------------------
   // Crash mutants (kernel file systems, not VeriFS): persistence bugs
   // that are invisible to the live differential check and exist to prove
   // the crash-exploration mode can kill what nothing else can. Routed to

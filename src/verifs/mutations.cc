@@ -28,6 +28,18 @@ Mutant MakeCrash(std::string name, std::string hint, std::string crash_fs,
   return m;
 }
 
+Mutant MakeDual(std::string name, std::string hint,
+                bool VerifsBugs::*flag) {
+  Mutant m;
+  m.name = std::move(name);
+  m.hint = std::move(hint);
+  m.dual = true;
+  m.verifs2 = true;             // spec axis pairs the spec vs VeriFS2
+  m.expect_detected = false;    // relative checking is blind to duals
+  m.bugs.*flag = true;
+  return m;
+}
+
 std::vector<Mutant> BuildCorpus() {
   std::vector<Mutant> corpus;
   // ----- The four historical paper bugs (§6). -----
@@ -145,6 +157,20 @@ std::vector<Mutant> BuildCorpus() {
       "caught incidentally via a restore/dcache side channel)",
       /*verifs2=*/true, /*historical=*/false, /*expect_detected=*/false,
       &VerifsBugs::readdir_reverse_order));
+  // ----- Dual mutants (same bug in BOTH families; need the spec). -----
+  corpus.push_back(MakeDual(
+      "dual_rmdir_missing_as_enotdir",
+      "rmdir of a missing name returns ENOTDIR instead of ENOENT in both "
+      "VeriFS1 and VeriFS2: the relative pairing agrees on the wrong "
+      "errno and survives by construction; the executable spec kills it "
+      "in one operation",
+      &VerifsBugs::dual_rmdir_missing_as_enotdir));
+  corpus.push_back(MakeDual(
+      "dual_chmod_keeps_group_bits",
+      "chmod preserves the old group permission bits in both VeriFS1 and "
+      "VeriFS2: every relative vote matches the identically wrong modes; "
+      "the executable spec sees the 0600-vs-0640 divergence",
+      &VerifsBugs::dual_chmod_keeps_group_bits));
   // ----- Crash mutants (kernel FS persistence bugs; need crash mode). -----
   corpus.push_back(MakeCrash(
       "jffs2_skip_log_replay",

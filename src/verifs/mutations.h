@@ -35,13 +35,19 @@ struct Mutant {
   // path (not in VeriFS) and is only observable after a crash + remount,
   // so the campaign must run it under the crash-exploration mode.
   bool crash = false;
+  // Dual mutant: the same bug is seeded into BOTH VeriFS families. The
+  // relative axis pairs VeriFS1-with-bug against VeriFS2-with-bug, which
+  // agree on the wrong behaviour, so expect_detected is false by
+  // construction — only the spec axis (FsKind::kSpec) can kill these.
+  // `verifs2` names the family the spec axis pairs against.
+  bool dual = false;
   // Crash mutants only: which kernel file system carries the fault
   // ("jffs2f" or "ext4f"); `verifs2` is meaningless for these.
   std::string crash_fs;
 };
 
 // The full corpus: 4 historical bugs + 16 synthetic mutants + 2 crash
-// mutants.
+// mutants + 2 dual mutants.
 const std::vector<Mutant>& MutationCorpus();
 
 // Corpus lookup by name; nullptr when unknown.

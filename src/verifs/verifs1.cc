@@ -209,7 +209,12 @@ Status Verifs1::Rmdir(const std::string& path) {
   }
   const Inode& pread = inodes_.Get(parent_index);
   auto found = pread.children.find(parent.value().name);
-  if (found == pread.children.end()) return Errno::kENOENT;
+  if (found == pread.children.end()) {
+    // Dual mutant: the missing-child case mapped to ENOTDIR in BOTH
+    // families, so the relative axis agrees on the wrong errno.
+    return options_.bugs.dual_rmdir_missing_as_enotdir ? Errno::kENOTDIR
+                                                       : Errno::kENOENT;
+  }
   const std::uint32_t victim_index = found->second;
   if (inodes_.Get(victim_index).type != fs::FileType::kDirectory) {
     return Errno::kENOTDIR;
@@ -445,7 +450,11 @@ Status Verifs1::Chmod(const std::string& path, fs::Mode mode) {
   Inode& inode = inodes_.Mut(index.value());
   // Mutant: report success but never store the new mode.
   if (!options_.bugs.chmod_ignores_mode) {
-    inode.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
+    // Dual mutant: the old group bits survive the chmod in BOTH families.
+    inode.mode = options_.bugs.dual_chmod_keeps_group_bits
+                     ? static_cast<fs::Mode>((mode & 0707) |
+                                             (inode.mode & 0070))
+                     : static_cast<fs::Mode>(mode & fs::kModeMask);
   }
   inode.ctime_ns = NowNs();
   LogInode(index.value());

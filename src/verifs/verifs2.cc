@@ -219,7 +219,12 @@ Status Verifs2::Rmdir(const std::string& path) {
   }
   const Inode& pread = inodes_.Get(parent_index);
   auto it = pread.children.find(parent.value().name);
-  if (it == pread.children.end()) return Errno::kENOENT;
+  if (it == pread.children.end()) {
+    // Dual mutant: the missing-child case mapped to ENOTDIR in BOTH
+    // families, so the relative axis agrees on the wrong errno.
+    return options_.bugs.dual_rmdir_missing_as_enotdir ? Errno::kENOTDIR
+                                                       : Errno::kENOENT;
+  }
   const std::uint32_t victim = it->second;
   if (inodes_.Get(victim).type != fs::FileType::kDirectory) {
     return Errno::kENOTDIR;
@@ -476,7 +481,11 @@ Status Verifs2::Chmod(const std::string& path, fs::Mode mode) {
     return Errno::kEPERM;
   }
   Inode& inode = inodes_.Mut(index.value());
-  inode.mode = static_cast<fs::Mode>(mode & fs::kModeMask);
+  // Dual mutant: the old group bits survive the chmod in BOTH families.
+  inode.mode = options_.bugs.dual_chmod_keeps_group_bits
+                   ? static_cast<fs::Mode>((mode & 0707) |
+                                           (inode.mode & 0070))
+                   : static_cast<fs::Mode>(mode & fs::kModeMask);
   inode.ctime_ns = NowNs();
   LogInode(index.value());
   return Status::Ok();

@@ -19,6 +19,7 @@
 #include "fs/xfs/xfsfs.h"
 #include "fuse/fuse_host.h"
 #include "fuse/fuse_kernel.h"
+#include "spec/spec_fs.h"
 #include "storage/ram_disk.h"
 #include "verifs/verifs1.h"
 #include "verifs/verifs2.h"
@@ -56,6 +57,8 @@ Fixture MakeFixture(const std::string& kind) {
     fixture.fs = std::make_shared<verifs::Verifs1>();
   } else if (kind == "verifs2") {
     fixture.fs = std::make_shared<verifs::Verifs2>();
+  } else if (kind == "specfs") {
+    fixture.fs = std::make_shared<spec::SpecFs>();
   } else if (kind == "verifs1-fuse" || kind == "verifs2-fuse") {
     auto channel = std::make_shared<fuse::FuseChannel>(nullptr);
     FileSystemPtr hosted;
@@ -723,7 +726,7 @@ TEST_P(PosixSuite, XattrsPersistAcrossRemount) {
 INSTANTIATE_TEST_SUITE_P(
     AllFileSystems, PosixSuite,
     testing::Values("ext2f", "ext4f", "xfsf", "jffs2f", "verifs1",
-                    "verifs2", "verifs1-fuse", "verifs2-fuse"),
+                    "verifs2", "specfs", "verifs1-fuse", "verifs2-fuse"),
     [](const testing::TestParamInfo<std::string>& info) {
       std::string name = info.param;
       std::replace(name.begin(), name.end(), '-', '_');
